@@ -1,0 +1,72 @@
+"""Benchmark harness plumbing.
+
+One benchmark module per paper table/figure (DESIGN.md §4).  Each runs
+its experiment once through pytest-benchmark (the timing is the cost of
+regenerating the artefact), asserts the DESIGN.md §5 shape checks, and
+records the regenerated table so it is printed in the terminal summary
+and written under ``benchmarks/results/``.
+
+The shared Lab uses a 16x-scaled machine and the 100MB-tier dataset;
+see DESIGN.md §2 for why scaling caches and data together preserves the
+paper's regimes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Lab, LabConfig
+
+_RESULTS: list = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    return Lab(LabConfig(scale=16, tier="100MB"))
+
+
+@pytest.fixture(scope="session")
+def record_experiment():
+    """Record an ExperimentResult for the terminal summary + results/."""
+
+    def _record(result):
+        from repro.analysis import experiment_to_svg
+
+        _RESULTS.append(result)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        status = "PASS" if result.all_checks_pass else (
+            f"FAIL: {', '.join(result.failed_checks())}"
+        )
+        path = _RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(
+            f"{result.title}\nshape checks: {status}\n\n{result.text}\n"
+        )
+        svg = experiment_to_svg(result)
+        if svg is not None:
+            (_RESULTS_DIR / f"{result.experiment_id}.svg").write_text(svg)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REGENERATED PAPER TABLES AND FIGURES")
+    write("=" * 78)
+    for result in _RESULTS:
+        status = "PASS" if result.all_checks_pass else (
+            "FAIL: " + ", ".join(result.failed_checks())
+        )
+        write("")
+        write("-" * 78)
+        write(f"[{result.experiment_id}] {result.title}   (shape checks: {status})")
+        write("-" * 78)
+        for line in result.text.splitlines():
+            write(line)

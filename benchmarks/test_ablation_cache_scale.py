@@ -1,0 +1,9 @@
+"""Ablation: cache-scale invariance (the DESIGN.md §2 substitution)."""
+
+from repro.analysis import ablation_cache_scale
+
+
+def test_ablation_cache_scale(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_cache_scale, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,10 @@
+"""Ablation: per-tuple engine instruction-mix sensitivity."""
+
+from repro.analysis import ablation_instruction_mix
+
+
+def test_ablation_instruction_mix(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: ablation_instruction_mix(lab),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

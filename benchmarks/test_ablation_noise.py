@@ -1,0 +1,9 @@
+"""Ablation: verification accuracy vs measurement noise."""
+
+from repro.analysis import ablation_noise
+
+
+def test_ablation_noise(benchmark, record_experiment):
+    result = benchmark.pedantic(ablation_noise, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

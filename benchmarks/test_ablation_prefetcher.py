@@ -1,0 +1,10 @@
+"""Ablation: stream prefetcher on/off (see repro.analysis.ablations)."""
+
+from repro.analysis import ablation_prefetcher
+
+
+def test_ablation_prefetcher(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: ablation_prefetcher(lab),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""§7 future work: energy distribution of an LSM (NoSQL) store."""
+
+from repro.analysis import ext_nosql
+
+
+def test_ext_nosql(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: ext_nosql(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

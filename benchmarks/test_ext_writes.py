@@ -1,0 +1,9 @@
+"""§2.3's open question: the energy distribution of write queries."""
+
+from repro.analysis import ext_writes
+
+
+def test_ext_writes(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: ext_writes(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 5: query-count distribution over top-P-state residency (EIST on)."""
+
+from repro.analysis import fig05
+
+
+def test_fig05_pstate_residency(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig05(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

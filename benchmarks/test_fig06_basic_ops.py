@@ -1,0 +1,9 @@
+"""Figure 6: Active-energy breakdown of the 7 basic query operations x 3 engines."""
+
+from repro.analysis import fig06
+
+
+def test_fig06_basic_ops(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig06(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

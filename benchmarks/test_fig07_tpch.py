@@ -1,0 +1,9 @@
+"""Figure 7: Active-energy breakdown of TPC-H Q1-Q22 x 3 engines."""
+
+from repro.analysis import fig07
+
+
+def test_fig07_tpch(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig07(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 8: impact of data size (100MB/500MB/1GB tiers) on the breakdown."""
+
+from repro.analysis import fig08
+
+
+def test_fig08_data_size(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig08(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 9: impact of the Table 4 knob settings (small/baseline/large)."""
+
+from repro.analysis import fig09
+
+
+def test_fig09_settings(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig09(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 10: breakdown of the CPU2006-like contrast workloads."""
+
+from repro.analysis import fig10
+
+
+def test_fig10_cpu2006(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig10(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 11: impact of CPU frequency and voltage on the breakdown."""
+
+from repro.analysis import fig11
+
+
+def test_fig11_pstates(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig11(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Figure 13: DTCM proof-of-concept on ARM1176JZF-S (energy saving + perf gain)."""
+
+from repro.analysis import fig13
+
+
+def test_fig13_tcm_poc(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: fig13(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Section 5: DVFS trade-off for index scan vs table scan on PostgreSQL."""
+
+from repro.analysis import sec5
+
+
+def test_sec5_dvfs_tradeoff(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: sec5(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

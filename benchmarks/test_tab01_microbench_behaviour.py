@@ -1,0 +1,9 @@
+"""Table 1: runtime behaviour of the micro-benchmarks (BLI, miss rates, IPC)."""
+
+from repro.analysis import tab01
+
+
+def test_tab01_microbench_behaviour(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: tab01(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Table 2: per-micro-operation energy at P-states 36/24/12."""
+
+from repro.analysis import tab02
+
+
+def test_tab02_delta_e(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: tab02(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

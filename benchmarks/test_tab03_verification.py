@@ -1,0 +1,9 @@
+"""Table 3: verification accuracy of the calibrated dE_m (paper avg 93.47%)."""
+
+from repro.analysis import tab03
+
+
+def test_tab03_verification(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: tab03(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,9 @@
+"""Table 5: B_mem's energy bottleneck across P-states (stall collapses, time doesn't)."""
+
+from repro.analysis import tab05
+
+
+def test_tab05_memory_bound(benchmark, lab, record_experiment):
+    result = benchmark.pedantic(lambda: tab05(lab), rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.all_checks_pass, result.failed_checks()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Profile the energy of TPC-H queries on the three engine flavours.
+
+Reproduces the heart of the paper's §3: the L1D cache load/store energy
+dominates the Active energy of read queries, across PostgreSQL-,
+SQLite-, and MySQL-like engines (Figure 7's finding).
+
+Run:  python examples/profile_database.py [query_number ...]
+"""
+
+import sys
+
+from repro import Machine, intel_i7_4790
+from repro.core import calibrate, profile_workload, render_breakdown_bar
+from repro.db import Database, engine_profile
+from repro.workloads.tpch import ALL_QUERY_NUMBERS, TpchData, load_into, run_query
+
+queries = [int(a) for a in sys.argv[1:]] or [1, 3, 6, 13]
+for q in queries:
+    if q not in ALL_QUERY_NUMBERS:
+        raise SystemExit(f"Q{q} is not a TPC-H query (1-22)")
+
+machine = Machine(intel_i7_4790(scale=16))
+print("calibrating ...")
+cal = calibrate(machine)
+data = TpchData("100MB")
+
+for engine in ("postgresql", "sqlite", "mysql"):
+    db = Database(machine, engine_profile(engine), name=engine)
+    load_into(db, data)
+    print(f"\n== {engine} ==")
+    print("  bar: #=L1D  ==Reg2L1D  +=L2  *=L3  M=mem  p=pf  .=stall  ' '=other")
+    for number in queries:
+        workload = lambda number=number: run_query(db, number)
+        profile = profile_workload(
+            machine, f"Q{number}", workload, cal.delta_e,
+            background=cal.background, warmup=workload,
+        )
+        b = profile.breakdown
+        print(
+            f"  Q{number:<2} {render_breakdown_bar(b)} "
+            f"L1D+st {b.l1d_share_pct:4.1f}%  "
+            f"movement {b.data_movement_share_pct:4.1f}%  "
+            f"E_active {b.active_energy_j:.2e} J"
+        )

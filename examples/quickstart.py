@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: calibrate per-micro-operation energies and verify them.
+
+Reproduces the paper's §2 pipeline end to end on a scaled-down machine:
+
+1. build a simulated i7-4790,
+2. run the micro-benchmark set MBS and solve dE_m (Table 2's column),
+3. run the verification set VMBS and score the model (Table 3),
+4. break one arbitrary workload down along Eq. (1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, intel_i7_4790
+from repro.core import (
+    calibrate,
+    profile_workload,
+    render_breakdown_bar,
+    render_delta_e,
+    render_microbench_behaviour,
+    render_verification,
+    verify,
+)
+
+# A 16x-scaled machine keeps this demo to a few seconds; drop scale for
+# full-size caches.
+machine = Machine(intel_i7_4790(scale=16))
+
+print("== calibrating dE_m from the micro-benchmark set ==")
+cal = calibrate(machine)
+print(render_microbench_behaviour(cal.results))
+print()
+print(render_delta_e({cal.pstate: cal.delta_e.nanojoules()}))
+print()
+
+print("== verifying against the composite benchmarks ==")
+report = verify(machine, cal.delta_e, background=cal.background)
+print(render_verification(report))
+print()
+
+print("== breaking down an arbitrary workload ==")
+
+# Any callable that drives the machine can be profiled.  Here: a tiny
+# pointer-chasing loop mixed with arithmetic.
+region = machine.address_space.alloc_lines(4096, "demo")
+
+
+def demo_workload() -> None:
+    for i in range(0, 4096, 3):
+        machine.load(region.line(i % 4096), dependent=True)
+        machine.add(4)
+
+
+profile = profile_workload(
+    machine, "demo", demo_workload, cal.delta_e, background=cal.background
+)
+shares = profile.breakdown.shares_pct()
+print(f"Active energy: {profile.breakdown.active_energy_j:.2e} J")
+print(f"breakdown bar: {render_breakdown_bar(profile.breakdown)}")
+for name, share in shares.items():
+    print(f"  {name:<10} {share:5.1f}%")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Run ad-hoc SQL against the instrumented engine and see where the
+energy goes, statement by statement.
+
+This is the "downstream user" view of the library: load data once, then
+issue SELECTs through the SQL front-end while the profiler attributes
+every nanojoule to a micro-operation class.
+
+Run:  python examples/sql_energy.py
+"""
+
+from repro import Machine, intel_i7_4790
+from repro.core import calibrate, profile_workload, render_breakdown_bar
+from repro.db import Database, sqlite_like
+from repro.workloads.tpch import TpchData, load_into
+
+STATEMENTS = [
+    # a selective scan
+    "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10",
+    # a join + aggregation
+    """
+    SELECT n_name, SUM(o_totalprice) AS volume
+    FROM orders, customer, nation
+    WHERE o_custkey = c_custkey AND c_nationkey = n_nationkey
+    GROUP BY n_name ORDER BY volume DESC LIMIT 5
+    """,
+    # a date-ranged revenue query (Q6-shaped)
+    """
+    SELECT SUM(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'
+      AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+    """,
+    # string matching + grouping
+    """
+    SELECT l_shipmode, COUNT(*) AS n
+    FROM lineitem WHERE l_shipinstruct LIKE 'DELIVER%'
+    GROUP BY l_shipmode ORDER BY n DESC
+    """,
+]
+
+machine = Machine(intel_i7_4790(scale=16))
+print("calibrating the energy model ...")
+cal = calibrate(machine)
+
+db = Database(machine, sqlite_like(), name="sqlshell")
+load_into(db, TpchData("100MB"))
+
+for text in STATEMENTS:
+    sql = " ".join(text.split())
+    workload = lambda sql=sql: db.sql(sql)
+    rows = workload()  # also serves as warm-up
+    profile = profile_workload(
+        machine, sql[:40], workload, cal.delta_e, background=cal.background
+    )
+    b = profile.breakdown
+    print(f"\nsql> {sql}")
+    for row in rows[:5]:
+        print(f"     {row}")
+    if len(rows) > 5:
+        print(f"     ... ({len(rows)} rows)")
+    print(f"     energy {b.active_energy_j:.2e} J over {profile.busy_s:.2e} s"
+          f"  |  L1D+store share {b.l1d_share_pct:.1f}%")
+    print(f"     {render_breakdown_bar(b)}")

@@ -1,0 +1,40 @@
+"""repro - reproduction of "Micro Analysis to Enable Energy-Efficient
+Database Systems" (EDBT 2020).
+
+The public API is organised in layers:
+
+* :mod:`repro.sim` - simulated measurement platform (CPU, caches, RAPL,
+  DVFS, disk, TCM);
+* :mod:`repro.micro` - the paper's section-2 micro-benchmark sets (MBS, VMBS);
+* :mod:`repro.core` - the contribution: calibration of per-micro-op
+  energy, Busy-CPU energy breakdown, verification, profiling;
+* :mod:`repro.db` - the mini relational engine with PostgreSQL-, SQLite-
+  and MySQL-like profiles;
+* :mod:`repro.workloads` - TPC-H, the 7 basic query operations, and the
+  CPU2006-like kernels;
+* :mod:`repro.tcm` - the section-4 DTCM proof-of-concept;
+* :mod:`repro.analysis` - one callable per paper table/figure.
+"""
+
+from repro.config import (
+    CacheConfig,
+    MachineConfig,
+    arm1176jzf_s,
+    intel_i7_4790,
+    tiny_arm,
+    tiny_intel,
+)
+from repro.sim.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "arm1176jzf_s",
+    "intel_i7_4790",
+    "tiny_arm",
+    "tiny_intel",
+    "Machine",
+    "__version__",
+]

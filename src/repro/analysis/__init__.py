@@ -1,0 +1,49 @@
+"""Experiment registry: one callable per paper table/figure, plus
+ablations of the reproduction's own design choices."""
+
+from repro.analysis.ablations import (
+    ABLATIONS,
+    ablation_cache_scale,
+    ablation_instruction_mix,
+    ablation_noise,
+    ablation_prefetcher,
+)
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    PAPER_PSTATES,
+    ExperimentResult,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    ext_nosql,
+    ext_writes,
+    fig13,
+    sec5,
+    tab01,
+    tab02,
+    tab03,
+    tab05,
+)
+from repro.analysis.lab import ENGINE_ORDER, Lab, LabConfig, SWEEP_QUERIES
+from repro.analysis.svg import experiment_to_svg, stacked_bar_svg
+
+__all__ = [
+    "ABLATIONS",
+    "ablation_cache_scale",
+    "ablation_instruction_mix",
+    "ablation_noise",
+    "ablation_prefetcher",
+    "EXPERIMENTS",
+    "PAPER_PSTATES",
+    "ExperimentResult",
+    "ext_nosql",
+    "ext_writes",
+    "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13",
+    "sec5", "tab01", "tab02", "tab03", "tab05",
+    "ENGINE_ORDER", "Lab", "LabConfig", "SWEEP_QUERIES",
+    "experiment_to_svg", "stacked_bar_svg",
+]

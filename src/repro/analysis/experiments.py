@@ -1,0 +1,795 @@
+"""One callable per paper table/figure (the per-experiment index of
+DESIGN.md §4).
+
+Each function takes a :class:`~repro.analysis.lab.Lab` and returns an
+:class:`ExperimentResult` whose ``text`` is the regenerated table/series
+and whose ``data``/``checks`` carry the structured values and the shape
+assertions from DESIGN.md §5 — the benchmark harness prints the former
+and the tests assert the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.lab import ENGINE_ORDER, Lab, SWEEP_QUERIES
+from repro.core.accuracy import verify
+from repro.core.breakdown import price_counters
+from repro.core.model import EnergyBreakdown, sum_breakdowns
+from repro.core.report import (
+    render_breakdown_rows,
+    render_delta_e,
+    render_microbench_behaviour,
+    render_table,
+    render_verification,
+)
+from repro.micro.runner import RuntimeConfig, run_microbenchmark
+from repro.tcm.poc import run_poc
+from repro.workloads.basic_ops import BASIC_OPERATIONS, run_basic_operation
+from repro.workloads.cpu2006 import CPU2006_WORKLOADS, run_kernel
+from repro.workloads.tpch import ALL_QUERY_NUMBERS, run_query
+
+#: The paper's three Table 2 / Figure 11 P-states.
+PAPER_PSTATES = (36, 24, 12)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus its shape checks."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict
+    checks: dict = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+# ------------------------------------------------------------------ Table 1
+
+def tab01(lab: Optional[Lab] = None) -> ExperimentResult:
+    """Table 1: runtime behaviour of the micro-benchmarks."""
+    lab = lab or Lab()
+    cal = lab.calibration()
+    results = cal.results
+    data = {
+        name: {
+            "bli_pct": r.bli_pct,
+            "ipc": r.ipc,
+            "l1d_miss_pct": r.l1d_miss_pct,
+            "l2_miss_pct": r.l2_miss_pct,
+            "l3_miss_pct": r.l3_miss_pct,
+        }
+        for name, r in results.items()
+    }
+    checks = {
+        "array_ipc_near_2": 1.7 <= data["B_L1D_array"]["ipc"] <= 2.1,
+        "list_ipc_near_quarter": 0.2 <= data["B_L1D_list"]["ipc"] <= 0.3,
+        "mem_ipc_tiny": data["B_mem"]["ipc"] < 0.05,
+        "store_ipc_near_1": 0.9 <= data["B_Reg2L1D"]["ipc"] <= 1.1,
+        "nop_ipc_near_4": 3.5 <= data["B_nop"]["ipc"] <= 4.1,
+        "bli_high": all(v["bli_pct"] > 90 for v in data.values()),
+        "l1d_list_stays_in_l1": data["B_L1D_list"]["l1d_miss_pct"] < 1.0,
+        "l2_chain_misses_l1": data["B_L2"]["l1d_miss_pct"] > 95.0,
+        "mem_chain_misses_l3": data["B_mem"]["l3_miss_pct"] > 90.0,
+    }
+    return ExperimentResult(
+        "tab01", "Runtime behaviors of micro-benchmarks",
+        render_microbench_behaviour(results), data, checks,
+    )
+
+
+# ------------------------------------------------------------------ Table 2
+
+def tab02(lab: Optional[Lab] = None,
+          pstates: tuple = PAPER_PSTATES) -> ExperimentResult:
+    """Table 2: dE_m at P-states 36 / 24 / 12."""
+    lab = lab or Lab()
+    per_pstate = {
+        p: lab.calibration(p).delta_e.nanojoules() for p in pstates
+    }
+    hi, mid, lo = pstates
+    de_hi, de_lo = per_pstate[hi], per_pstate[lo]
+    checks = {
+        # strict ordering at the reference P-state
+        "order_l1d_lt_store": de_hi["dE_L1D"] < de_hi["dE_Reg2L1D"],
+        "order_store_lt_l2": de_hi["dE_Reg2L1D"] < de_hi["dE_L2"],
+        "order_l2_lt_l3": de_hi["dE_L2"] < de_hi["dE_L3"],
+        "order_l3_ll_mem": de_hi["dE_L3"] * 5 < de_hi["dE_mem"],
+        # voltage scaling: L1D drops hard, mem barely (Table 2 pattern)
+        "l1d_drops_hard": de_lo["dE_L1D"] < de_hi["dE_L1D"] * 0.6,
+        "mem_barely_drops": de_lo["dE_mem"] > de_hi["dE_mem"] * 0.85,
+        # monotone in P-state for the core-located operations
+        "l1d_monotone": (de_hi["dE_L1D"] > per_pstate[mid]["dE_L1D"]
+                         > de_lo["dE_L1D"]),
+        "stall_monotone": (de_hi["dE_stall"] > per_pstate[mid]["dE_stall"]
+                           > de_lo["dE_stall"]),
+    }
+    return ExperimentResult(
+        "tab02", "Energy cost of micro-operations per P-state",
+        render_delta_e(per_pstate),
+        {str(p): v for p, v in per_pstate.items()},
+        checks,
+    )
+
+
+# ------------------------------------------------------------------ Table 3
+
+def tab03(lab: Optional[Lab] = None) -> ExperimentResult:
+    """Table 3: verification accuracy of dE_m (paper avg 93.47%)."""
+    lab = lab or Lab()
+    cal = lab.calibration()
+    report = verify(lab.machine, cal.delta_e, background=cal.background)
+    data = {
+        row.name: {"measured_j": row.measured_j, "estimated_j": row.estimated_j,
+                   "accuracy_pct": row.accuracy_pct}
+        for row in report.rows
+    }
+    data["average_accuracy_pct"] = report.average_accuracy_pct
+    checks = {
+        "average_accuracy_ge_90": report.average_accuracy_pct >= 90.0,
+        "every_row_ge_80": all(r.accuracy_pct >= 80.0 for r in report.rows),
+        "covers_7_benchmarks": len(report.rows) == 7,
+    }
+    return ExperimentResult(
+        "tab03", "Verification accuracy of dE_m",
+        render_verification(report), data, checks,
+    )
+
+
+# ------------------------------------------------------------------ Figure 5
+
+def fig05(lab: Optional[Lab] = None,
+          queries: tuple = ALL_QUERY_NUMBERS,
+          runs_per_query: int = 3) -> ExperimentResult:
+    """Figure 5: query-count distribution over %P-state-36 residency.
+
+    EIST is on and each query starts from an idle machine (the governor
+    has ramped down between statements, like a real interactive
+    session); the paper then samples the runtime P-state while the
+    query repeats.  Long queries spend almost all their time at the top
+    P-state once the governor ramps up; short ones finish at lower
+    states — producing the paper's distribution with a dominant 100%
+    bucket and a spread below it.
+
+    The governor epoch is scaled down with the queries (the paper
+    samples 100 ms epochs against multi-second queries; the simulated
+    queries are milliseconds long).
+    """
+    from repro.sim.dvfs import EistGovernor
+
+    lab = lab or Lab()
+    machine = lab.machine
+    top = machine.config.pstates.highest
+    buckets = (20, 40, 60, 80, 100)
+    histogram = {engine: {b: 0 for b in buckets} for engine in ENGINE_ORDER}
+    fractions = {engine: {} for engine in ENGINE_ORDER}
+    governor = EistGovernor(table=machine.config.pstates,
+                            epoch_seconds=0.0004)
+    for engine in ENGINE_ORDER:
+        db = lab.database(engine)
+        for number in queries:
+            run_query(db, number)  # warm caches (steady state)
+            machine.enable_eist(governor)
+            machine.idle(governor.epoch_seconds * 50)  # session think time
+            machine.settle()
+            machine.residency.reset()
+            for _ in range(runs_per_query):
+                run_query(db, number)
+            machine.settle()
+            machine.disable_eist()
+            busy = machine.residency
+            frac = 100.0 * busy.fraction_at(top)
+            fractions[engine][number] = frac
+            for bucket in buckets:
+                if frac <= bucket + 1e-9:
+                    histogram[engine][bucket] += 1
+                    break
+    rows = [
+        [f"<= {b}%"] + [histogram[e][b] for e in ENGINE_ORDER]
+        for b in buckets
+    ]
+    text = render_table(
+        ["%P-state-36 bucket"] + list(ENGINE_ORDER), rows,
+        title="Figure 5: query count by top-P-state residency (EIST on)",
+    )
+    top_bucket_counts = {e: histogram[e][100] for e in ENGINE_ORDER}
+    checks = {
+        # Most queries lean on the top P-state (the paper's finding).
+        "top_bucket_dominates": all(
+            top_bucket_counts[e] >= len(queries) // 2 for e in ENGINE_ORDER
+        ),
+        "some_spread_exists": any(
+            sum(h[b] for b in buckets[:-1]) > 0 for h in histogram.values()
+        ),
+    }
+    return ExperimentResult(
+        "fig05", "P-state residency distribution",
+        text, {"histogram": histogram, "fractions": fractions}, checks,
+    )
+
+
+# ------------------------------------------------------------------ Figure 6
+
+def fig06(lab: Optional[Lab] = None) -> ExperimentResult:
+    """Figure 6: Active-energy breakdown of the 7 basic operations."""
+    lab = lab or Lab()
+    data: dict = {}
+    texts = []
+    for engine in ENGINE_ORDER:
+        db = lab.database(engine)
+        breakdowns = {}
+        for op in BASIC_OPERATIONS:
+            profile = lab.profile_callable(
+                f"{engine}/{op}", lambda op=op: run_basic_operation(db, op)
+            )
+            breakdowns[op] = profile.breakdown
+        data[engine] = {
+            op: b.shares_pct() | {
+                "l1d_share_pct": b.l1d_share_pct,
+                "movement_share_pct": b.data_movement_share_pct,
+            }
+            for op, b in breakdowns.items()
+        }
+        texts.append(render_breakdown_rows(
+            breakdowns, f"Figure 6 — basic operations ({engine})"
+        ))
+    avg = {
+        engine: sum(v["l1d_share_pct"] for v in ops.values()) / len(ops)
+        for engine, ops in data.items()
+    }
+    checks = {
+        # The headline: L1D load/store is the bottleneck, 39-67%.
+        "l1d_share_in_paper_band": all(
+            30.0 <= share <= 75.0 for share in avg.values()
+        ),
+        "sqlite_highest": avg["sqlite"] >= max(avg["postgresql"], avg["mysql"]),
+        "mysql_highest_other": all(
+            _avg_component(data["mysql"], "E_other")
+            >= _avg_component(data[e], "E_other")
+            for e in ("postgresql", "sqlite")
+        ),
+        "index_scan_stalls_more": all(
+            data[e]["index_scan"]["E_stall"] >= data[e]["table_scan"]["E_stall"]
+            for e in ENGINE_ORDER
+        ),
+    }
+    return ExperimentResult(
+        "fig06", "Breakdown of basic query operations",
+        "\n\n".join(texts), data, checks,
+    )
+
+
+def _avg_component(per_op: dict, component: str) -> float:
+    return sum(v[component] for v in per_op.values()) / len(per_op)
+
+
+# ------------------------------------------------------------------ Figure 7
+
+def fig07(lab: Optional[Lab] = None,
+          queries: tuple = ALL_QUERY_NUMBERS) -> ExperimentResult:
+    """Figure 7: breakdown of the TPC-H queries per engine."""
+    lab = lab or Lab()
+    data: dict = {}
+    texts = []
+    for engine in ENGINE_ORDER:
+        breakdowns = {}
+        for number in queries:
+            profile = lab.profile_query(engine, number)
+            breakdowns[f"Q{number}"] = profile.breakdown
+        data[engine] = {
+            name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct,
+                                    "movement_share_pct": b.data_movement_share_pct}
+            for name, b in breakdowns.items()
+        }
+        texts.append(render_breakdown_rows(
+            breakdowns, f"Figure 7 — TPC-H ({engine})"
+        ))
+    avg_l1d = {
+        e: sum(v["l1d_share_pct"] for v in qs.values()) / len(qs)
+        for e, qs in data.items()
+    }
+    avg_movement = {
+        e: sum(v["movement_share_pct"] for v in qs.values()) / len(qs)
+        for e, qs in data.items()
+    }
+    share_above_40 = sum(
+        1 for qs in data.values() for v in qs.values()
+        if v["l1d_share_pct"] > 40.0
+    ) / max(1, sum(len(qs) for qs in data.values()))
+    checks = {
+        "l1d_share_band": all(30.0 <= s <= 75.0 for s in avg_l1d.values()),
+        "sqlite_highest": avg_l1d["sqlite"] >= max(avg_l1d["postgresql"],
+                                                   avg_l1d["mysql"]),
+        "movement_majority": all(s >= 50.0 for s in avg_movement.values()),
+        # Paper: 76% of queries have L1D share > 40%.
+        "most_queries_above_40pct": share_above_40 >= 0.5,
+    }
+    return ExperimentResult(
+        "fig07", "Breakdown of TPC-H queries",
+        "\n\n".join(texts),
+        data | {"avg_l1d_share": avg_l1d, "avg_movement_share": avg_movement},
+        checks,
+    )
+
+
+# --------------------------------------------------------------- Figures 8/9
+
+def _average_query_breakdown(lab: Lab, engine: str, setting: str, tier: str,
+                             queries: tuple) -> EnergyBreakdown:
+    parts = []
+    for number in queries:
+        profile = lab.profile_query(engine, number, setting=setting, tier=tier)
+        parts.append(profile.breakdown)
+    return sum_breakdowns(parts)
+
+
+def fig08(lab: Optional[Lab] = None,
+          tiers: tuple = ("100MB", "500MB", "1GB"),
+          queries: tuple = SWEEP_QUERIES) -> ExperimentResult:
+    """Figure 8: impact of data size on the average TPC-H breakdown."""
+    lab = lab or Lab()
+    breakdowns = {}
+    for engine in ENGINE_ORDER:
+        for tier in tiers:
+            breakdowns[f"{engine}-{tier}"] = _average_query_breakdown(
+                lab, engine, lab.config.setting, tier, queries
+            )
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    checks = _invariance_checks(data, ENGINE_ORDER, tiers)
+    return ExperimentResult(
+        "fig08", "Impact of data size",
+        render_breakdown_rows(breakdowns, "Figure 8 — data size sweep"),
+        data, checks,
+    )
+
+
+def fig09(lab: Optional[Lab] = None,
+          settings: tuple = ("small", "baseline", "large"),
+          queries: tuple = SWEEP_QUERIES) -> ExperimentResult:
+    """Figure 9: impact of the Table 4 knob settings."""
+    lab = lab or Lab()
+    breakdowns = {}
+    for engine in ENGINE_ORDER:
+        for setting in settings:
+            breakdowns[f"{engine}-{setting}"] = _average_query_breakdown(
+                lab, engine, setting, lab.config.tier, queries
+            )
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    checks = _invariance_checks(data, ENGINE_ORDER, settings)
+    return ExperimentResult(
+        "fig09", "Impact of database knob settings",
+        render_breakdown_rows(breakdowns, "Figure 9 — knob setting sweep"),
+        data, checks,
+    )
+
+
+def _invariance_checks(data: dict, engines: tuple, variants: tuple) -> dict:
+    """Figures 8/9/11's finding: the distribution barely moves."""
+    checks = {}
+    for engine in engines:
+        shares = [data[f"{engine}-{v}"]["l1d_share_pct"] for v in variants]
+        checks[f"{engine}_l1d_share_stable"] = max(shares) - min(shares) <= 15.0
+        checks[f"{engine}_l1d_share_dominant"] = min(shares) >= 30.0
+    return checks
+
+
+# ----------------------------------------------------------------- Figure 10
+
+def fig10(lab: Optional[Lab] = None, ops: int = 120_000) -> ExperimentResult:
+    """Figure 10: CPU2006-like kernels — the contrast case."""
+    lab = lab or Lab()
+    breakdowns = {}
+    for name in CPU2006_WORKLOADS:
+        profile = lab.profile_callable(
+            f"cpu2006/{name}",
+            lambda name=name: run_kernel(lab.machine, name, ops),
+        )
+        breakdowns[name] = profile.breakdown
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    shares = {name: v["l1d_share_pct"] for name, v in data.items()}
+    below_40 = sum(1 for s in shares.values() if s < 40.0)
+    checks = {
+        # Paper: only ~11% of CPU2006 exceeds 40% L1D share.
+        "mostly_below_40pct": below_40 >= len(shares) - 2,
+        "mcf_extreme_low": shares["mcf"] <= 12.0,
+        "libquantum_low": shares["libquantum"] <= 20.0,
+        "diverse_profiles": max(shares.values()) - min(shares.values()) >= 20.0,
+    }
+    return ExperimentResult(
+        "fig10", "Breakdown of CPU2006-like workloads",
+        render_breakdown_rows(breakdowns, "Figure 10 — CPU2006 contrast"),
+        data, checks,
+    )
+
+
+# ----------------------------------------------------------------- Figure 11
+
+def fig11(lab: Optional[Lab] = None,
+          pstates: tuple = PAPER_PSTATES,
+          queries: tuple = SWEEP_QUERIES) -> ExperimentResult:
+    """Figure 11: impact of the P-state on the breakdown (and E_active)."""
+    lab = lab or Lab()
+    breakdowns = {}
+    actives = {}
+    for engine in ENGINE_ORDER:
+        for pstate in pstates:
+            parts = [
+                lab.profile_query(engine, n, pstate=pstate).breakdown
+                for n in queries
+            ]
+            total = sum_breakdowns(parts)
+            breakdowns[f"{engine}-P{pstate}"] = total
+            actives[(engine, pstate)] = total.active_energy_j
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    hi, mid, lo = pstates
+    reduction_mid = {
+        e: 100.0 * (1 - actives[(e, mid)] / actives[(e, hi)])
+        for e in ENGINE_ORDER
+    }
+    reduction_lo = {
+        e: 100.0 * (1 - actives[(e, lo)] / actives[(e, hi)])
+        for e in ENGINE_ORDER
+    }
+    checks = _invariance_checks(
+        data, ENGINE_ORDER, tuple(f"P{p}" for p in pstates)
+    )
+    # Paper: E_active drops 32%±2% at P24 and 51%±1% at P12.
+    checks["eactive_drops_at_mid"] = all(
+        15.0 <= r <= 45.0 for r in reduction_mid.values()
+    )
+    checks["eactive_drops_more_at_lo"] = all(
+        reduction_lo[e] > reduction_mid[e] for e in ENGINE_ORDER
+    )
+    data["eactive_reduction_pct"] = {
+        f"P{mid}": reduction_mid, f"P{lo}": reduction_lo,
+    }
+    return ExperimentResult(
+        "fig11", "Impact of CPU frequency and voltage",
+        render_breakdown_rows(breakdowns, "Figure 11 — P-state sweep")
+        + "\n\nE_active reduction vs P36: "
+        + ", ".join(
+            f"{e}: P{mid} -{reduction_mid[e]:.0f}% / P{lo} -{reduction_lo[e]:.0f}%"
+            for e in ENGINE_ORDER
+        ),
+        data, checks,
+    )
+
+
+# ------------------------------------------------------------------ Table 5
+
+def tab05(lab: Optional[Lab] = None,
+          pstates: tuple = PAPER_PSTATES) -> ExperimentResult:
+    """Table 5: B_mem's energy bottleneck across P-states.
+
+    The stall energy falls ultra-linearly with the P-state while the
+    elapsed time barely moves — the §5 memory-bound opportunity.
+    """
+    lab = lab or Lab()
+    machine = lab.machine
+    rows = []
+    data = {}
+    for pstate in pstates:
+        cal = lab.calibration(pstate)
+        result = run_microbenchmark(
+            machine, "B_mem", background=cal.background,
+            runtime=RuntimeConfig(pstate=pstate),
+        )
+        b = price_counters(
+            result.measurement.counters, cal.delta_e,
+            result.measurement.active_energy_j,
+        )
+        shares = b.shares_pct()
+        data[str(pstate)] = {
+            "e_mem_j": b.e_mem, "e_stall_j": b.e_stall,
+            "e_active_j": b.active_energy_j,
+            "mem_pct": shares["E_mem"], "stall_pct": shares["E_stall"],
+            "busy_s": result.measurement.busy_s,
+        }
+        rows.append([
+            f"P-state {pstate}", b.e_mem, shares["E_mem"],
+            b.e_stall, shares["E_stall"], b.active_energy_j,
+            result.measurement.busy_s,
+        ])
+    text = render_table(
+        ["", "E_mem (J)", "E_mem %", "E_stall (J)", "E_stall %",
+         "E_active (J)", "busy (s)"],
+        rows, title="Table 5: B_mem bottleneck vs P-state",
+    )
+    hi, mid, lo = (data[str(p)] for p in pstates)
+    perf_loss_mid = (mid["busy_s"] - hi["busy_s"]) / hi["busy_s"] * 100.0
+    saving_mid = (1 - mid["e_active_j"] / hi["e_active_j"]) * 100.0
+    data["perf_loss_p24_pct"] = perf_loss_mid
+    data["eactive_saving_p24_pct"] = saving_mid
+    checks = {
+        "stall_dominates_at_top": hi["stall_pct"] >= 60.0,
+        "stall_share_falls": hi["stall_pct"] > mid["stall_pct"] > lo["stall_pct"],
+        "mem_share_rises": lo["mem_pct"] > hi["mem_pct"] * 1.5,
+        # Paper: 7% perf loss buys 46% E_active saving at P24.
+        "small_perf_loss": perf_loss_mid <= 20.0,
+        "large_energy_saving": saving_mid >= 30.0,
+    }
+    return ExperimentResult(
+        "tab05", "Memory-bound energy bottleneck vs P-state", text, data, checks,
+    )
+
+
+# ----------------------------------------------------------------- Figure 13
+
+def fig13(lab: Optional[Lab] = None,
+          queries: tuple = ALL_QUERY_NUMBERS) -> ExperimentResult:
+    """Figure 13: the DTCM proof-of-concept on the ARM preset."""
+    seed = lab.config.seed if lab is not None else 0
+    poc = run_poc(queries=queries, seed=seed)
+    rows = [
+        [f"Q{c.number}", c.energy_saving_pct, c.perf_improvement_pct]
+        for c in poc.comparisons
+    ]
+    rows.append(["average", poc.average_energy_saving_pct,
+                 poc.average_perf_improvement_pct])
+    text = render_table(
+        ["Query", "Energy saving %", "Perf improvement %"], rows,
+        title=(
+            "Figure 13: DTCM co-design on ARM1176JZF-S "
+            f"(peak saving {poc.peak_saving_pct:.1f}%, achieved "
+            f"{poc.fraction_of_peak_pct:.0f}% of peak)"
+        ),
+    )
+    data = {
+        "per_query": {
+            c.number: {"energy_saving_pct": c.energy_saving_pct,
+                       "perf_improvement_pct": c.perf_improvement_pct}
+            for c in poc.comparisons
+        },
+        "peak_saving_pct": poc.peak_saving_pct,
+        "average_energy_saving_pct": poc.average_energy_saving_pct,
+        "average_perf_improvement_pct": poc.average_perf_improvement_pct,
+        "fraction_of_peak_pct": poc.fraction_of_peak_pct,
+        "queries_improved_pct": poc.queries_improved_pct,
+    }
+    checks = {
+        "peak_near_10pct": 8.0 <= poc.peak_saving_pct <= 12.0,
+        "avg_saving_positive": poc.average_energy_saving_pct > 3.0,
+        "achieves_majority_of_peak": poc.fraction_of_peak_pct >= 40.0,
+        "no_energy_regression": all(
+            c.energy_saving_pct > -1.0 for c in poc.comparisons
+        ),
+        "perf_improves_on_average": poc.average_perf_improvement_pct > 0.0,
+        "most_queries_improve": poc.queries_improved_pct >= 50.0,
+    }
+    return ExperimentResult(
+        "fig13", "DTCM proof-of-concept", text, data, checks,
+    )
+
+
+# ----------------------------------------------------------------- Section 5
+
+def sec5(lab: Optional[Lab] = None, tier: str = "500MB") -> ExperimentResult:
+    """§5's DVFS trade-off: index scan vs table scan at P36 -> P24.
+
+    The paper: PostgreSQL's index scan trades 20% performance for 27%
+    E_active (efficiency +10%), its table scan trades 30% for 28%
+    (efficiency -3%) — so a customised DVFS policy should downclock
+    memory-bound (index-intensive) plans only.
+    """
+    lab = lab or Lab()
+    data = {}
+    for op in ("table_scan", "index_scan"):
+        per_pstate = {}
+        for pstate in (36, 24):
+            db = lab.database("postgresql", tier=tier)
+            profile = lab.profile_callable(
+                f"pg/{op}/P{pstate}",
+                lambda op=op, db=db: run_basic_operation(db, op),
+                pstate=pstate,
+            )
+            per_pstate[pstate] = {
+                "busy_s": profile.busy_s,
+                "e_active_j": profile.breakdown.active_energy_j,
+            }
+        hi, mid = per_pstate[36], per_pstate[24]
+        perf_loss = (mid["busy_s"] - hi["busy_s"]) / hi["busy_s"] * 100.0
+        saving = (1 - mid["e_active_j"] / hi["e_active_j"]) * 100.0
+        eff_hi = 1.0 / (hi["busy_s"] * hi["e_active_j"])
+        eff_mid = 1.0 / (mid["busy_s"] * mid["e_active_j"])
+        data[op] = {
+            "perf_loss_pct": perf_loss,
+            "eactive_saving_pct": saving,
+            "efficiency_change_pct": 100.0 * (eff_mid / eff_hi - 1.0),
+        }
+    rows = [
+        [op, v["perf_loss_pct"], v["eactive_saving_pct"],
+         v["efficiency_change_pct"]]
+        for op, v in data.items()
+    ]
+    text = render_table(
+        ["PostgreSQL scan", "perf loss % (P36->24)", "E_active saving %",
+         "energy-efficiency change %"],
+        rows, title="Section 5: DVFS trade-off, index vs table scan",
+    )
+    checks = {
+        "index_scan_cheaper_downclock": (
+            data["index_scan"]["perf_loss_pct"]
+            < data["table_scan"]["perf_loss_pct"]
+        ),
+        "index_scan_efficiency_wins": (
+            data["index_scan"]["efficiency_change_pct"]
+            > data["table_scan"]["efficiency_change_pct"]
+        ),
+        "both_save_energy": all(
+            v["eactive_saving_pct"] > 10.0 for v in data.values()
+        ),
+    }
+    return ExperimentResult(
+        "sec5", "Memory-bound DVFS trade-off", text, data, checks,
+    )
+
+
+# ------------------------------------------------------- §7 extension
+
+def ext_nosql(lab: Optional[Lab] = None, n_keys: int = 2000,
+              ops: int = 1500) -> ExperimentResult:
+    """§7's future work: the energy distribution of a NoSQL engine.
+
+    Profiles an LSM key-value store (memtable + SSTables + bloom
+    filters) under YCSB-style mixes with the same §2/§3 methodology, and
+    contrasts it with the relational engines: point-lookup-heavy KV
+    workloads are stall/L2/L3-bound (bloom probes and binary searches
+    are pointer chases), so the relational L1D dominance does *not*
+    carry over unchanged — while scan-heavy mixes move back toward it.
+    """
+    from repro.workloads.kvstore import build_store, run_ycsb
+
+    lab = lab or Lab()
+    machine = lab.machine
+    store = build_store(machine, n_keys=n_keys)
+    breakdowns = {}
+    for workload in ("c", "a", "e"):
+        fn = lambda workload=workload: run_ycsb(
+            machine, store, workload, ops=ops, n_keys=n_keys
+        )
+        profile = lab.profile_callable(f"ycsb-{workload}", fn)
+        breakdowns[f"ycsb-{workload}"] = profile.breakdown
+    # A relational reference point measured identically.
+    db = lab.database("sqlite")
+    reference = lab.profile_callable(
+        "sqlite/table_scan",
+        lambda: run_basic_operation(db, "table_scan"),
+    )
+    breakdowns["sqlite-table-scan"] = reference.breakdown
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    checks = {
+        "kv_point_reads_stall_bound": (
+            data["ycsb-c"]["E_stall"] > data["sqlite-table-scan"]["E_stall"]
+        ),
+        "kv_l1d_share_below_relational": (
+            data["ycsb-c"]["l1d_share_pct"]
+            < data["sqlite-table-scan"]["l1d_share_pct"]
+        ),
+        "scans_more_l1d_than_point_reads": (
+            data["ycsb-e"]["l1d_share_pct"] > data["ycsb-c"]["l1d_share_pct"]
+        ),
+    }
+    return ExperimentResult(
+        "ext_nosql", "NoSQL (LSM) energy distribution — §7 future work",
+        render_breakdown_rows(breakdowns,
+                              "Extension: YCSB on an LSM store vs SQLite"),
+        data, checks,
+    )
+
+
+def ext_writes(lab: Optional[Lab] = None, n_rows: int = 1200) -> ExperimentResult:
+    """§2.3's deferred question: where does *write* energy go?
+
+    The paper restricts itself to read queries and notes that writes
+    "may involve more micro-operations about writing".  This experiment
+    takes the step: the same breakdown applied to INSERT-, UPDATE-, and
+    DELETE-heavy workloads on each engine, contrasted with a read query.
+    Expectation: the store share (E_Reg2L1D) rises and write-backs of
+    dirty lines appear, but L1D load/store stays the bottleneck — the
+    write path runs through the same interpreter and B-trees.
+    """
+    from repro.db.exprs import Col, Const
+    from repro.db.types import Column, FLOAT, INT, Schema
+
+    lab = lab or Lab()
+    machine = lab.machine
+    cal = lab.calibration()
+    schema = Schema([Column("k", INT), Column("v", FLOAT), Column("g", INT)])
+    breakdowns = {}
+    writebacks = {}
+    from repro.core.profiler import profile_workload
+    from repro.db.engine import Database
+    from repro.db.profiles import engine_profile
+
+    for engine in ENGINE_ORDER:
+        db = Database(machine, engine_profile(engine), name=f"w-{engine}")
+        db.create_table(
+            "t", schema,
+            [(i, float(i), i % 7) for i in range(n_rows)],
+            primary_key="k", indexes=["g"],
+        )
+        next_key = [n_rows]
+
+        def insert_heavy():
+            base = next_key[0]
+            db.insert("t", [(base + i, float(i), i % 7)
+                            for i in range(n_rows // 4)])
+            next_key[0] = base + n_rows // 4
+
+        def update_heavy():
+            db.update("t", {"v": Col("v") + Const(1.0)},
+                      Col("g") < Const(4))
+
+        workloads = {"insert": insert_heavy, "update": update_heavy}
+        for kind, fn in workloads.items():
+            profile = profile_workload(
+                machine, f"{engine}/{kind}", fn, cal.delta_e,
+                background=cal.background, pstate=cal.pstate,
+            )
+            breakdowns[f"{engine}-{kind}"] = profile.breakdown
+            writebacks[f"{engine}-{kind}"] = profile.counters.n_writeback
+    data = {
+        name: b.shares_pct() | {"l1d_share_pct": b.l1d_share_pct}
+        for name, b in breakdowns.items()
+    }
+    data["writebacks"] = writebacks
+    checks = {
+        "writes_still_l1d_bound": all(
+            v["l1d_share_pct"] > 30.0 for k, v in data.items()
+            if k != "writebacks"
+        ),
+        "store_share_substantial": all(
+            v["E_Reg2L1D"] > 15.0 for k, v in data.items()
+            if k != "writebacks"
+        ),
+        "dirty_writebacks_appear": any(n > 0 for n in writebacks.values()),
+    }
+    return ExperimentResult(
+        "ext_writes", "Write-query energy distribution — §2.3's open question",
+        render_breakdown_rows(breakdowns,
+                              "Extension: INSERT/UPDATE energy breakdown"),
+        data, checks,
+    )
+
+
+#: Registry used by the benchmark harness and the README.
+EXPERIMENTS = {
+    "tab01": tab01,
+    "tab02": tab02,
+    "tab03": tab03,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "tab05": tab05,
+    "fig13": fig13,
+    "sec5": sec5,
+    "ext_nosql": ext_nosql,
+    "ext_writes": ext_writes,
+}

@@ -1,0 +1,124 @@
+"""Shared experiment infrastructure: machines, calibrations, databases.
+
+Every table/figure function in :mod:`repro.analysis.experiments` takes a
+:class:`Lab`, which memoises the expensive shared state:
+
+* one Intel-preset machine (cache-scaled; see DESIGN.md §2),
+* one calibration per P-state,
+* one loaded database per (engine, knob setting, data tier).
+
+The defaults (``scale=16``, 100MB tier) regenerate every experiment in
+minutes on a laptop; pass a smaller ``scale`` and bigger tier for a
+higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import intel_i7_4790
+from repro.core.calibration import CalibrationResult, calibrate
+from repro.core.model import WorkloadProfile
+from repro.core.profiler import profile_workload
+from repro.db.engine import Database
+from repro.db.profiles import BASELINE, engine_profile
+from repro.sim.machine import Machine
+from repro.workloads.tpch import TpchData, load_into, run_query
+
+#: Engines in the paper's presentation order.
+ENGINE_ORDER = ("postgresql", "sqlite", "mysql")
+
+#: Representative query subset used by the sweep figures (8/9/11) to
+#: keep multi-tier runs tractable; the full 22 remain available via
+#: ``queries=ALL_QUERY_NUMBERS``.  The subset spans scan-heavy (1, 6),
+#: join-heavy (3, 5, 10), aggregate-heavy (13, 18) and index-friendly
+#: (12, 14) shapes.
+SWEEP_QUERIES = (1, 3, 5, 6, 10, 12, 13, 14, 18)
+
+
+@dataclass(frozen=True)
+class LabConfig:
+    """Scale knobs for one experiment session."""
+
+    scale: int = 16
+    tier: str = "100MB"
+    setting: str = BASELINE
+    seed: int = 0
+
+
+class Lab:
+    """Memoised machines, calibrations, and loaded databases."""
+
+    def __init__(self, config: Optional[LabConfig] = None):
+        self.config = config or LabConfig()
+        self._machine: Optional[Machine] = None
+        self._calibrations: dict[int, CalibrationResult] = {}
+        self._databases: dict[tuple, Database] = {}
+        self._datasets: dict[str, TpchData] = {}
+
+    # ------------------------------------------------------------ building
+
+    @property
+    def machine(self) -> Machine:
+        if self._machine is None:
+            self._machine = Machine(
+                intel_i7_4790(scale=self.config.scale), seed=self.config.seed
+            )
+        return self._machine
+
+    def calibration(self, pstate: Optional[int] = None) -> CalibrationResult:
+        machine = self.machine
+        key = machine.config.pstates.highest if pstate is None else pstate
+        if key not in self._calibrations:
+            self._calibrations[key] = calibrate(machine, pstate=key)
+        return self._calibrations[key]
+
+    def dataset(self, tier: Optional[str] = None) -> TpchData:
+        name = tier or self.config.tier
+        if name not in self._datasets:
+            self._datasets[name] = TpchData(name, seed=20200330)
+        return self._datasets[name]
+
+    def database(self, engine: str, setting: Optional[str] = None,
+                 tier: Optional[str] = None) -> Database:
+        setting = setting or self.config.setting
+        tier = tier or self.config.tier
+        key = (engine, setting, tier)
+        if key not in self._databases:
+            profile = engine_profile(engine, setting)
+            db = Database(self.machine, profile,
+                          name=f"{engine}/{setting}/{tier}")
+            load_into(db, self.dataset(tier))
+            self._databases[key] = db
+        return self._databases[key]
+
+    # ------------------------------------------------------------ profiling
+
+    def profile_callable(self, name: str, fn, pstate: Optional[int] = None,
+                         warm: bool = True) -> WorkloadProfile:
+        """Profile an arbitrary workload callable at a pinned P-state.
+
+        The workload runs once as warm-up (the paper averages over many
+        repeated runs, so the steady state is what gets measured) and
+        once measured.
+        """
+        cal = self.calibration(pstate)
+        machine = self.machine
+        machine.disable_eist()
+        return profile_workload(
+            machine, name, fn, cal.delta_e,
+            background=cal.background,
+            pstate=cal.pstate,
+            warmup=fn if warm else None,
+        )
+
+    def profile_query(self, engine: str, number: int,
+                      setting: Optional[str] = None,
+                      tier: Optional[str] = None,
+                      pstate: Optional[int] = None) -> WorkloadProfile:
+        """Profile one TPC-H query on one engine."""
+        db = self.database(engine, setting, tier)
+        return self.profile_callable(
+            f"{engine}/Q{number}", lambda: run_query(db, number), pstate
+        )

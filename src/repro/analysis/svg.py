@@ -1,0 +1,218 @@
+"""Dependency-free SVG renderer for the paper's stacked-bar figures.
+
+The paper's Figures 6–11 are horizontal 100%-stacked bars of the eight
+energy components.  This module renders the same form as standalone SVG
+files, following a fixed visual contract:
+
+* the eight components map to eight categorical hues in a **fixed slot
+  order** (never cycled) from a CVD-validated palette (worst adjacent
+  ΔE 24.2 under protanopia; three light slots sit below 3:1 contrast on
+  the surface, so every figure ships a full legend and the experiment's
+  text table is the accompanying table view);
+* bars are 18px thick with a 2px surface gap between segments and a
+  4px-rounded data end (square at the baseline);
+* text — title, labels, axis, legend — wears ink tokens, never a series
+  hue; each segment carries an SVG ``<title>`` (the native hover
+  tooltip) with its component name and share;
+* one selective direct label per bar: the headline L1D+store share.
+
+Light-surface rendering only: these files are static artefacts for
+reports, not themed UI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.model import BREAKDOWN_COMPONENTS
+
+#: Fixed component -> categorical-slot assignment (order is the CVD
+#: safety mechanism; see module docstring).
+PALETTE = {
+    "E_L1D": "#2a78d6",      # blue
+    "E_Reg2L1D": "#1baf7a",  # aqua
+    "E_L2": "#eda100",       # yellow
+    "E_L3": "#008300",       # green
+    "E_mem": "#4a3aa7",      # violet
+    "E_stall": "#e34948",    # red
+    "E_pf": "#e87ba4",       # magenta
+    "E_other": "#eb6834",    # orange
+}
+
+SURFACE = "#fcfcfb"
+INK_PRIMARY = "#0b0b0b"
+INK_SECONDARY = "#52514e"
+GRID = "#e5e4e0"
+
+_BAR_H = 18
+_ROW_H = 26
+_GAP = 2
+_LABEL_W = 150
+_PLOT_W = 520
+_VALUE_W = 70
+_LEGEND_H = 26
+_TITLE_H = 30
+_AXIS_H = 26
+_FONT = ("font-family='system-ui, -apple-system, Segoe UI, Helvetica, Arial,"
+         " sans-serif'")
+
+
+def _esc(text: str) -> str:
+    """XML-escape for text nodes AND single-quoted attribute values."""
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;")
+            .replace("'", "&apos;"))
+
+
+def _segment(x: float, y: float, width: float, color: str,
+             tooltip: str, last: bool) -> str:
+    """One stacked segment; the final segment gets a rounded data end."""
+    if width <= 0.5:
+        return ""
+    title = f"<title>{_esc(tooltip)}</title>"
+    if not last or width < 8:
+        return (f"<rect x='{x:.1f}' y='{y:.1f}' width='{width:.1f}' "
+                f"height='{_BAR_H}' fill='{color}'>{title}</rect>")
+    # Rounded right corners only (square at the baseline side).
+    r = 4.0
+    x2 = x + width
+    path = (f"M {x:.1f} {y:.1f} H {x2 - r:.1f} "
+            f"Q {x2:.1f} {y:.1f} {x2:.1f} {y + r:.1f} "
+            f"V {y + _BAR_H - r:.1f} "
+            f"Q {x2:.1f} {y + _BAR_H:.1f} {x2 - r:.1f} {y + _BAR_H:.1f} "
+            f"H {x:.1f} Z")
+    return f"<path d='{path}' fill='{color}'>{title}</path>"
+
+
+def stacked_bar_svg(
+    rows: Sequence[tuple],
+    title: str,
+    subtitle: str = "",
+    components: Sequence[str] = BREAKDOWN_COMPONENTS,
+) -> str:
+    """Render ``rows`` of ``(label, {component: percent})`` as an SVG.
+
+    Percent dicts need not sum to 100; each bar is normalised to its own
+    total (the figures plot shares of Active energy).
+    """
+    height = (_TITLE_H + (_TITLE_H // 2 if subtitle else 0) + _LEGEND_H
+              + len(rows) * _ROW_H + _AXIS_H + 16)
+    width = _LABEL_W + _PLOT_W + _VALUE_W + 24
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}' role='img' "
+        f"aria-label='{_esc(title)}'>",
+        f"<rect width='{width}' height='{height}' fill='{SURFACE}'/>",
+        f"<text x='12' y='20' {_FONT} font-size='14' font-weight='600' "
+        f"fill='{INK_PRIMARY}'>{_esc(title)}</text>",
+    ]
+    y0 = _TITLE_H
+    if subtitle:
+        parts.append(
+            f"<text x='12' y='{y0 + 6}' {_FONT} font-size='11' "
+            f"fill='{INK_SECONDARY}'>{_esc(subtitle)}</text>"
+        )
+        y0 += _TITLE_H // 2
+
+    # Legend: swatch + label per component, ink text (identity never
+    # rides on text color).
+    legend_x = 12.0
+    legend_y = y0 + 8
+    for component in components:
+        label = component.replace("E_", "")
+        parts.append(
+            f"<rect x='{legend_x:.1f}' y='{legend_y}' width='10' height='10' "
+            f"rx='2' fill='{PALETTE[component]}'/>"
+        )
+        parts.append(
+            f"<text x='{legend_x + 14:.1f}' y='{legend_y + 9}' {_FONT} "
+            f"font-size='10' fill='{INK_SECONDARY}'>{_esc(label)}</text>"
+        )
+        legend_x += 14 + 7.5 * len(label) + 18
+    y0 += _LEGEND_H + 8
+
+    plot_x = _LABEL_W
+    plot_bottom = y0 + len(rows) * _ROW_H
+    # Recessive hairline gridlines at 0/20/.../100%.
+    for tick in range(0, 101, 20):
+        gx = plot_x + _PLOT_W * tick / 100.0
+        parts.append(
+            f"<line x1='{gx:.1f}' y1='{y0}' x2='{gx:.1f}' "
+            f"y2='{plot_bottom}' stroke='{GRID}' stroke-width='1'/>"
+        )
+        parts.append(
+            f"<text x='{gx:.1f}' y='{plot_bottom + 16}' {_FONT} "
+            f"font-size='10' fill='{INK_SECONDARY}' "
+            f"text-anchor='middle'>{tick}%</text>"
+        )
+
+    for row_index, (label, shares) in enumerate(rows):
+        y = y0 + row_index * _ROW_H + (_ROW_H - _BAR_H) / 2
+        parts.append(
+            f"<text x='{_LABEL_W - 8}' y='{y + _BAR_H - 5}' {_FONT} "
+            f"font-size='11' fill='{INK_PRIMARY}' "
+            f"text-anchor='end'>{_esc(label)}</text>"
+        )
+        total = sum(max(0.0, float(shares.get(c, 0.0))) for c in components)
+        if total <= 0:
+            continue
+        x = float(plot_x)
+        present = [c for c in components
+                   if float(shares.get(c, 0.0)) / total * _PLOT_W > 0.5]
+        for component in components:
+            share = max(0.0, float(shares.get(c := component, 0.0))) / total
+            seg_w = share * _PLOT_W
+            if seg_w <= 0.5:
+                continue
+            last = component == (present[-1] if present else component)
+            draw_w = seg_w - (0 if last else _GAP)
+            parts.append(_segment(
+                x, y, max(0.5, draw_w), PALETTE[component],
+                f"{component} — {share * 100:.1f}%", last,
+            ))
+            x += seg_w
+        # Selective direct label: the headline L1D+store share.
+        headline = (float(shares.get("E_L1D", 0.0))
+                    + float(shares.get("E_Reg2L1D", 0.0))) / total * 100
+        parts.append(
+            f"<text x='{plot_x + _PLOT_W + 8}' y='{y + _BAR_H - 5}' {_FONT} "
+            f"font-size='10' fill='{INK_SECONDARY}'>"
+            f"L1D+st {headline:.0f}%</text>"
+        )
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def breakdown_rows_from_experiment(result) -> Optional[list]:
+    """Extract ``(label, shares)`` rows from an ExperimentResult's data.
+
+    Handles both flat ``{name: {E_L1D: ...}}`` and the per-engine nested
+    ``{engine: {workload: {E_L1D: ...}}}`` layouts; returns None when the
+    experiment is not breakdown-shaped (e.g. Table 2).
+    """
+    data = getattr(result, "data", None)
+    if not isinstance(data, Mapping):
+        return None
+    rows: list = []
+    for name, value in data.items():
+        if not isinstance(value, Mapping):
+            continue
+        if "E_L1D" in value:
+            rows.append((str(name), value))
+        else:
+            for inner_name, inner in value.items():
+                if isinstance(inner, Mapping) and "E_L1D" in inner:
+                    rows.append((f"{name}/{inner_name}", inner))
+    return rows or None
+
+
+def experiment_to_svg(result, subtitle: str = "") -> Optional[str]:
+    """Render a breakdown-shaped experiment as SVG (None otherwise)."""
+    rows = breakdown_rows_from_experiment(result)
+    if rows is None:
+        return None
+    return stacked_bar_svg(
+        rows, f"[{result.experiment_id}] {result.title}",
+        subtitle or "share of Active energy per micro-operation class",
+    )

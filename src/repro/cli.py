@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``calibrate`` — run MBS, print Tables 1-3 for the chosen machine;
+* ``profile``   — break one TPC-H query (or all) down on one engine;
+* ``sql``       — execute a SQL statement and show its energy breakdown;
+* ``experiment``— regenerate one paper table/figure by id;
+* ``poc``       — run the §4 DTCM proof-of-concept (Figure 13).
+
+All commands accept ``--scale`` (cache divisor, default 16) and
+``--tier`` (data tier, default 100MB).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Machine, intel_i7_4790
+from repro.analysis import EXPERIMENTS, Lab, LabConfig
+from repro.core import (
+    calibrate,
+    profile_workload,
+    render_breakdown_bar,
+    render_breakdown_rows,
+    render_delta_e,
+    render_microbench_behaviour,
+    render_verification,
+    verify,
+)
+from repro.db import Database, ENGINES, engine_profile
+from repro.workloads.tpch import (
+    ALL_QUERY_NUMBERS,
+    TpchData,
+    load_into,
+    run_query,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=16,
+                        help="cache scale divisor (1 = full i7-4790)")
+    parser.add_argument("--tier", default="100MB",
+                        choices=["10MB", "100MB", "500MB", "1GB"],
+                        help="TPC-H data tier")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="measurement-noise seed")
+
+
+def _machine(args) -> Machine:
+    return Machine(intel_i7_4790(scale=args.scale), seed=args.seed)
+
+
+def cmd_calibrate(args) -> int:
+    machine = _machine(args)
+    print(f"machine: {machine.config.name}")
+    cal = calibrate(machine)
+    print(render_microbench_behaviour(cal.results))
+    print()
+    print(render_delta_e({cal.pstate: cal.delta_e.nanojoules()}))
+    print()
+    report = verify(machine, cal.delta_e, background=cal.background)
+    print(render_verification(report))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    machine = _machine(args)
+    print("calibrating ...", file=sys.stderr)
+    cal = calibrate(machine)
+    db = Database(machine, engine_profile(args.engine), name=args.engine)
+    load_into(db, TpchData(args.tier))
+    numbers = args.query or list(ALL_QUERY_NUMBERS)
+    breakdowns = {}
+    for number in numbers:
+        workload = lambda number=number: run_query(db, number)
+        profile = profile_workload(
+            machine, f"Q{number}", workload, cal.delta_e,
+            background=cal.background, warmup=workload,
+        )
+        breakdowns[f"Q{number}"] = profile.breakdown
+    print(render_breakdown_rows(
+        breakdowns, f"Active-energy breakdown ({args.engine}, {args.tier})"
+    ))
+    return 0
+
+
+def cmd_sql(args) -> int:
+    machine = _machine(args)
+    print("calibrating ...", file=sys.stderr)
+    cal = calibrate(machine)
+    db = Database(machine, engine_profile(args.engine), name=args.engine)
+    load_into(db, TpchData(args.tier))
+    statement = " ".join(args.statement)
+    workload = lambda: db.sql(statement)
+    rows = workload()
+    profile = profile_workload(
+        machine, "sql", workload, cal.delta_e, background=cal.background,
+    )
+    for row in rows[: args.limit]:
+        print(row)
+    if len(rows) > args.limit:
+        print(f"... ({len(rows)} rows)")
+    b = profile.breakdown
+    print(f"\nE_active {b.active_energy_j:.3e} J over {profile.busy_s:.3e} s")
+    print(f"L1D+store share {b.l1d_share_pct:.1f}%   "
+          f"{render_breakdown_bar(b)}")
+    for name, share in b.shares_pct().items():
+        print(f"  {name:<10} {share:5.1f}%")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.analysis import experiment_to_svg
+
+    lab = Lab(LabConfig(scale=args.scale, tier=args.tier, seed=args.seed))
+    failures = 0
+    for key in args.id:
+        result = EXPERIMENTS[key](lab)
+        status = ("PASS" if result.all_checks_pass
+                  else "FAIL: " + ", ".join(result.failed_checks()))
+        print(f"[{result.experiment_id}] {result.title}  (shape checks: {status})")
+        print(result.text)
+        print()
+        if args.svg_dir:
+            import pathlib
+
+            svg = experiment_to_svg(result)
+            if svg is not None:
+                out = pathlib.Path(args.svg_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"{result.experiment_id}.svg"
+                path.write_text(svg)
+                print(f"wrote {path}", file=sys.stderr)
+        if not result.all_checks_pass:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_poc(args) -> int:
+    from repro.tcm import run_poc
+
+    result = run_poc(seed=args.seed)
+    print(f"DTCM peak saving: {result.peak_saving_pct:.1f}%")
+    for comparison in result.comparisons:
+        print(f"  Q{comparison.number:<3} energy {comparison.energy_saving_pct:+6.2f}%  "
+              f"perf {comparison.perf_improvement_pct:+6.2f}%")
+    print(f"average saving {result.average_energy_saving_pct:.2f}% "
+          f"({result.fraction_of_peak_pct:.0f}% of peak), "
+          f"perf {result.average_perf_improvement_pct:+.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Micro-op energy analysis of database systems "
+                    "(EDBT 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("calibrate", help="run MBS/VMBS; print Tables 1-3")
+    _add_common(p)
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("profile", help="break TPC-H queries down")
+    _add_common(p)
+    p.add_argument("--engine", default="sqlite", choices=list(ENGINES))
+    p.add_argument("--query", "-q", type=int, action="append",
+                   choices=list(ALL_QUERY_NUMBERS), metavar="N",
+                   help="query number (repeatable; default: all 22)")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("sql", help="run a SQL statement with energy attribution")
+    _add_common(p)
+    p.add_argument("--engine", default="sqlite", choices=list(ENGINES))
+    p.add_argument("--limit", type=int, default=10,
+                   help="max result rows to print")
+    p.add_argument("statement", nargs="+", help="the SELECT statement")
+    p.set_defaults(fn=cmd_sql)
+
+    p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    _add_common(p)
+    p.add_argument("id", nargs="+", choices=sorted(EXPERIMENTS),
+                   help="experiment id(s), e.g. fig07 tab02")
+    p.add_argument("--svg-dir", metavar="DIR",
+                   help="also render breakdown figures as SVG into DIR")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("poc", help="run the §4 DTCM proof-of-concept")
+    _add_common(p)
+    p.set_defaults(fn=cmd_poc)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

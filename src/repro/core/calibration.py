@@ -1,0 +1,165 @@
+"""Calibration: solving dE_m from the micro-benchmark energies (§2.5.4).
+
+The solution order follows the paper's energy models exactly:
+
+1. ``B_L1D_array`` only loads from L1D without stalls:
+   ``dE_L1D = E / N_L1D``.
+2. ``B_L1D_list`` adds stall cycles:
+   ``dE_stall = (E - dE_L1D * N_L1D) / N_stall``.
+3. ``B_L2`` / ``B_L3`` / ``B_mem`` peel one layer at a time (Eq. 2):
+   loading from layer ``m`` also loads through every higher layer, so
+   those contributions (and the stall energy) are subtracted first.
+4. ``B_Reg2L1D``: ``dE_Reg2L1D = E / N_Reg2L1D``.
+5. Prefetch energies by assumption: ``dE_pf_L2 = dE_L3``,
+   ``dE_pf_L3 = dE_mem`` (following [18]'s "energy is mainly consumed
+   moving data between layers").
+6. ``B_add`` / ``B_nop`` price the verification estimator's
+   ``E_other`` model.
+
+Calibration runs with the prefetcher off and a pinned P-state
+(§2.5.3), which callers get by default through
+:class:`repro.micro.runner.RuntimeConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CalibrationError
+from repro.core.model import DeltaE
+from repro.micro.benchmarks import mbs_for, prepare
+from repro.micro.measurement import BackgroundRates, measure_background
+from repro.micro.runner import MicroResult, RuntimeConfig, run_prepared
+from repro.sim.machine import Machine
+
+
+@dataclass
+class CalibrationResult:
+    """The calibrated dE table plus every raw micro-benchmark result."""
+
+    delta_e: DeltaE
+    results: dict[str, MicroResult]
+    background: BackgroundRates
+    pstate: int
+
+    def result(self, name: str) -> MicroResult:
+        if name not in self.results:
+            raise CalibrationError(f"benchmark {name!r} was not run")
+        return self.results[name]
+
+
+def _per_op(energy_j: float, count: float, what: str) -> float:
+    if count <= 0:
+        raise CalibrationError(f"{what}: target operation count is zero")
+    return energy_j / count
+
+
+def calibrate(
+    machine: Machine,
+    pstate: Optional[int] = None,
+    runtime: Optional[RuntimeConfig] = None,
+    background: Optional[BackgroundRates] = None,
+    seed: int = 1234,
+) -> CalibrationResult:
+    """Run MBS on ``machine`` and solve the dE_m table.
+
+    ``pstate`` defaults to the machine's highest (the paper's P-state 36
+    trunk experiment); pass 24/12 to regenerate the other Table 2
+    columns.
+    """
+    if runtime is None:
+        runtime = RuntimeConfig(pstate=pstate)
+    elif pstate is not None and runtime.pstate != pstate:
+        raise CalibrationError("pass the P-state either directly or via runtime")
+    if background is None:
+        background = measure_background(machine)
+
+    results: dict[str, MicroResult] = {}
+    for name in mbs_for(machine):
+        prepared = prepare(name, machine, seed=seed)
+        results[name] = run_prepared(machine, prepared, background, runtime)
+
+    counters = {name: r.measurement.counters for name, r in results.items()}
+    energies = {name: r.measurement.active_energy_j for name, r in results.items()}
+
+    # 1. dE_L1D from the stall-free array traversal.
+    c = counters["B_L1D_array"]
+    de_l1d = _per_op(energies["B_L1D_array"], c.n_l1d, "B_L1D_array")
+
+    # 2. dE_stall from the dependent chain in L1D.
+    c = counters["B_L1D_list"]
+    de_stall = _per_op(
+        energies["B_L1D_list"] - de_l1d * c.n_l1d,
+        c.stall_cycles,
+        "B_L1D_list",
+    )
+
+    # 3. Eq. (2) peeling for L2 / L3 / mem.
+    de_l2: Optional[float] = None
+    de_l3: Optional[float] = None
+    if "B_L2" in results:
+        c = counters["B_L2"]
+        de_l2 = _per_op(
+            energies["B_L2"] - de_l1d * c.n_l1d - de_stall * c.stall_cycles,
+            c.n_l2,
+            "B_L2",
+        )
+    if "B_L3" in results:
+        c = counters["B_L3"]
+        assert de_l2 is not None  # geometry guarantees L2 exists below L3
+        de_l3 = _per_op(
+            energies["B_L3"]
+            - de_l1d * c.n_l1d
+            - de_l2 * c.n_l2
+            - de_stall * c.stall_cycles,
+            c.n_l3,
+            "B_L3",
+        )
+    c = counters["B_mem"]
+    higher = de_l1d * c.n_l1d + de_stall * c.stall_cycles
+    if de_l2 is not None:
+        higher += de_l2 * c.n_l2
+    if de_l3 is not None:
+        higher += de_l3 * c.n_l3
+    de_mem = _per_op(energies["B_mem"] - higher, c.n_mem, "B_mem")
+
+    # 4. Stores.
+    c = counters["B_Reg2L1D"]
+    de_reg2l1d = _per_op(energies["B_Reg2L1D"], c.n_store_l1d_hit, "B_Reg2L1D")
+
+    # 6. Compute instructions for the verification estimator.
+    de_add = _per_op(energies["B_add"], counters["B_add"].n_add, "B_add")
+    de_nop = _per_op(energies["B_nop"], counters["B_nop"].n_nop, "B_nop")
+
+    delta_e = DeltaE(
+        l1d=de_l1d,
+        reg2l1d=de_reg2l1d,
+        stall=de_stall,
+        mem=de_mem,
+        add=de_add,
+        nop=de_nop,
+        l2=de_l2,
+        l3=de_l3,
+        # 5. The paper's prefetch-cost assumption.
+        pf_l2=de_l3,
+        pf_l3=de_mem,
+    )
+    pinned = runtime.pstate
+    if pinned is None:
+        pinned = machine.config.pstates.highest
+    return CalibrationResult(
+        delta_e=delta_e, results=results, background=background, pstate=pinned
+    )
+
+
+def calibrate_pstates(
+    machine: Machine,
+    pstates: list[int],
+    seed: int = 1234,
+) -> dict[int, CalibrationResult]:
+    """Table 2's column sweep: calibrate at each requested P-state."""
+    out: dict[int, CalibrationResult] = {}
+    for pstate in pstates:
+        out[pstate] = calibrate(machine, pstate=pstate, seed=seed)
+    return out

@@ -1,0 +1,210 @@
+"""Data model of the energy-breakdown methodology (§2.2–§2.3).
+
+The analysed micro-operation set is
+
+    MS = {L1D, Reg2L1D, L2, L3, mem, pf, stall}
+
+and the Active energy of a workload ``w`` is formalised (Eq. 1) as
+
+    E_active(w) = E_other(w) + sum_{m in MS} N_m(w) * dE_m
+
+:class:`DeltaE` holds the calibrated ``dE_m`` (plus ``dE_add``/``dE_nop``
+for the verification estimator); :class:`EnergyBreakdown` holds the
+priced terms for one workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Optional
+
+from repro.errors import CalibrationError
+from repro.sim.pmu import PmuCounters
+
+#: The paper's micro-operation set MS, in presentation order.
+MS = ("L1D", "Reg2L1D", "L2", "L3", "mem", "pf", "stall")
+
+#: Stacked-bar component order used by every figure (Figures 6-11).
+BREAKDOWN_COMPONENTS = (
+    "E_L1D", "E_Reg2L1D", "E_L2", "E_L3", "E_mem", "E_pf", "E_stall", "E_other",
+)
+
+NANOJOULE = 1e-9
+
+
+@dataclass(frozen=True)
+class DeltaE:
+    """Calibrated per-micro-operation energies, in joules.
+
+    ``pf_l2``/``pf_l3`` follow the paper's §2.5.4 assumption:
+    prefetching data into L2 costs like a demand L3 load, prefetching
+    into L3 costs like a demand DRAM load.  ``l2``/``l3`` may be None on
+    machines without those levels (the ARM preset).
+    """
+
+    l1d: float
+    reg2l1d: float
+    stall: float
+    mem: float
+    add: float
+    nop: float
+    l2: Optional[float] = None
+    l3: Optional[float] = None
+    pf_l2: Optional[float] = None
+    pf_l3: Optional[float] = None
+
+    def to_json(self) -> str:
+        """Serialise to JSON (joules), for caching calibrations on disk."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeltaE":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise CalibrationError(f"unknown DeltaE fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def nanojoules(self) -> dict[str, Optional[float]]:
+        """Render as the paper's Table 2 units."""
+        def nj(value: Optional[float]) -> Optional[float]:
+            return None if value is None else value / NANOJOULE
+
+        return {
+            "dE_L1D": nj(self.l1d),
+            "dE_L2": nj(self.l2),
+            "dE_L3": nj(self.l3),
+            "dE_pf_L2": nj(self.pf_l2),
+            "dE_mem": nj(self.mem),
+            "dE_pf_L3": nj(self.pf_l3),
+            "dE_Reg2L1D": nj(self.reg2l1d),
+            "dE_stall": nj(self.stall),
+            "dE_add": nj(self.add),
+            "dE_nop": nj(self.nop),
+        }
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Eq. (1) evaluated for one workload: joules per component.
+
+    ``e_other`` is the unisolated residual (calculation, L1I, TLB, ...):
+    measured Active energy minus the priced data-movement terms.
+    """
+
+    e_l1d: float
+    e_reg2l1d: float
+    e_l2: float
+    e_l3: float
+    e_mem: float
+    e_pf: float
+    e_stall: float
+    e_other: float
+    #: The measured Active energy the breakdown was fit to (joules).
+    active_energy_j: float = 0.0
+    #: Background energy over the same window (joules).
+    background_energy_j: float = 0.0
+
+    def components(self) -> dict[str, float]:
+        return {
+            "E_L1D": self.e_l1d,
+            "E_Reg2L1D": self.e_reg2l1d,
+            "E_L2": self.e_l2,
+            "E_L3": self.e_l3,
+            "E_mem": self.e_mem,
+            "E_pf": self.e_pf,
+            "E_stall": self.e_stall,
+            "E_other": self.e_other,
+        }
+
+    @property
+    def total(self) -> float:
+        """Sum of all components — equals max(measured, priced) Active."""
+        return sum(self.components().values())
+
+    def shares_pct(self) -> dict[str, float]:
+        """Percent shares of Active energy (the figures' x-axis)."""
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in BREAKDOWN_COMPONENTS}
+        return {k: 100.0 * v / total for k, v in self.components().items()}
+
+    @property
+    def l1d_share_pct(self) -> float:
+        """The headline metric: (E_L1D + E_Reg2L1D) / Active, in percent."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return 100.0 * (self.e_l1d + self.e_reg2l1d) / total
+
+    @property
+    def data_movement_share_pct(self) -> float:
+        """Share of the seven MS terms (everything but E_other)."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return 100.0 * (total - self.e_other) / total
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Multiply every component (used for averaging across queries)."""
+        return EnergyBreakdown(
+            e_l1d=self.e_l1d * factor,
+            e_reg2l1d=self.e_reg2l1d * factor,
+            e_l2=self.e_l2 * factor,
+            e_l3=self.e_l3 * factor,
+            e_mem=self.e_mem * factor,
+            e_pf=self.e_pf * factor,
+            e_stall=self.e_stall * factor,
+            e_other=self.e_other * factor,
+            active_energy_j=self.active_energy_j * factor,
+            background_energy_j=self.background_energy_j * factor,
+        )
+
+
+def sum_breakdowns(breakdowns: list[EnergyBreakdown]) -> EnergyBreakdown:
+    """Component-wise sum (e.g. the per-database averages of Figure 8)."""
+    if not breakdowns:
+        raise CalibrationError("cannot sum zero breakdowns")
+    return EnergyBreakdown(
+        e_l1d=sum(b.e_l1d for b in breakdowns),
+        e_reg2l1d=sum(b.e_reg2l1d for b in breakdowns),
+        e_l2=sum(b.e_l2 for b in breakdowns),
+        e_l3=sum(b.e_l3 for b in breakdowns),
+        e_mem=sum(b.e_mem for b in breakdowns),
+        e_pf=sum(b.e_pf for b in breakdowns),
+        e_stall=sum(b.e_stall for b in breakdowns),
+        e_other=sum(b.e_other for b in breakdowns),
+        active_energy_j=sum(b.active_energy_j for b in breakdowns),
+        background_energy_j=sum(b.background_energy_j for b in breakdowns),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A profiled workload: counters + measured energy + breakdown."""
+
+    name: str
+    breakdown: EnergyBreakdown
+    counters: PmuCounters
+    busy_s: float
+    idle_s: float
+    time_s: float
+    domain: str
+
+    @property
+    def busy_cpu_energy_j(self) -> float:
+        return (
+            self.breakdown.active_energy_j + self.breakdown.background_energy_j
+        )
+
+    @property
+    def breakdown_coverage_pct(self) -> float:
+        """§3's "77.7%-89.2% of Busy-CPU energy can be broken down":
+        (data movement + background) / Busy-CPU energy."""
+        busy = self.busy_cpu_energy_j
+        if busy <= 0:
+            return 0.0
+        movement = self.breakdown.total - self.breakdown.e_other
+        return 100.0 * (movement + self.breakdown.background_energy_j) / busy

@@ -1,0 +1,126 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+Every renderer returns a string; the benchmark harness prints them so a
+run of ``pytest benchmarks/`` regenerates the same rows/series the paper
+reports (shape, not absolute testbed numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.accuracy import VerificationReport
+from repro.core.model import BREAKDOWN_COMPONENTS, EnergyBreakdown
+from repro.micro.runner import MicroResult
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    def fmt(cell: object) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_microbench_behaviour(results: Mapping[str, MicroResult]) -> str:
+    """Table 1: BLI, per-level miss rates, IPC for each micro-benchmark."""
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.bli_pct,
+            result.l1d_miss_pct if result.measurement.counters.n_l1d else None,
+            result.l2_miss_pct,
+            result.l3_miss_pct,
+            result.ipc,
+        ])
+    return render_table(
+        ["Micro-benchmark", "BLI%", "L1D miss%", "L2 miss%", "L3 miss%", "IPC"],
+        rows,
+        title="Table 1: Runtime behaviors of micro-benchmarks",
+    )
+
+
+def render_delta_e(per_pstate: Mapping[int, Mapping[str, Optional[float]]]) -> str:
+    """Table 2: dE_m (nJ) per P-state column."""
+    pstates = sorted(per_pstate, reverse=True)
+    op_names = list(next(iter(per_pstate.values())).keys())
+    rows = []
+    for op in op_names:
+        rows.append([op] + [per_pstate[p].get(op) for p in pstates])
+    headers = ["Micro-operation (nJ)"] + [
+        f"P-state {p} ({p / 10:.1f}GHz)" for p in pstates
+    ]
+    return render_table(
+        headers, rows,
+        title="Table 2: Energy cost of micro-operations per P-state",
+    )
+
+
+def render_verification(report: VerificationReport) -> str:
+    """Table 3: measured vs estimated Active energy and accuracy."""
+    rows = [
+        [r.name, r.measured_j, r.estimated_j, r.accuracy_pct]
+        for r in report.rows
+    ]
+    rows.append(["average", None, None, report.average_accuracy_pct])
+    return render_table(
+        ["Verification benchmark", "E_meas (J)", "E_est (J)", "acc%"],
+        rows,
+        title="Table 3: Verification accuracy of dE_m",
+    )
+
+
+def render_breakdown_rows(
+    breakdowns: Mapping[str, EnergyBreakdown],
+    title: str,
+) -> str:
+    """Figures 6-11 as rows of percent shares per component."""
+    rows = []
+    for name, b in breakdowns.items():
+        shares = b.shares_pct()
+        rows.append([name] + [shares[c] for c in BREAKDOWN_COMPONENTS])
+    return render_table(
+        ["Workload"] + [f"{c}%" for c in BREAKDOWN_COMPONENTS],
+        rows,
+        title=title,
+    )
+
+
+def render_breakdown_bar(b: EnergyBreakdown, width: int = 60) -> str:
+    """A single ASCII stacked bar (quick visual check in examples)."""
+    glyphs = {
+        "E_L1D": "#", "E_Reg2L1D": "=", "E_L2": "+", "E_L3": "*",
+        "E_mem": "M", "E_pf": "p", "E_stall": ".", "E_other": " ",
+    }
+    shares = b.shares_pct()
+    bar = ""
+    for component in BREAKDOWN_COMPONENTS:
+        n = round(shares[component] / 100.0 * width)
+        bar += glyphs[component] * n
+    return f"[{bar[:width].ljust(width)}]"

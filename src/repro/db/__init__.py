@@ -1,0 +1,45 @@
+"""Mini relational engine with PostgreSQL-, SQLite-, and MySQL-like
+profiles, instrumented down to individual micro-operations."""
+
+from repro.db import exprs
+from repro.db.catalog import Catalog, IndexDef, TableDef
+from repro.db.engine import Database
+from repro.db.planner import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Logical,
+    Planner,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.db.operators import AggSpec
+from repro.db.profiles import (
+    BASELINE,
+    ENGINES,
+    LARGE,
+    SETTINGS,
+    SMALL,
+    EngineProfile,
+    engine_profile,
+    mysql_like,
+    postgres_like,
+    sqlite_like,
+)
+from repro.db.types import Column, DATE, FLOAT, INT, STR, Row, Schema
+
+__all__ = [
+    "exprs",
+    "Catalog", "IndexDef", "TableDef",
+    "Database",
+    "Aggregate", "Distinct", "Filter", "Join", "Limit", "Logical",
+    "Planner", "Project", "Scan", "Sort",
+    "AggSpec",
+    "BASELINE", "ENGINES", "LARGE", "SETTINGS", "SMALL",
+    "EngineProfile", "engine_profile",
+    "mysql_like", "postgres_like", "sqlite_like",
+    "Column", "DATE", "FLOAT", "INT", "STR", "Row", "Schema",
+]

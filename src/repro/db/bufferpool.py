@@ -1,0 +1,132 @@
+"""Buffer pool: LRU page cache between the executor and the disk model.
+
+This is where the Table 4 knobs (``shared_buffers``, ``cache_size``,
+``innodb_buffer_pool_size``) act: the pool holds a fixed number of
+frames; a page miss costs a disk read (CPU idle) and recycles the
+least-recently-used frame.
+
+Frames are simulated-memory regions allocated once and reused, like a
+real buffer manager: when a frame is recycled its cache lines are
+invalidated (the new page arrives by DMA into DRAM, not into the CPU
+caches), so re-reads after recycling behave like cold data.
+
+Every ``fetch`` also models the buffer-manager lookup itself: a hash
+probe into the page table (one dependent load + a little bookkeeping),
+which is part of the indirection overhead the paper attributes to
+PostgreSQL/MySQL-style buffer management (§3.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.db.pagestore import PagedFile, PageId
+from repro.db.types import Row
+from repro.sim.address_space import LINE_SHIFT, LINE_SIZE, Region
+from repro.sim.machine import Machine
+
+
+@dataclass
+class Frame:
+    """One buffer frame: a fixed region currently holding one page."""
+
+    index: int
+    region: Region
+    page_id: PageId | None = None
+    rows: Sequence[Row] = ()
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache over simulated memory."""
+
+    def __init__(self, machine: Machine, pool_bytes: int, page_size: int,
+                 label: str = "bufferpool"):
+        if page_size <= 0 or pool_bytes < page_size:
+            raise ConfigError(
+                f"pool of {pool_bytes} bytes cannot hold a {page_size}B page"
+            )
+        self.machine = machine
+        self.page_size = page_size
+        self.n_frames = pool_bytes // page_size
+        self.frames = [
+            Frame(index=i,
+                  region=machine.address_space.alloc(page_size, f"{label}/frame{i}"))
+            for i in range(self.n_frames)
+        ]
+        #: page table: PageId -> frame index, in LRU order (oldest first).
+        self._table: OrderedDict[PageId, int] = OrderedDict()
+        self._free = list(range(self.n_frames - 1, -1, -1))
+        #: metadata region the modelled hash-probe load lands in.
+        self._meta = machine.address_space.alloc(
+            max(LINE_SIZE, self.n_frames * 16), f"{label}/pagetable"
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ stats
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ fetch
+
+    def fetch(self, paged_file: PagedFile, page_no: int) -> Frame:
+        """Return the frame holding the page, reading from disk on miss."""
+        machine = self.machine
+        page_id = PageId(paged_file.file_id, page_no)
+        # Model of the buffer-manager hash probe.
+        meta_addr = self._meta.base + (hash(page_id) % self._meta.n_lines) * LINE_SIZE
+        machine.load(meta_addr, dependent=True)
+        machine.other(2)
+
+        frame_index = self._table.get(page_id)
+        if frame_index is not None:
+            self._table.move_to_end(page_id)
+            self.hits += 1
+            return self.frames[frame_index]
+
+        self.misses += 1
+        if self._free:
+            frame_index = self._free.pop()
+        else:
+            _, frame_index = self._table.popitem(last=False)
+        frame = self.frames[frame_index]
+        machine.disk_read(paged_file.block_of(page_no), self.page_size)
+        self._invalidate_frame(frame)
+        frame.page_id = page_id
+        frame.rows = paged_file.page(page_no)
+        self._table[page_id] = frame_index
+        return frame
+
+    def contains(self, paged_file: PagedFile, page_no: int) -> bool:
+        return PageId(paged_file.file_id, page_no) in self._table
+
+    def clear(self) -> None:
+        """Drop every cached page (cold restart)."""
+        for frame in self.frames:
+            frame.page_id = None
+            frame.rows = ()
+        self._table.clear()
+        self._free = list(range(self.n_frames - 1, -1, -1))
+
+    def _invalidate_frame(self, frame: Frame) -> None:
+        """DMA overwrote the frame: its lines must not hit in any cache."""
+        hierarchy = self.machine.hierarchy
+        first_line = frame.region.base >> LINE_SHIFT
+        for line in range(first_line, first_line + frame.region.n_lines):
+            hierarchy.l1d.invalidate(line)
+            if hierarchy.l2 is not None:
+                hierarchy.l2.invalidate(line)
+            if hierarchy.l3 is not None:
+                hierarchy.l3.invalidate(line)

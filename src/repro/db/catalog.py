@@ -1,0 +1,81 @@
+"""Catalog: table and index metadata for one database instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import CatalogError
+from repro.db.btree import BTree
+from repro.db.table import ClusteredTable, HeapTable
+from repro.db.types import Schema
+
+TableStorage = Union[HeapTable, ClusteredTable]
+
+
+@dataclass
+class IndexDef:
+    """A secondary index: B-tree whose payload is a (page, slot) rowref
+    (heap tables) or the table's primary key (clustered tables)."""
+
+    name: str
+    table_name: str
+    column: str
+    tree: BTree
+    #: True when the payload is a primary key to chase, not a rowref.
+    via_primary_key: bool = False
+
+
+@dataclass
+class TableDef:
+    """One table: schema, storage, optional primary key and indexes."""
+
+    name: str
+    schema: Schema
+    storage: TableStorage
+    primary_key: Optional[str] = None
+    indexes: dict = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        return self.storage.n_rows
+
+    def index_on(self, column: str) -> Optional[IndexDef]:
+        for index in self.indexes.values():
+            if index.column == column:
+                return index
+        return None
+
+
+class Catalog:
+    """Name -> definition maps for one database instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableDef] = {}
+
+    def add_table(self, table: TableDef) -> None:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableDef:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def add_index(self, index: IndexDef) -> None:
+        table = self.table(index.table_name)
+        if index.name in table.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        if index.column not in table.schema:
+            raise CatalogError(
+                f"index column {index.column!r} not in table {table.name!r}"
+            )
+        table.indexes[index.name] = index
+
+    def tables(self) -> list[TableDef]:
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,46 @@
+"""Physical operators of the mini relational engine."""
+
+from repro.db.operators.aggregate import (
+    AGG_KINDS,
+    AVG,
+    COUNT,
+    COUNT_DISTINCT,
+    MAX,
+    MIN,
+    SUM,
+    AggOp,
+    AggSpec,
+)
+from repro.db.operators.base import (
+    ExecContext,
+    OutputSink,
+    PhysicalOp,
+    TempArena,
+)
+from repro.db.operators.join import (
+    ANTI,
+    INNER,
+    JOIN_KINDS,
+    LEFT,
+    SEMI,
+    HashJoinOp,
+    IndexNLJoinOp,
+)
+from repro.db.operators.misc import DistinctOp, FilterOp, LimitOp, ProjectOp
+from repro.db.operators.scan import (
+    IndexOrderScanOp,
+    IndexRangeScanOp,
+    SeqScanOp,
+)
+from repro.db.operators.sort import SortOp
+
+__all__ = [
+    "AGG_KINDS", "AVG", "COUNT", "COUNT_DISTINCT", "MAX", "MIN", "SUM",
+    "AggOp", "AggSpec",
+    "ExecContext", "OutputSink", "PhysicalOp", "TempArena",
+    "ANTI", "INNER", "JOIN_KINDS", "LEFT", "SEMI",
+    "HashJoinOp", "IndexNLJoinOp",
+    "DistinctOp", "FilterOp", "LimitOp", "ProjectOp",
+    "IndexOrderScanOp", "IndexRangeScanOp", "SeqScanOp",
+    "SortOp",
+]

@@ -1,0 +1,189 @@
+"""Aggregation: hash group-by and scalar aggregates.
+
+Per input row the operator charges the group hash probe (multiply +
+add + dependent load into the group table) and, per aggregate, the
+state update (an add plus a store into the group's state slot) — the
+temporary-data write traffic of §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.db.exprs import Expr
+from repro.db.operators.base import ExecContext, PhysicalOp
+from repro.db.operators.misc import infer_output_column
+from repro.db.types import Column, FLOAT, INT, Row, Schema
+
+SUM = "sum"
+COUNT = "count"
+AVG = "avg"
+MIN = "min"
+MAX = "max"
+COUNT_DISTINCT = "count_distinct"
+AGG_KINDS = (SUM, COUNT, AVG, MIN, MAX, COUNT_DISTINCT)
+
+#: Modelled bytes of aggregate state per group (fits sums/counts).
+_STATE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output: ``name = kind(expr)``.
+
+    ``expr`` may be None only for COUNT (count of rows).
+    """
+
+    name: str
+    kind: str
+    expr: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGG_KINDS:
+            raise PlanError(f"unknown aggregate {self.kind!r}")
+        if self.expr is None and self.kind not in (COUNT,):
+            raise PlanError(f"{self.kind} needs an argument expression")
+
+
+class _State:
+    """Accumulator for one group."""
+
+    __slots__ = ("sums", "counts", "mins", "maxs", "distincts", "n_rows")
+
+    def __init__(self, n_aggs: int):
+        self.sums = [0.0] * n_aggs
+        self.counts = [0] * n_aggs
+        self.mins = [None] * n_aggs
+        self.maxs = [None] * n_aggs
+        self.distincts: list = [None] * n_aggs
+        self.n_rows = 0
+
+
+class AggOp(PhysicalOp):
+    """Group-by + aggregates; with no group keys, a single scalar row.
+
+    Output schema: group columns first (in given order), then one
+    column per aggregate.
+    """
+
+    def __init__(self, child: PhysicalOp,
+                 group_by: Sequence[tuple[str, Expr]],
+                 aggs: Sequence[AggSpec]):
+        if not aggs and not group_by:
+            raise PlanError("aggregation needs group keys or aggregates")
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggs = tuple(aggs)
+        columns = [
+            infer_output_column(name, expr, child.schema)
+            for name, expr in group_by
+        ]
+        for spec in aggs:
+            col_type = INT if spec.kind in (COUNT, COUNT_DISTINCT) else FLOAT
+            columns.append(Column(spec.name, col_type))
+        self.schema = Schema(columns)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(n for n, _ in self.group_by) or "<scalar>"
+        return f"Agg(by {keys}; {len(self.aggs)} aggs)"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        child_schema = self.child.schema
+        key_fns = [expr.compile(child_schema, machine)
+                   for _, expr in self.group_by]
+        agg_fns = [
+            spec.expr.compile(child_schema, machine)
+            if spec.expr is not None else None
+            for spec in self.aggs
+        ]
+        kinds = [spec.kind for spec in self.aggs]
+        n_aggs = len(self.aggs)
+
+        states: dict[tuple, _State] = {}
+        table_region = ctx.temp.alloc(128 * 1024, label="agg-states")
+        n_lines = max(1, table_region.n_lines)
+        base = table_region.base
+        load = machine.load
+        store = machine.store
+        mul = machine.mul
+        add = machine.add
+        cmp_op = machine.cmp
+
+        for row in self.child.rows(ctx):
+            key = tuple(fn(row) for fn in key_fns)
+            mul(1)
+            add(1)
+            slot_addr = base + (hash(key) % n_lines) * 64
+            load(slot_addr, dependent=True)
+            cmp_op(1)
+            state = states.get(key)
+            if state is None:
+                state = _State(n_aggs)
+                states[key] = state
+                machine.store_bytes(slot_addr, _STATE_BYTES)
+            state.n_rows += 1
+            for i in range(n_aggs):
+                kind = kinds[i]
+                fn = agg_fns[i]
+                add(1)
+                store(slot_addr + 8 * (i % 8))
+                if kind == COUNT:
+                    if fn is None:
+                        state.counts[i] += 1
+                    elif fn(row) is not None:
+                        state.counts[i] += 1
+                    continue
+                value = fn(row)
+                if kind == SUM or kind == AVG:
+                    state.sums[i] += value
+                    state.counts[i] += 1
+                elif kind == MIN:
+                    if state.mins[i] is None or value < state.mins[i]:
+                        state.mins[i] = value
+                elif kind == MAX:
+                    if state.maxs[i] is None or value > state.maxs[i]:
+                        state.maxs[i] = value
+                elif kind == COUNT_DISTINCT:
+                    if state.distincts[i] is None:
+                        state.distincts[i] = set()
+                    state.distincts[i].add(value)
+
+        if not states and not self.group_by:
+            # SQL semantics: scalar aggregates over empty input produce
+            # one row (count = 0, sum/min/max = None).
+            states[()] = _State(n_aggs)
+
+        overflow = len(states) * _STATE_BYTES - ctx.profile.work_mem_bytes
+        if overflow > 0:
+            ctx.spill(overflow)
+
+        produce = ctx.produce_overhead
+        for key, state in states.items():
+            produce()
+            out = list(key)
+            for i, kind in enumerate(kinds):
+                if kind == COUNT:
+                    out.append(state.counts[i])
+                elif kind == SUM:
+                    out.append(state.sums[i] if state.counts[i] else None)
+                elif kind == AVG:
+                    out.append(
+                        state.sums[i] / state.counts[i]
+                        if state.counts[i] else None
+                    )
+                elif kind == MIN:
+                    out.append(state.mins[i])
+                elif kind == MAX:
+                    out.append(state.maxs[i])
+                elif kind == COUNT_DISTINCT:
+                    out.append(
+                        len(state.distincts[i])
+                        if state.distincts[i] is not None else 0
+                    )
+            yield tuple(out)

@@ -1,0 +1,215 @@
+"""Execution context and operator plumbing.
+
+Operators are physical-plan nodes with a resolved output
+:class:`~repro.db.types.Schema` and a ``rows(ctx)`` generator.  They are
+pipelined: a row flows parent-ward as a Python tuple ("in registers"),
+and only pipeline breakers (sort, hash build, aggregation) materialise
+into simulated memory — the temporary data whose L1D stores the paper
+highlights (§3.2 "L1D cache store").
+
+The :class:`TempArena` is the query-local workspace (hash tables, sort
+buffers, aggregate states).  It is one fixed region reused across
+queries — like a real allocator reusing freed memory — so repeated runs
+see warm temp addresses.  The :class:`OutputSink` is a small ring buffer
+standing in for the tuple output stream; the paper disables result
+*display* but the engine still materialises result tuples, and those
+stores are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PlanError
+from repro.db.catalog import Catalog
+from repro.db.profiles import EngineProfile
+from repro.db.types import Row, Schema
+from repro.sim.address_space import LINE_SIZE, Region
+from repro.sim.machine import Machine
+
+
+class TempArena:
+    """Bump allocator over one reusable region of simulated memory."""
+
+    def __init__(self, machine: Machine, size: int, label: str = "temp"):
+        self.machine = machine
+        self.region = machine.address_space.alloc(size, label=label)
+        self._cursor = self.region.base
+        self._extensions: list[Region] = []
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor - self.region.base
+
+    def alloc(self, size: int, label: str = "") -> Region:
+        """Carve ``size`` bytes; grows with a fresh (cold) extension
+        region when the arena overflows, like a growing heap."""
+        aligned = (size + LINE_SIZE - 1) // LINE_SIZE * LINE_SIZE
+        if self._cursor + aligned <= self.region.end:
+            base = self._cursor
+            self._cursor += aligned
+            return Region(base=base, size=size, label=label)
+        extension = self.machine.address_space.alloc(aligned, label or "temp-ext")
+        self._extensions.append(extension)
+        return extension
+
+    def reset(self) -> None:
+        """Free everything (between queries).  Addresses are reused."""
+        self._cursor = self.region.base
+        self._extensions.clear()
+
+
+class OutputSink:
+    """Ring buffer receiving result tuples (the output stream)."""
+
+    def __init__(self, machine: Machine, size: int = 64 * 1024):
+        self.machine = machine
+        self.region = machine.address_space.alloc(size, label="output-sink")
+        self._cursor = 0
+        self.rows_emitted = 0
+        self.bytes_emitted = 0
+
+    def emit(self, row_bytes: int) -> None:
+        """Charge the stores for one emitted row of ``row_bytes``."""
+        if self._cursor + row_bytes > self.region.size:
+            self._cursor = 0
+        self.machine.store_bytes(self.region.base + self._cursor, row_bytes)
+        self._cursor += (row_bytes + 7) // 8 * 8
+        self.rows_emitted += 1
+        self.bytes_emitted += row_bytes
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self.rows_emitted = 0
+        self.bytes_emitted = 0
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator needs at run time.
+
+    ``state_region`` is the engine's hot internal state — tuple-slot
+    descriptors, operator nodes, the interpreter's program — against
+    which the per-tuple engine work is charged (see
+    :meth:`repro.sim.cpu.Cpu.hot_loads`).  The §4.2 DTCM co-design
+    passes a TCM-resident region here ("special variables").
+    """
+
+    machine: Machine
+    profile: EngineProfile
+    catalog: Catalog
+    temp: TempArena
+    sink: OutputSink
+    state_region: Optional[Region] = None
+    #: When the co-design places *some* key structures in DTCM (§4.2
+    #: puts 4KB of sqlite3VdbeExec()'s state there), the rest of the
+    #: engine state stays in DRAM: ``state_tcm_fraction`` of the hot
+    #: traffic goes to ``state_region`` and the remainder to
+    #: ``state_overflow_region``.
+    state_overflow_region: Optional[Region] = None
+    state_tcm_fraction: float = 0.65
+    cold_region: Optional[Region] = None
+    #: Sequential block cursor for spill files.
+    spill_block: int = 1 << 24
+    _state_cursor: int = 0
+    _cold_cursor: int = 0
+
+    def _state_addr(self) -> int:
+        region = self.state_region
+        if region is None:
+            raise PlanError("ExecContext has no engine state region")
+        # Rotate over a few lines: slot arrays, not a single word.
+        self._state_cursor = (self._state_cursor + 1) % max(1, region.n_lines)
+        return region.base + self._state_cursor * LINE_SIZE
+
+    def _cold_loads(self, n: int) -> None:
+        region = self.cold_region
+        if region is None or n <= 0:
+            return
+        load = self.machine.load
+        lines = region.n_lines
+        cursor = self._cold_cursor
+        for _ in range(n):
+            cursor = (cursor + 97) % lines  # coprime stride: spread probes
+            load(region.base + cursor * LINE_SIZE)
+        self._cold_cursor = cursor
+
+    def _hot_state(self, loads: int, stores: int) -> None:
+        machine = self.machine
+        addr = self._state_addr()
+        overflow = self.state_overflow_region
+        if overflow is None:
+            machine.hot_loads(addr, loads)
+            machine.hot_stores(addr, stores)
+            return
+        covered_loads = int(loads * self.state_tcm_fraction)
+        covered_stores = int(stores * self.state_tcm_fraction)
+        machine.hot_loads(addr, covered_loads)
+        machine.hot_stores(addr, covered_stores)
+        machine.hot_loads(overflow.base, loads - covered_loads)
+        machine.hot_stores(overflow.base, stores - covered_stores)
+
+    def row_overhead(self) -> None:
+        """Interpreter cost per scanned tuple (engine-flavour specific):
+        hot state loads/stores plus unmodelled 'other' instructions."""
+        profile = self.profile
+        machine = self.machine
+        self._cold_loads(profile.cold_loads_per_row)
+        self._hot_state(profile.state_loads_per_row,
+                        profile.state_stores_per_row)
+        machine.other(profile.state_other_per_row + profile.row_overhead_ops)
+        machine.branch(profile.state_branch_per_row)
+        machine.cmp(profile.state_cmp_per_row)
+        machine.add(profile.state_add_per_row)
+
+    def produce_overhead(self) -> None:
+        """Interpreter cost per tuple an operator hands upward."""
+        profile = self.profile
+        machine = self.machine
+        self._hot_state(profile.op_loads_per_row, profile.op_stores_per_row)
+        machine.other(profile.state_other_per_row // 4
+                      + profile.operator_overhead_ops)
+        machine.branch(profile.state_branch_per_row // 4)
+        machine.cmp(profile.state_cmp_per_row // 4)
+        machine.add(profile.state_add_per_row // 4)
+
+    def spill(self, nbytes: int) -> None:
+        """Write + re-read ``nbytes`` of spill data (work_mem overflow)."""
+        if nbytes <= 0:
+            return
+        self.machine.disk_write(self.spill_block, nbytes)
+        self.machine.disk_read(self.spill_block, nbytes)
+        self.spill_block += max(1, nbytes // 4096)
+
+
+class PhysicalOp:
+    """Base class: a resolved output schema plus a row generator."""
+
+    schema: Schema
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """EXPLAIN-style plan tree rendering."""
+        line = "  " * indent + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.explain(indent + 1))
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def require_columns(schema: Schema, names) -> None:
+    """Raise PlanError early when a plan references unknown columns."""
+    for name in names:
+        if name not in schema:
+            raise PlanError(
+                f"column {name!r} not in schema {schema.names()}"
+            )

@@ -1,0 +1,127 @@
+"""Filter, Project, Limit, and Distinct operators (pipelined)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import PlanError
+from repro.db.exprs import Col, Expr
+from repro.db.operators.base import ExecContext, PhysicalOp
+from repro.db.types import Column, FLOAT, Row, Schema
+
+
+def infer_output_column(name: str, expr: Expr, schema: Schema) -> Column:
+    """Output column type: column refs keep their type; computed
+    expressions are 8-byte numerics."""
+    if isinstance(expr, Col):
+        source = schema.column(expr.name)
+        return Column(name, source.type, source.width)
+    return Column(name, FLOAT)
+
+
+class FilterOp(PhysicalOp):
+    """Row filter on an arbitrary predicate."""
+
+    def __init__(self, child: PhysicalOp, predicate: Expr):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Filter"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        pred = self.predicate.compile(self.child.schema, ctx.machine)
+        for row in self.child.rows(ctx):
+            if pred(row):
+                yield row
+
+
+class ProjectOp(PhysicalOp):
+    """Compute named output expressions per row."""
+
+    def __init__(self, child: PhysicalOp, outputs: Sequence[tuple[str, Expr]]):
+        if not outputs:
+            raise PlanError("projection needs at least one output")
+        self.child = child
+        self.outputs = tuple(outputs)
+        self.schema = Schema(
+            [infer_output_column(name, expr, child.schema)
+             for name, expr in outputs]
+        )
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(n for n, _ in self.outputs)})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        compiled = [expr.compile(self.child.schema, ctx.machine)
+                    for _, expr in self.outputs]
+        produce = ctx.produce_overhead
+        for row in self.child.rows(ctx):
+            produce()
+            yield tuple(fn(row) for fn in compiled)
+
+
+class LimitOp(PhysicalOp):
+    """Stop after ``n`` rows."""
+
+    def __init__(self, child: PhysicalOp, n: int):
+        if n < 0:
+            raise PlanError("limit must be non-negative")
+        self.child = child
+        self.n = n
+        self.schema = child.schema
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.n})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        if self.n == 0:
+            return
+        emitted = 0
+        for row in self.child.rows(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.n:
+                return
+
+
+class DistinctOp(PhysicalOp):
+    """Hash-based duplicate elimination over whole rows."""
+
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        row_size = self.schema.row_size
+        seen: set = set()
+        table = ctx.temp.alloc(64 * 1024, label="distinct")
+        cursor = 0
+        for row in self.child.rows(ctx):
+            machine.mul(1)
+            machine.add(1)
+            machine.load(table.base + (hash(row) % max(1, table.n_lines)) * 64,
+                         dependent=True)
+            if row in seen:
+                continue
+            seen.add(row)
+            machine.store_bytes(table.base + cursor % table.size, row_size)
+            cursor += row_size
+            yield row

@@ -1,0 +1,174 @@
+"""Scan operators: sequential, index-order, and index-range access paths.
+
+These are where the paper's locality contrast lives (§3.2-§3.3):
+
+* :class:`SeqScanOp` reads rows in physical/key order — dense lines,
+  stream-prefetcher friendly, L1D-heavy;
+* :class:`IndexOrderScanOp` visits rows in the order of a *secondary*
+  index — per-row pointer chasing through the tree plus a random page
+  or primary-key fetch, weak locality, more stall/mem;
+* :class:`IndexRangeScanOp` uses an index to read only the rows in a
+  key range (the planner picks it for selective range predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.db.catalog import TableDef
+from repro.db.exprs import Expr, columns_used
+from repro.db.operators.base import ExecContext, PhysicalOp, require_columns
+from repro.db.table import ClusteredTable, HeapTable
+from repro.db.types import Row, Schema
+
+
+def _touched_indexes(schema: Schema, touched: Optional[Sequence[str]],
+                     predicate: Optional[Expr]) -> tuple[int, ...]:
+    """Column positions whose bytes the scan actually reads."""
+    names: set[str] = set()
+    if touched is None:
+        names.update(schema.names())
+    else:
+        names.update(touched)
+    if predicate is not None:
+        names.update(columns_used(predicate))
+    require_columns(schema, names)
+    return tuple(sorted(schema.index_of(n) for n in names))
+
+
+class SeqScanOp(PhysicalOp):
+    """Full-table scan in storage order, with an optional pushed filter."""
+
+    def __init__(self, table: TableDef, predicate: Optional[Expr] = None,
+                 touched: Optional[Sequence[str]] = None):
+        self.table = table
+        self.predicate = predicate
+        self.schema = table.schema
+        self._needed = _touched_indexes(table.schema, touched, predicate)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return ()
+
+    def describe(self) -> str:
+        filt = " filtered" if self.predicate is not None else ""
+        return f"SeqScan({self.table.name}{filt})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        pred = (self.predicate.compile(self.schema, machine)
+                if self.predicate is not None else None)
+        row_overhead = ctx.row_overhead
+        tick = machine.governor_tick
+        for row, _ref in self.table.storage.seq_scan(self._needed):
+            row_overhead()
+            tick()
+            if pred is None or pred(row):
+                yield row
+
+
+class IndexOrderScanOp(PhysicalOp):
+    """Scan all rows in the order of a secondary index.
+
+    For heap tables: walk the index leaves, fetch each row by rowref
+    through the buffer pool (random page access).  For clustered tables:
+    walk the secondary index, then chase the primary key down the
+    clustered tree per row (InnoDB-style double lookup).
+    """
+
+    def __init__(self, table: TableDef, index_column: str,
+                 predicate: Optional[Expr] = None,
+                 touched: Optional[Sequence[str]] = None):
+        self.table = table
+        self.index = table.index_on(index_column)
+        if self.index is None:
+            raise PlanError(
+                f"no index on {table.name}.{index_column} for index scan"
+            )
+        self.predicate = predicate
+        self.schema = table.schema
+        self._needed = _touched_indexes(table.schema, touched, predicate)
+
+    def describe(self) -> str:
+        return f"IndexOrderScan({self.table.name} via {self.index.column})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        pred = (self.predicate.compile(self.schema, machine)
+                if self.predicate is not None else None)
+        storage = self.table.storage
+        row_overhead = ctx.row_overhead
+        tick = machine.governor_tick
+        for _key, payload, _addr in self.index.tree.scan_all():
+            if isinstance(storage, HeapTable):
+                row = storage.fetch_row(payload, self._needed)
+            else:
+                assert isinstance(storage, ClusteredTable)
+                row = storage.key_lookup(payload, self._needed)
+            if row is None:
+                continue  # stale entry for a deleted row (lazy cleanup)
+            row_overhead()
+            tick()
+            if pred is None or pred(row):
+                yield row
+
+
+class IndexRangeScanOp(PhysicalOp):
+    """Rows with ``lo <= column <= hi`` via an index (or the clustered key)."""
+
+    def __init__(self, table: TableDef, column: str, lo, hi,
+                 residual: Optional[Expr] = None,
+                 touched: Optional[Sequence[str]] = None):
+        self.table = table
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+        self.residual = residual
+        self.schema = table.schema
+        self._needed = _touched_indexes(table.schema, touched, residual)
+        storage = table.storage
+        self._clustered_key = (
+            isinstance(storage, ClusteredTable)
+            and storage.key_column == table.schema.index_of(column)
+        )
+        self.index = None if self._clustered_key else table.index_on(column)
+        if not self._clustered_key and self.index is None:
+            raise PlanError(f"no access path for range on {table.name}.{column}")
+
+    def describe(self) -> str:
+        return (
+            f"IndexRangeScan({self.table.name}.{self.column} in "
+            f"[{self.lo}, {self.hi}])"
+        )
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        pred = (self.residual.compile(self.schema, machine)
+                if self.residual is not None else None)
+        storage = self.table.storage
+        row_overhead = ctx.row_overhead
+        tick = machine.governor_tick
+        if self._clustered_key:
+            assert isinstance(storage, ClusteredTable)
+            source: Iterator[Row] = (
+                row for row, _ in storage.key_range(self.lo, self.hi, self._needed)
+            )
+        else:
+            source = self._via_index(storage)
+        for row in source:
+            row_overhead()
+            tick()
+            if pred is None or pred(row):
+                yield row
+
+    def _via_index(self, storage) -> Iterator[Row]:
+        assert self.index is not None
+        for _key, payload, _addr in self.index.tree.range_scan(self.lo, self.hi):
+            if isinstance(storage, HeapTable):
+                row = storage.fetch_row(payload, self._needed)
+            else:
+                assert isinstance(storage, ClusteredTable)
+                row = storage.key_lookup(payload, self._needed)
+            if row is None:
+                continue  # stale entry for a deleted row (lazy cleanup)
+            yield row

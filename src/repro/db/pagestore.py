@@ -1,0 +1,142 @@
+"""On-"disk" table storage: fixed-width rows packed into pages.
+
+A :class:`PagedFile` is the persistent image of one table: rows are
+packed into pages of the engine's configured page size, and each page
+has a global block number so the disk model can distinguish sequential
+from random access.  The file itself holds the authoritative Python
+values; the buffer pool copies pages into simulated-memory frames when
+the executor touches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import DatabaseError
+from repro.db.types import Row, Schema
+
+#: Bytes of page header (LSN, checksum, slot count, free-space pointer).
+PAGE_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Identifies one page of one table file."""
+
+    file_id: int
+    page_no: int
+
+
+class PagedFile:
+    """Rows of one table packed into fixed-size pages.
+
+    Block numbers are allocated globally (via the ``first_block`` offset
+    handed out by the catalog) so that sequential scans of one table
+    produce sequential block numbers for the disk model.
+    """
+
+    def __init__(self, file_id: int, schema: Schema, page_size: int,
+                 first_block: int = 0):
+        usable = page_size - PAGE_HEADER_BYTES
+        if schema.row_size > usable:
+            raise DatabaseError(
+                f"row size {schema.row_size} exceeds usable page bytes {usable}"
+            )
+        self.file_id = file_id
+        self.schema = schema
+        self.page_size = page_size
+        self.rows_per_page = usable // schema.row_size
+        self.first_block = first_block
+        self._pages: list[list[Row]] = []
+        self._deleted: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------ writing
+
+    def append_rows(self, rows: Iterable[Row]) -> None:
+        """Bulk-load rows (the initial data load path)."""
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise DatabaseError(
+                    f"row arity {len(row)} != schema arity {width}"
+                )
+            if not self._pages or len(self._pages[-1]) >= self.rows_per_page:
+                self._pages.append([])
+            self._pages[-1].append(tuple(row))
+
+    def append_row(self, row: Row) -> tuple[int, int]:
+        """Insert one row; returns its (page_no, slot)."""
+        self.append_rows([row])
+        return self.locate(self.n_rows - 1)
+
+    def update_row(self, page_no: int, slot: int, row: Row) -> None:
+        """Overwrite a live row in place."""
+        if len(row) != len(self.schema):
+            raise DatabaseError(
+                f"row arity {len(row)} != schema arity {len(self.schema)}"
+            )
+        page = self._pages[page_no] if page_no < len(self._pages) else None
+        if page is None or slot >= len(page):
+            raise DatabaseError(f"no row at page {page_no} slot {slot}")
+        if (page_no, slot) in self._deleted:
+            raise DatabaseError(f"row at page {page_no} slot {slot} is deleted")
+        page[slot] = tuple(row)
+
+    def delete_row(self, page_no: int, slot: int) -> None:
+        """Tombstone a row (slots are never reused; rowrefs stay stable)."""
+        self.row_at(page_no, slot)  # bounds check
+        self._deleted.add((page_no, slot))
+
+    def is_deleted(self, page_no: int, slot: int) -> bool:
+        return (page_no, slot) in self._deleted
+
+    @property
+    def n_deleted(self) -> int:
+        return len(self._deleted)
+
+    @property
+    def n_live_rows(self) -> int:
+        return self.n_rows - len(self._deleted)
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def n_rows(self) -> int:
+        if not self._pages:
+            return 0
+        return (len(self._pages) - 1) * self.rows_per_page + len(self._pages[-1])
+
+    def page(self, page_no: int) -> Sequence[Row]:
+        try:
+            return self._pages[page_no]
+        except IndexError:
+            raise DatabaseError(
+                f"page {page_no} out of range (file has {self.n_pages})"
+            ) from None
+
+    def block_of(self, page_no: int) -> int:
+        return self.first_block + page_no
+
+    def page_ids(self) -> Iterator[PageId]:
+        for page_no in range(self.n_pages):
+            yield PageId(self.file_id, page_no)
+
+    def locate(self, row_index: int) -> tuple[int, int]:
+        """(page_no, slot) of the ``row_index``-th row in load order."""
+        if row_index < 0 or row_index >= self.n_rows:
+            raise DatabaseError(f"row index {row_index} out of range")
+        return divmod(row_index, self.rows_per_page)
+
+    def row_at(self, page_no: int, slot: int) -> Row:
+        page = self.page(page_no)
+        try:
+            return page[slot]
+        except IndexError:
+            raise DatabaseError(
+                f"slot {slot} out of range on page {page_no}"
+            ) from None

@@ -1,0 +1,7 @@
+"""Compact SQL front-end: SELECT-FROM-WHERE-JOIN-GROUP-ORDER-LIMIT."""
+
+from repro.db.sql.lexer import Token, tokenize
+from repro.db.sql.parser import parse
+from repro.db.sql.translate import sql_to_plan
+
+__all__ = ["Token", "tokenize", "parse", "sql_to_plan"]

@@ -1,0 +1,131 @@
+"""AST node types for the SQL subset (parser output, pre-binding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None  # optional qualifier
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # 'NOT' | '-'
+    operand: "SqlExpr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # comparison, arithmetic, AND, OR
+    left: "SqlExpr"
+    right: "SqlExpr"
+
+
+@dataclass(frozen=True)
+class BetweenExpr:
+    operand: "SqlExpr"
+    lo: "SqlExpr"
+    hi: "SqlExpr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InExpr:
+    operand: "SqlExpr"
+    values: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpr:
+    operand: "SqlExpr"
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    condition: "SqlExpr"
+    then: "SqlExpr"
+    otherwise: "SqlExpr"
+
+
+@dataclass(frozen=True)
+class AggCall:
+    func: str            # SUM | COUNT | AVG | MIN | MAX
+    argument: Optional["SqlExpr"]  # None = COUNT(*)
+    distinct: bool = False
+
+
+SqlExpr = Union[Literal, ColumnRef, Unary, Binary, BetweenExpr, InExpr,
+                LikeExpr, CaseExpr, AggCall]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: TableRef
+    on: Optional[SqlExpr]  # None for comma-joins (conditions in WHERE)
+    kind: str = "inner"    # 'inner' | 'left'
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: SqlExpr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple            # of SelectItem ('*' select = empty tuple)
+    select_star: bool
+    tables: tuple           # of TableRef (first FROM entry)
+    joins: tuple            # of JoinClause
+    where: Optional[SqlExpr]
+    group_by: tuple         # of SqlExpr
+    having: Optional[SqlExpr]
+    order_by: tuple         # of OrderItem
+    limit: Optional[int]
+    distinct: bool
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    rows: tuple     # of tuples of literal values
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: tuple  # of (column, SqlExpr)
+    where: Optional[SqlExpr]
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    table: str
+    where: Optional[SqlExpr]
+
+
+Statement = Union[SelectStmt, InsertStmt, UpdateStmt, DeleteStmt]

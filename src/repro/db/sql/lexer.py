@@ -1,0 +1,108 @@
+"""Tokenizer for the SQL subset.
+
+Token kinds: KEYWORD (upper-cased), IDENT, NUMBER, STRING, and operator
+punctuation.  Dates are written ``DATE 'YYYY-MM-DD'`` and folded into
+NUMBER tokens (proleptic ordinals) by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "LIMIT", "AS", "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE",
+    "JOIN", "ON", "INNER", "LEFT", "OUTER", "ASC", "DESC", "SUM",
+    "COUNT", "AVG", "MIN", "MAX", "DATE", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "IS", "NULL", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE",
+}
+
+_PUNCT = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "+",
+          "-", "*", "/", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str    # 'KEYWORD' | 'IDENT' | 'NUMBER' | 'STRING' | 'PUNCT' | 'EOF'
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.kind == "PUNCT" and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlError` on stray characters."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        if ch.isdigit():
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # A trailing dot followed by non-digit is punctuation.
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            yield Token("NUMBER", text[start:i], start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks = []
+            while True:
+                if i >= n:
+                    raise SqlError(f"unterminated string at position {start}")
+                if text[i] == "'":
+                    if text[i:i + 2] == "''":  # escaped quote
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            yield Token("STRING", "".join(chunks), start)
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                yield Token("PUNCT", punct, i)
+                i += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise SqlError(f"unexpected character {ch!r} at position {i}")
+    yield Token("EOF", "", n)

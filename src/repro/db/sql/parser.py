@@ -1,0 +1,424 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (roughly)::
+
+    select   := SELECT [DISTINCT] items FROM from_clause
+                [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                [ORDER BY order_items] [LIMIT n]
+    items    := '*' | item (',' item)*
+    item     := expr [AS ident]
+    from     := table_ref ((',' table_ref) | join_clause)*
+    join     := [INNER | LEFT [OUTER]] JOIN table_ref ON expr
+    expr     := or_expr
+    or_expr  := and_expr (OR and_expr)*
+    and_expr := not_expr (AND not_expr)*
+    not_expr := [NOT] predicate
+    pred     := additive [cmp additive | BETWEEN .. AND .. | IN (..)
+                | LIKE '..']
+    additive := term (('+'|'-') term)*
+    term     := factor (('*'|'/') factor)*
+    factor   := literal | ident['.'ident] | agg '(' .. ')' | '(' expr ')'
+                | DATE 'Y-M-D' | CASE WHEN e THEN e ELSE e END | '-'factor
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.db.sql.ast import (
+    AggCall,
+    DeleteStmt,
+    InsertStmt,
+    UpdateStmt,
+    BetweenExpr,
+    Binary,
+    CaseExpr,
+    ColumnRef,
+    InExpr,
+    JoinClause,
+    LikeExpr,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    SqlExpr,
+    TableRef,
+    Unary,
+)
+from repro.db.sql.lexer import Token, tokenize
+
+_AGG_FUNCS = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
+_CMP_OPS = {"=", "<", "<=", ">", ">=", "<>", "!="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # ---------------------------------------------------------- plumbing
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(
+                f"expected {word} near position {self.current.pos} "
+                f"(got {self.current.value!r})"
+            )
+
+    def accept_punct(self, *symbols: str) -> Optional[str]:
+        if self.current.is_punct(*symbols):
+            return self.advance().value
+        return None
+
+    def expect_punct(self, symbol: str) -> None:
+        if not self.accept_punct(symbol):
+            raise SqlError(
+                f"expected {symbol!r} near position {self.current.pos} "
+                f"(got {self.current.value!r})"
+            )
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "IDENT":
+            raise SqlError(
+                f"expected identifier near position {self.current.pos} "
+                f"(got {self.current.value!r})"
+            )
+        return self.advance().value
+
+    # ------------------------------------------------------------ select
+
+    def parse_select(self) -> SelectStmt:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        select_star = False
+        items: list[SelectItem] = []
+        if self.accept_punct("*"):
+            select_star = True
+        else:
+            items.append(self._select_item())
+            while self.accept_punct(","):
+                items.append(self._select_item())
+        self.expect_keyword("FROM")
+        tables = [self._table_ref()]
+        joins: list[JoinClause] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self._table_ref())
+                continue
+            kind = None
+            if self.current.is_keyword("JOIN"):
+                kind = "inner"
+                self.advance()
+            elif self.current.is_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                kind = "inner"
+            elif self.current.is_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "left"
+            if kind is None:
+                break
+            table = self._table_ref()
+            self.expect_keyword("ON")
+            condition = self.parse_expr()
+            joins.append(JoinClause(table=table, on=condition, kind=kind))
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: list[SqlExpr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_punct(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != "NUMBER" or "." in token.value:
+                raise SqlError("LIMIT expects an integer")
+            limit = int(token.value)
+        if self.current.kind != "EOF":
+            raise SqlError(
+                f"unexpected trailing input at position {self.current.pos}: "
+                f"{self.current.value!r}"
+            )
+        return SelectStmt(
+            items=tuple(items),
+            select_star=select_star,
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr=expr, descending=descending)
+
+    def _expect_eof(self) -> None:
+        if self.current.kind != "EOF":
+            raise SqlError(
+                f"unexpected trailing input at position {self.current.pos}: "
+                f"{self.current.value!r}"
+            )
+
+    def parse_insert(self) -> InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        self.expect_keyword("VALUES")
+        rows = [self._value_tuple()]
+        while self.accept_punct(","):
+            rows.append(self._value_tuple())
+        self._expect_eof()
+        return InsertStmt(table=table, rows=tuple(rows))
+
+    def _value_tuple(self) -> tuple:
+        self.expect_punct("(")
+        values = [self._insert_value()]
+        while self.accept_punct(","):
+            values.append(self._insert_value())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def _insert_value(self):
+        if self.current.is_keyword("DATE"):
+            expr = self._factor()
+            return expr.value
+        if self.current.is_keyword("NULL"):
+            self.advance()
+            return None
+        negative = bool(self.accept_punct("-"))
+        value = self._literal_value()
+        return -value if negative else value
+
+    def parse_update(self) -> UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._assignment())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        self._expect_eof()
+        return UpdateStmt(table=table, assignments=tuple(assignments),
+                          where=where)
+
+    def _assignment(self) -> tuple:
+        column = self.expect_ident()
+        self.expect_punct("=")
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        self._expect_eof()
+        return DeleteStmt(table=table, where=where)
+
+    # -------------------------------------------------------- expressions
+
+    def parse_expr(self) -> SqlExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> SqlExpr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> SqlExpr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> SqlExpr:
+        if self.accept_keyword("NOT"):
+            return Unary("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> SqlExpr:
+        left = self._additive()
+        negated = self.accept_keyword("NOT")
+        if self.accept_keyword("BETWEEN"):
+            lo = self._additive()
+            self.expect_keyword("AND")
+            hi = self._additive()
+            return BetweenExpr(left, lo, hi, negated=negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            values = [self._literal_value()]
+            while self.accept_punct(","):
+                values.append(self._literal_value())
+            self.expect_punct(")")
+            return InExpr(left, tuple(values), negated=negated)
+        if self.accept_keyword("LIKE"):
+            token = self.advance()
+            if token.kind != "STRING":
+                raise SqlError("LIKE expects a string pattern")
+            return LikeExpr(left, token.value, negated=negated)
+        if negated:
+            raise SqlError("NOT must precede BETWEEN / IN / LIKE here")
+        op = self.accept_punct(*_CMP_OPS)
+        if op is not None:
+            return Binary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> SqlExpr:
+        left = self._term()
+        while True:
+            op = self.accept_punct("+", "-")
+            if op is None:
+                return left
+            left = Binary(op, left, self._term())
+
+    def _term(self) -> SqlExpr:
+        left = self._factor()
+        while True:
+            op = self.accept_punct("*", "/")
+            if op is None:
+                return left
+            left = Binary(op, left, self._factor())
+
+    def _literal_value(self):
+        token = self.advance()
+        if token.kind == "NUMBER":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "STRING":
+            return token.value
+        raise SqlError(f"expected literal at position {token.pos}")
+
+    def _factor(self) -> SqlExpr:
+        token = self.current
+        if token.is_punct("-"):
+            self.advance()
+            return Unary("-", self._factor())
+        if token.is_punct("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("DATE"):
+            self.advance()
+            text_token = self.advance()
+            if text_token.kind != "STRING":
+                raise SqlError("DATE expects a 'YYYY-MM-DD' string")
+            try:
+                year, month, day = (int(p) for p in text_token.value.split("-"))
+                return Literal(date(year, month, day).toordinal())
+            except ValueError as exc:
+                raise SqlError(
+                    f"bad date literal {text_token.value!r}"
+                ) from exc
+        if token.is_keyword("CASE"):
+            self.advance()
+            self.expect_keyword("WHEN")
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            then = self.parse_expr()
+            self.expect_keyword("ELSE")
+            otherwise = self.parse_expr()
+            self.expect_keyword("END")
+            return CaseExpr(condition, then, otherwise)
+        if token.kind == "KEYWORD" and token.value in _AGG_FUNCS:
+            func = self.advance().value
+            self.expect_punct("(")
+            distinct = self.accept_keyword("DISTINCT")
+            if self.accept_punct("*"):
+                if func != "COUNT":
+                    raise SqlError(f"{func}(*) is not valid")
+                argument = None
+            else:
+                argument = self.parse_expr()
+            self.expect_punct(")")
+            return AggCall(func=func, argument=argument, distinct=distinct)
+        if token.kind == "IDENT":
+            first = self.advance().value
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ColumnRef(name=column, table=first)
+            return ColumnRef(name=first)
+        raise SqlError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
+
+
+def parse(text: str) -> SelectStmt:
+    """Parse one SELECT statement."""
+    return _Parser(text).parse_select()
+
+
+def parse_statement(text: str):
+    """Parse one statement of any supported kind (SELECT / INSERT /
+    UPDATE / DELETE)."""
+    parser = _Parser(text)
+    token = parser.current
+    if token.is_keyword("SELECT"):
+        return parser.parse_select()
+    if token.is_keyword("INSERT"):
+        return parser.parse_insert()
+    if token.is_keyword("UPDATE"):
+        return parser.parse_update()
+    if token.is_keyword("DELETE"):
+        return parser.parse_delete()
+    raise SqlError(f"expected a statement, got {token.value!r}")

@@ -1,0 +1,442 @@
+"""Binder + logical planner for the SQL subset.
+
+Turns a parsed :class:`~repro.db.sql.ast.SelectStmt` into the logical
+algebra of :mod:`repro.db.planner`:
+
+* tables are resolved against the catalog (aliases supported); column
+  names must be unambiguous across the FROM tables, which TPC-H-style
+  prefixed schemas guarantee;
+* WHERE conjuncts that compare columns of two different tables become
+  join conditions; single-table conjuncts are pushed into the scans;
+* explicit ``JOIN ... ON`` clauses join in syntax order; comma-joins
+  are connected through the extracted equality conditions;
+* aggregate calls in the select list / HAVING produce an Aggregate node
+  whose outputs feed a final projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.db import exprs as E
+from repro.db.catalog import Catalog
+from repro.db.operators import AggSpec
+from repro.db.planner import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Logical,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.db.sql import ast
+
+
+@dataclass
+class _Binding:
+    """Name resolution context: which table provides which column."""
+
+    catalog: Catalog
+    #: alias -> real table name
+    aliases: dict
+    #: column name -> table name (unambiguous columns only)
+    column_home: dict
+    #: column names that appear in more than one table
+    ambiguous: set
+
+    @classmethod
+    def build(cls, catalog: Catalog, refs) -> "_Binding":
+        aliases: dict = {}
+        column_home: dict = {}
+        ambiguous: set = set()
+        for ref in refs:
+            table = catalog.table(ref.name)  # raises on unknown table
+            key = ref.alias or ref.name
+            if key in aliases:
+                raise SqlError(f"duplicate table alias {key!r}")
+            aliases[key] = ref.name
+            for column in table.schema.names():
+                if column in column_home and column_home[column] != ref.name:
+                    ambiguous.add(column)
+                column_home[column] = ref.name
+        return cls(catalog, aliases, column_home, ambiguous)
+
+    def resolve(self, ref: ast.ColumnRef) -> tuple[str, str]:
+        """Return (table_name, column_name) for a column reference."""
+        if ref.table is not None:
+            table_name = self.aliases.get(ref.table)
+            if table_name is None:
+                raise SqlError(f"unknown table alias {ref.table!r}")
+            if ref.name not in self.catalog.table(table_name).schema:
+                raise SqlError(
+                    f"column {ref.name!r} not in table {table_name!r}"
+                )
+            if ref.name in self.ambiguous:
+                raise SqlError(
+                    f"column {ref.name!r} exists in several tables; the "
+                    "engine's plans bind by bare name, so qualified use of "
+                    "a duplicated name is unsupported"
+                )
+            return table_name, ref.name
+        home = self.column_home.get(ref.name)
+        if home is None:
+            raise SqlError(f"unknown column {ref.name!r}")
+        if ref.name in self.ambiguous:
+            raise SqlError(f"ambiguous column {ref.name!r}")
+        return home, ref.name
+
+
+def _like_expr(operand: E.Expr, pattern: str) -> E.Expr:
+    has_prefix = pattern.startswith("%")
+    has_suffix = pattern.endswith("%")
+    inner = pattern.strip("%")
+    if "%" in inner or "_" in pattern:
+        raise SqlError(
+            f"unsupported LIKE pattern {pattern!r}; use 'x%%', '%%x', "
+            "or '%%x%%'"
+        )
+    if has_prefix and has_suffix:
+        return E.StrContains(operand, inner)
+    if has_suffix:
+        return E.StrPrefix(operand, inner)
+    if has_prefix:
+        return E.StrSuffix(operand, inner)
+    return E.Cmp("=", operand, E.Const(pattern))
+
+
+class _Translator:
+    def __init__(self, catalog: Catalog, stmt: ast.SelectStmt):
+        self.catalog = catalog
+        self.stmt = stmt
+        refs = list(stmt.tables) + [j.table for j in stmt.joins]
+        self.binding = _Binding.build(catalog, refs)
+        self._agg_specs: list[AggSpec] = []
+        self._agg_names: dict = {}
+
+    @classmethod
+    def for_table(cls, catalog: Catalog, table: str) -> "_Translator":
+        """A single-table scalar translator (UPDATE/DELETE binding)."""
+        translator = cls.__new__(cls)
+        translator.catalog = catalog
+        translator.stmt = None
+        translator.binding = _Binding.build(catalog, [ast.TableRef(table)])
+        translator._agg_specs = []
+        translator._agg_names = {}
+        return translator
+
+    # ----------------------------------------------------- scalar exprs
+
+    def scalar(self, node: ast.SqlExpr, allow_agg: bool = False) -> E.Expr:
+        if isinstance(node, ast.Literal):
+            return E.Const(node.value)
+        if isinstance(node, ast.ColumnRef):
+            _, column = self.binding.resolve(node)
+            return E.Col(column)
+        if isinstance(node, ast.Unary):
+            if node.op == "NOT":
+                return E.Not(self.scalar(node.operand, allow_agg))
+            return E.Arith("-", E.Const(0), self.scalar(node.operand, allow_agg))
+        if isinstance(node, ast.Binary):
+            if node.op == "AND":
+                return E.And(self.scalar(node.left, allow_agg),
+                             self.scalar(node.right, allow_agg))
+            if node.op == "OR":
+                return E.Or(self.scalar(node.left, allow_agg),
+                            self.scalar(node.right, allow_agg))
+            left = self.scalar(node.left, allow_agg)
+            right = self.scalar(node.right, allow_agg)
+            if node.op in ("<>", "!="):
+                return E.Cmp("!=", left, right)
+            if node.op in ("=", "<", "<=", ">", ">="):
+                return E.Cmp(node.op, left, right)
+            if node.op in ("+", "-", "*", "/"):
+                return E.Arith(node.op, left, right)
+            raise SqlError(f"unsupported operator {node.op!r}")
+        if isinstance(node, ast.BetweenExpr):
+            lo = self.scalar(node.lo, allow_agg)
+            hi = self.scalar(node.hi, allow_agg)
+            part = self.scalar(node.operand, allow_agg)
+            if isinstance(lo, E.Const) and isinstance(hi, E.Const):
+                between: E.Expr = E.Between(part, lo.value, hi.value)
+            else:
+                between = E.And(E.Cmp(">=", part, lo), E.Cmp("<=", part, hi))
+            return E.Not(between) if node.negated else between
+        if isinstance(node, ast.InExpr):
+            inner = E.InList(self.scalar(node.operand, allow_agg), node.values)
+            return E.Not(inner) if node.negated else inner
+        if isinstance(node, ast.LikeExpr):
+            like = _like_expr(self.scalar(node.operand, allow_agg), node.pattern)
+            return E.Not(like) if node.negated else like
+        if isinstance(node, ast.CaseExpr):
+            return E.CaseWhen(
+                self.scalar(node.condition, allow_agg),
+                self.scalar(node.then, allow_agg),
+                self.scalar(node.otherwise, allow_agg),
+            )
+        if isinstance(node, ast.AggCall):
+            if not allow_agg:
+                raise SqlError("aggregate not allowed here")
+            return E.Col(self._register_agg(node))
+        raise SqlError(f"unsupported expression {type(node).__name__}")
+
+    def _register_agg(self, call: ast.AggCall) -> str:
+        key = call
+        if key in self._agg_names:
+            return self._agg_names[key]
+        name = f"agg_{len(self._agg_specs)}"
+        if call.func == "COUNT" and call.distinct:
+            kind = "count_distinct"
+        elif call.distinct:
+            raise SqlError(f"DISTINCT is only supported inside COUNT")
+        else:
+            kind = call.func.lower()
+        argument = None if call.argument is None else self.scalar(call.argument)
+        self._agg_specs.append(AggSpec(name, kind, argument))
+        self._agg_names[key] = name
+        return name
+
+    # ------------------------------------------------------------ joins
+
+    def _tables_of(self, node: ast.SqlExpr) -> set:
+        out: set = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.ColumnRef):
+                out.add(self.binding.resolve(current)[0])
+            elif isinstance(current, ast.Binary):
+                stack.extend((current.left, current.right))
+            elif isinstance(current, ast.Unary):
+                stack.append(current.operand)
+            elif isinstance(current, ast.BetweenExpr):
+                stack.extend((current.operand, current.lo, current.hi))
+            elif isinstance(current, (ast.InExpr, ast.LikeExpr)):
+                stack.append(current.operand)
+            elif isinstance(current, ast.CaseExpr):
+                stack.extend((current.condition, current.then, current.otherwise))
+            elif isinstance(current, ast.AggCall) and current.argument is not None:
+                stack.append(current.argument)
+        return out
+
+    @staticmethod
+    def _conjuncts(node: Optional[ast.SqlExpr]) -> list:
+        if node is None:
+            return []
+        if isinstance(node, ast.Binary) and node.op == "AND":
+            return (_Translator._conjuncts(node.left)
+                    + _Translator._conjuncts(node.right))
+        return [node]
+
+    def _is_equijoin(self, node: ast.SqlExpr) -> Optional[tuple]:
+        """Return ((table, col), (table, col)) for a cross-table col=col."""
+        if (isinstance(node, ast.Binary) and node.op == "="
+                and isinstance(node.left, ast.ColumnRef)
+                and isinstance(node.right, ast.ColumnRef)):
+            left = self.binding.resolve(node.left)
+            right = self.binding.resolve(node.right)
+            if left[0] != right[0]:
+                return left, right
+        return None
+
+    def build_from(self) -> tuple[Logical, list]:
+        """Build the join tree; returns (plan, leftover_conjuncts)."""
+        stmt = self.stmt
+        conjuncts = self._conjuncts(stmt.where)
+        # Partition WHERE into per-table filters, join equalities, rest.
+        table_filters: dict = {}
+        join_conds: list = []
+        leftover: list = []
+        for conj in conjuncts:
+            eq = self._is_equijoin(conj)
+            if eq is not None:
+                join_conds.append(eq)
+                continue
+            tables = self._tables_of(conj)
+            if len(tables) == 1:
+                table_filters.setdefault(tables.pop(), []).append(conj)
+            else:
+                leftover.append(conj)
+
+        def scan_of(name: str) -> Scan:
+            parts = [self.scalar(c) for c in table_filters.pop(name, [])]
+            return Scan(name, E.and_all(parts))
+
+        joined: set = set()
+        first = stmt.tables[0].name
+        plan: Logical = scan_of(first)
+        joined.add(first)
+
+        def connect(name: str, kind: str,
+                    on: Optional[ast.SqlExpr]) -> None:
+            nonlocal plan
+            condition = None
+            if on is not None:
+                eq = self._is_equijoin(on)
+                if eq is None:
+                    raise SqlError("JOIN ... ON must be a column equality")
+                condition = eq
+            else:
+                for index, (left, right) in enumerate(join_conds):
+                    if ((left[0] == name and right[0] in joined)
+                            or (right[0] == name and left[0] in joined)):
+                        condition = join_conds.pop(index)
+                        break
+            if condition is None:
+                raise SqlError(
+                    f"no join condition connects table {name!r}"
+                )
+            left, right = condition
+            if left[0] == name:
+                left, right = right, left
+            if left[0] not in joined:
+                raise SqlError(
+                    f"join condition for {name!r} references the "
+                    f"not-yet-joined table {left[0]!r}"
+                )
+            plan = Join(plan, scan_of(name),
+                        E.Col(left[1]), E.Col(right[1]), kind=kind)
+            joined.add(name)
+
+        for ref in stmt.tables[1:]:
+            connect(ref.name, "inner", None)
+        for clause in stmt.joins:
+            connect(clause.table.name, clause.kind, clause.on)
+        # Any remaining extracted equalities act as post-join filters.
+        for left, right in join_conds:
+            leftover.append(
+                ast.Binary("=", ast.ColumnRef(left[1]), ast.ColumnRef(right[1]))
+            )
+        return plan, leftover
+
+    # ------------------------------------------------------------ driver
+
+    def translate(self) -> Logical:
+        stmt = self.stmt
+        plan, leftover = self.build_from()
+        if leftover:
+            parts = [self.scalar(c) for c in leftover]
+            plan = Filter(plan, E.and_all(parts))
+
+        has_aggregates = bool(stmt.group_by) or _contains_agg(stmt)
+        output_names: list[str] = []
+        if has_aggregates:
+            if stmt.select_star:
+                raise SqlError("SELECT * cannot be combined with aggregates")
+            group_by = []
+            group_names = {}
+            for index, expr in enumerate(stmt.group_by):
+                if isinstance(expr, ast.ColumnRef):
+                    name = self.binding.resolve(expr)[1]
+                else:
+                    name = f"group_{index}"
+                group_by.append((name, self.scalar(expr)))
+                group_names[_freeze(expr)] = name
+            outputs = []
+            for index, item in enumerate(stmt.items):
+                name = item.alias or _default_name(item.expr, self.binding, index)
+                frozen = _freeze(item.expr)
+                if frozen in group_names:
+                    outputs.append((name, E.Col(group_names[frozen])))
+                else:
+                    outputs.append((name, self.scalar(item.expr, allow_agg=True)))
+                output_names.append(name)
+            having = (self.scalar(stmt.having, allow_agg=True)
+                      if stmt.having is not None else None)
+            plan = Aggregate(plan, tuple(group_by), tuple(self._agg_specs),
+                             having=having)
+            plan = Project(plan, tuple(outputs))
+        elif not stmt.select_star:
+            outputs = []
+            for index, item in enumerate(stmt.items):
+                name = item.alias or _default_name(item.expr, self.binding, index)
+                outputs.append((name, self.scalar(item.expr)))
+                output_names.append(name)
+            plan = Project(plan, tuple(outputs))
+
+        if stmt.distinct:
+            plan = Distinct(plan)
+        if stmt.order_by:
+            keys = []
+            for item in stmt.order_by:
+                expr = item.expr
+                if (isinstance(expr, ast.ColumnRef) and expr.table is None
+                        and expr.name in output_names):
+                    key: E.Expr = E.Col(expr.name)
+                else:
+                    key = self.scalar(expr, allow_agg=has_aggregates)
+                keys.append((key, item.descending))
+            plan = Sort(plan, tuple(keys), limit=stmt.limit)
+        elif stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+
+def _freeze(node: ast.SqlExpr):
+    return node  # AST nodes are frozen dataclasses: hashable as-is
+
+
+def _default_name(expr: ast.SqlExpr, binding: _Binding, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return binding.resolve(expr)[1]
+    if isinstance(expr, ast.AggCall):
+        return expr.func.lower()
+    return f"col_{index}"
+
+
+def _contains_agg(stmt: ast.SelectStmt) -> bool:
+    def walk(node) -> bool:
+        if isinstance(node, ast.AggCall):
+            return True
+        if isinstance(node, ast.Binary):
+            return walk(node.left) or walk(node.right)
+        if isinstance(node, ast.Unary):
+            return walk(node.operand)
+        if isinstance(node, ast.CaseExpr):
+            return walk(node.condition) or walk(node.then) or walk(node.otherwise)
+        if isinstance(node, (ast.BetweenExpr,)):
+            return walk(node.operand)
+        if isinstance(node, (ast.InExpr, ast.LikeExpr)):
+            return walk(node.operand)
+        return False
+
+    items = [i.expr for i in stmt.items]
+    if stmt.having is not None:
+        items.append(stmt.having)
+    return any(walk(e) for e in items)
+
+
+def sql_to_plan(catalog: Catalog, text: str) -> Logical:
+    """Parse and bind one SELECT statement into a logical plan."""
+    from repro.db.sql.parser import parse
+
+    return _Translator(catalog, parse(text)).translate()
+
+
+def bind_dml(catalog: Catalog, stmt):
+    """Bind an UPDATE/DELETE statement's expressions against its table.
+
+    Returns ``(assignments, predicate)`` for UPDATE and ``predicate``
+    for DELETE, with every expression compiled-ready.
+    """
+    translator = _Translator.for_table(catalog, stmt.table)
+    if isinstance(stmt, ast.UpdateStmt):
+        schema = catalog.table(stmt.table).schema
+        assignments = {}
+        for column, expr in stmt.assignments:
+            if column not in schema:
+                raise SqlError(
+                    f"unknown column {column!r} in UPDATE {stmt.table}"
+                )
+            assignments[column] = translator.scalar(expr)
+        predicate = (translator.scalar(stmt.where)
+                     if stmt.where is not None else None)
+        return assignments, predicate
+    if isinstance(stmt, ast.DeleteStmt):
+        return (translator.scalar(stmt.where)
+                if stmt.where is not None else None)
+    raise SqlError(f"not a DML statement: {type(stmt).__name__}")

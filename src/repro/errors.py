@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine, cache, or engine configuration was supplied."""
+
+
+class AllocationError(ReproError):
+    """The simulated address space (or a TCM region) could not satisfy an
+    allocation request."""
+
+
+class CalibrationError(ReproError):
+    """The micro-benchmark calibration could not solve a per-operation
+    energy cost (e.g. a benchmark never exercised the target operation)."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the mini database engine."""
+
+
+class CatalogError(DatabaseError):
+    """An unknown table, column, or index was referenced."""
+
+
+class SqlError(DatabaseError):
+    """The SQL front-end rejected a statement."""
+
+
+class PlanError(DatabaseError):
+    """A physical plan was malformed (wrong arity, unbound column, ...)."""

@@ -1,0 +1,54 @@
+"""Micro-benchmarks (MBS), verification set (VMBS), and the measurement
+procedure of the paper's §2."""
+
+from repro.micro.benchmarks import (
+    BLI_CLASSES,
+    MBS,
+    PreparedBenchmark,
+    default_rounds,
+    mbs_for,
+    prepare,
+)
+from repro.micro.measurement import (
+    DOMAIN_CORE,
+    DOMAIN_PACKAGE,
+    DOMAIN_PACKAGE_DRAM,
+    BackgroundRates,
+    Measurement,
+    measure_background,
+    run_measured,
+    select_domain,
+)
+from repro.micro.runner import (
+    MicroResult,
+    RuntimeConfig,
+    apply_runtime_config,
+    run_microbenchmark,
+    run_prepared,
+)
+from repro.micro.verification import VMBS, prepare_verification, vmbs_for
+
+__all__ = [
+    "BLI_CLASSES",
+    "MBS",
+    "PreparedBenchmark",
+    "default_rounds",
+    "mbs_for",
+    "prepare",
+    "DOMAIN_CORE",
+    "DOMAIN_PACKAGE",
+    "DOMAIN_PACKAGE_DRAM",
+    "BackgroundRates",
+    "Measurement",
+    "measure_background",
+    "run_measured",
+    "select_domain",
+    "MicroResult",
+    "RuntimeConfig",
+    "apply_runtime_config",
+    "run_microbenchmark",
+    "run_prepared",
+    "VMBS",
+    "prepare_verification",
+    "vmbs_for",
+]

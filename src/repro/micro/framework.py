@@ -1,0 +1,184 @@
+"""Traversal frameworks for the micro-benchmarks (§2.5.1, Figure 4).
+
+Two designs, exactly as the paper motivates:
+
+* **list traversal** — items form a pointer chain, so every load depends
+  on the previous one; out-of-order execution and speculation cannot
+  hide the latency, which isolates ``dE_m + dE_stall`` for the memory
+  layer ``m`` the chain lives in;
+* **array traversal** — item addresses are known up front, the pipeline
+  stays full (dual-issue on the Intel preset), which isolates the pure
+  load energy without stall cycles.
+
+Items are 64 bytes (one cache line) so that one load instruction touches
+one line; a traversal over ``n`` items touches ``n`` distinct lines once
+per round.
+
+``shuffled_chain_order`` implements Algorithm 3's logical-position
+shuffle (Figure 4d): the chain visits lines in a randomised order where
+consecutive hops are at least ``span_threshold`` lines apart, breaking
+spatial locality so that a chain bigger than a cache level reliably
+misses it.  The shuffle is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.address_space import Region
+from repro.sim.machine import Machine
+
+#: One item per cache line, as in the paper's Figure 4.
+ITEM_BYTES = 64
+
+#: Loop-control overhead modelled per fully-unrolled traversal round:
+#: the paper unrolls the body so that >97% of instructions are the
+#: desired loads (Table 1's BLI column); a small per-block residue of
+#: compare/branch/other remains.
+_UNROLL_BLOCK = 128
+
+
+def sequential_order(n_items: int) -> range:
+    """Physical order 0..n-1 — what array traversal uses."""
+    return range(n_items)
+
+
+def shuffled_chain_order(
+    n_items: int, span_threshold: Optional[int] = None, seed: int = 1234
+) -> list[int]:
+    """Algorithm 3's randomised logical order with a minimum hop span.
+
+    Starts from the identity order and exchanges each position with a
+    random partner at least ``span_threshold`` away (default: an eighth
+    of the item count), rejecting logical-neighbour swaps — a faithful
+    rendering of the paper's lines 7-11.
+    """
+    if n_items <= 0:
+        raise ConfigError("chain needs at least one item")
+    if n_items <= 3:
+        return list(range(n_items))
+    span = span_threshold if span_threshold is not None else max(2, n_items // 8)
+    span = min(span, n_items - 2)
+    rng = random.Random(seed)
+    order = list(range(n_items))
+    for z in range(n_items - 1):
+        for _ in range(16):  # bounded retries to satisfy the span constraint
+            e = rng.randrange(1, n_items - 1)
+            if abs(z - e) > span and abs(order[z] - order[e]) > 1:
+                order[z], order[e] = order[e], order[z]
+                break
+    return order
+
+
+def _loop_overhead(machine: Machine, n_items: int) -> None:
+    """Residual loop-control instructions after full unrolling."""
+    blocks = max(1, n_items // _UNROLL_BLOCK)
+    machine.cmp(blocks)
+    machine.branch(blocks)
+    machine.other(blocks)
+
+
+def list_traverse(
+    machine: Machine,
+    region: Region,
+    order: Sequence[int],
+    rounds: int,
+    add_per_item: int = 0,
+    nop_per_item: int = 0,
+) -> None:
+    """Pointer-chase the chain ``rounds`` times (dependent loads).
+
+    ``add_per_item`` / ``nop_per_item`` inject a known number of compute
+    instructions between hops — how the paper derives its verification
+    benchmarks (B_L1D_list_nop etc., §2.5.5) from the base ones.
+    """
+    addrs = [region.line(i) for i in order]
+    load = machine.load
+    add = machine.add
+    nop = machine.nop
+    for _ in range(rounds):
+        for addr in addrs:
+            load(addr, True)
+            if add_per_item:
+                add(add_per_item)
+            if nop_per_item:
+                nop(nop_per_item)
+        _loop_overhead(machine, len(addrs))
+
+
+def array_traverse(
+    machine: Machine,
+    region: Region,
+    n_items: int,
+    rounds: int,
+    add_per_item: int = 0,
+    nop_per_item: int = 0,
+) -> None:
+    """Sequentially read the array ``rounds`` times (independent loads)."""
+    load = machine.load
+    add = machine.add
+    nop = machine.nop
+    base = region.base
+    for _ in range(rounds):
+        for i in range(n_items):
+            load(base + i * ITEM_BYTES)
+            if add_per_item:
+                add(add_per_item)
+            if nop_per_item:
+                nop(nop_per_item)
+        _loop_overhead(machine, n_items)
+
+
+def store_loop(
+    machine: Machine,
+    region: Region,
+    rounds: int,
+    unroll: int,
+) -> None:
+    """Algorithm 4 (B_Reg2L1D): repeatedly store to one 64-byte variable.
+
+    The value lives in a register; only the store micro-operation touches
+    L1D, and after the first write-allocate every store hits.
+    """
+    addr = region.base
+    store = machine.store
+    for _ in range(rounds):
+        for _ in range(unroll):
+            store(addr)
+        _loop_overhead(machine, unroll)
+
+
+def compute_loop(machine: Machine, kind: str, rounds: int, unroll: int) -> None:
+    """B_add / B_nop: a known number of one instruction class."""
+    if kind == "add":
+        op = machine.add
+    elif kind == "nop":
+        op = machine.nop
+    else:
+        raise ConfigError(f"unknown compute loop kind {kind!r}")
+    for _ in range(rounds):
+        op(unroll)
+        _loop_overhead(machine, unroll)
+
+
+def interleaved_list_traverse(
+    machine: Machine,
+    regions_and_orders: Sequence[tuple[Region, Sequence[int]]],
+    rounds: int,
+) -> None:
+    """Alternate whole-chain traversals over several chains per round.
+
+    Used by the verification benchmark B_L1D_list_L2, which mixes an
+    L1D-resident chain with an L2-resident chain (§2.5.5).
+    """
+    chains = [
+        [region.line(i) for i in order] for region, order in regions_and_orders
+    ]
+    load = machine.load
+    for _ in range(rounds):
+        for addrs in chains:
+            for addr in addrs:
+                load(addr, True)
+            _loop_overhead(machine, len(addrs))

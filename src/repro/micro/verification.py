@@ -1,0 +1,122 @@
+"""The verification micro-benchmark set VMBS (§2.5.5, Table 3).
+
+Seven benchmarks derived from MBS by mixing in known numbers of ``add``
+and ``nop`` instructions (and, for B_L1D_list_L2, a second chain in a
+different memory layer).  They exhibit *composite* behaviour: the
+estimator prices them with Eq. (1) using the calibrated dE_m, and the
+gap to the measured Active energy is the method's accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.micro import framework
+from repro.micro.benchmarks import (
+    PreparedBenchmark,
+    _l1_resident_items,
+    _l2_resident_items,
+    _l3_resident_items,
+    _mem_items,
+)
+from repro.sim.machine import Machine
+
+#: The paper's verification set, in Table 3 order.
+VMBS = (
+    "B_L1D_list_nop",
+    "B_L1D_array_add",
+    "B_L2_nop",
+    "B_L3_add",
+    "B_mem_nop",
+    "B_L1D_list_L2",
+    "B_L1D_list_nop_add",
+)
+
+#: Compute instructions injected per chain hop in the derived benchmarks.
+_MIX = 2
+
+
+def prepare_verification(
+    name: str, machine: Machine, seed: int = 4321
+) -> PreparedBenchmark:
+    """Build one VMBS benchmark for ``machine``."""
+    if name == "B_L1D_list_nop":
+        return _chain_with_mix(machine, name, "L1D", nop=_MIX, seed=seed)
+    if name == "B_L1D_array_add":
+        n = _l1_resident_items(machine)
+        region = machine.address_space.alloc_lines(n, label=name)
+        return PreparedBenchmark(
+            name=name, machine=machine, reach="L1D", items_per_round=n,
+            regions=(region,),
+            run_rounds=lambda r: framework.array_traverse(
+                machine, region, n, r, add_per_item=_MIX
+            ),
+        )
+    if name == "B_L2_nop":
+        return _chain_with_mix(machine, name, "L2", nop=_MIX, seed=seed)
+    if name == "B_L3_add":
+        return _chain_with_mix(machine, name, "L3", add=_MIX, seed=seed)
+    if name == "B_mem_nop":
+        return _chain_with_mix(machine, name, "mem", nop=_MIX, seed=seed)
+    if name == "B_L1D_list_L2":
+        n1 = _l1_resident_items(machine) // 2
+        n2 = _l2_resident_items(machine)
+        region1 = machine.address_space.alloc_lines(n1, label=name + "/l1")
+        region2 = machine.address_space.alloc_lines(n2, label=name + "/l2")
+        pairs = [
+            (region1, framework.sequential_order(n1)),
+            (region2, framework.shuffled_chain_order(n2, seed=seed)),
+        ]
+        return PreparedBenchmark(
+            name=name, machine=machine, reach="L2", items_per_round=n1 + n2,
+            regions=(region1, region2),
+            run_rounds=lambda r: framework.interleaved_list_traverse(
+                machine, pairs, r
+            ),
+        )
+    if name == "B_L1D_list_nop_add":
+        return _chain_with_mix(machine, name, "L1D", add=1, nop=1, seed=seed)
+    raise ConfigError(f"unknown verification benchmark {name!r}")
+
+
+def _chain_with_mix(
+    machine: Machine,
+    name: str,
+    reach: str,
+    add: int = 0,
+    nop: int = 0,
+    seed: int = 4321,
+) -> PreparedBenchmark:
+    if reach == "L1D":
+        n = _l1_resident_items(machine)
+        order: list[int] | range = framework.sequential_order(n)
+    elif reach == "L2":
+        n = _l2_resident_items(machine)
+        order = framework.shuffled_chain_order(n, seed=seed)
+    elif reach == "L3":
+        n = _l3_resident_items(machine)
+        order = framework.shuffled_chain_order(n, seed=seed)
+    elif reach == "mem":
+        n = _mem_items(machine)
+        order = framework.shuffled_chain_order(n, seed=seed)
+    else:
+        raise ConfigError(f"unknown reach {reach!r}")
+    region = machine.address_space.alloc_lines(n, label=name)
+    return PreparedBenchmark(
+        name=name, machine=machine, reach=reach, items_per_round=n,
+        regions=(region,),
+        run_rounds=lambda r: framework.list_traverse(
+            machine, region, order, r, add_per_item=add, nop_per_item=nop
+        ),
+    )
+
+
+def vmbs_for(machine: Machine) -> list[str]:
+    """The subset of VMBS this machine's geometry supports."""
+    names = ["B_L1D_list_nop", "B_L1D_array_add"]
+    if machine.config.l2 is not None:
+        names += ["B_L2_nop", "B_L1D_list_L2"]
+    if machine.config.l3 is not None:
+        names.append("B_L3_add")
+    names += ["B_mem_nop", "B_L1D_list_nop_add"]
+    # Preserve Table 3 order.
+    return [n for n in VMBS if n in names]

@@ -1,0 +1,62 @@
+"""Simulation substrate: CPU, cache hierarchy, energy, DVFS, disk, TCM.
+
+This package replaces the paper's physical measurement platform (Intel
+i7-4790 + RAPL + PMU; ARM1176JZF-S + power meter).  See DESIGN.md §2 for
+the substitution argument.
+"""
+
+from repro.sim.address_space import LINE_SHIFT, LINE_SIZE, AddressSpace, Region
+from repro.sim.cache import CacheLevel
+from repro.sim.cpu import Cpu, TimingConfig
+from repro.sim.disk import DiskModel
+from repro.sim.dvfs import EistGovernor, PstateTable, ResidencyRecorder, VoltageLaw
+from repro.sim.energy import (
+    BackgroundPower,
+    EventCost,
+    EventEnergyTable,
+    RaplCounters,
+)
+from repro.sim.hierarchy import (
+    LEVEL_L1D,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MEM,
+    LEVEL_TCM,
+    MemoryHierarchy,
+)
+from repro.sim.machine import Machine, MachineStats
+from repro.sim.pmu import Pmu, PmuCounters
+from repro.sim.prefetcher import StreamPrefetcher
+from repro.sim.tcm import TcmAllocator, TcmConfig
+
+__all__ = [
+    "LINE_SHIFT",
+    "LINE_SIZE",
+    "AddressSpace",
+    "Region",
+    "CacheLevel",
+    "Cpu",
+    "TimingConfig",
+    "DiskModel",
+    "EistGovernor",
+    "PstateTable",
+    "ResidencyRecorder",
+    "VoltageLaw",
+    "BackgroundPower",
+    "EventCost",
+    "EventEnergyTable",
+    "RaplCounters",
+    "LEVEL_L1D",
+    "LEVEL_L2",
+    "LEVEL_L3",
+    "LEVEL_MEM",
+    "LEVEL_TCM",
+    "MemoryHierarchy",
+    "Machine",
+    "MachineStats",
+    "Pmu",
+    "PmuCounters",
+    "StreamPrefetcher",
+    "TcmAllocator",
+    "TcmConfig",
+]

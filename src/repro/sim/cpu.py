@@ -1,0 +1,232 @@
+"""Trace-driven CPU timing model.
+
+The paper's stall analysis (§2.5.1, Figure 3) rests on two execution
+behaviours:
+
+* **dependent loads** (list traversal): the address of the next load is
+  produced by the previous one, so the pipeline is forced to break — a
+  load costs its full load-to-use latency: 1 busy cycle plus
+  ``latency - 1`` stall cycles;
+* **independent loads** (array traversal): addresses are known up front,
+  speculation/out-of-order execution hides the latency, and the i7-4790's
+  dual-issue front end retires two loads per cycle with no stall.
+
+This model implements exactly that dichotomy, plus a memory-level-
+parallelism (MLP) bound for independent *misses*: an out-of-order window
+can only overlap ``mlp`` outstanding misses, so a stream of independent
+DRAM misses still exposes ``latency / mlp`` cycles each.  In-order cores
+(the ARM1176 preset) use ``mlp = 1``: a miss stalls regardless.
+
+The CPU mutates the shared PMU counter block; energy is priced later from
+those counters (see :mod:`repro.sim.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.address_space import LINE_SIZE
+from repro.sim.hierarchy import (
+    LEVEL_L1D,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MEM,
+    LEVEL_TCM,
+    MemoryHierarchy,
+)
+from repro.sim.pmu import PmuCounters
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Latency and issue-width parameters of a core.
+
+    Latencies are load-to-use, in core cycles, except DRAM which is in
+    nanoseconds (DRAM latency is fixed in wall-clock time, so its cycle
+    cost *grows* with frequency — the effect behind Table 5's stall
+    behaviour).
+    """
+
+    lat_l1: int = 4
+    lat_l2: int = 12
+    lat_l3: int = 34
+    dram_lat_ns: float = 60.0
+    lat_tcm: int = 4
+    mlp: int = 8
+    load_issue: float = 0.5    # dual-issue loads
+    store_issue: float = 1.0   # one store port
+    alu_issue: float = 0.5
+    nop_issue: float = 0.25
+    mul_issue: float = 1.0
+    cmp_issue: float = 0.5
+    branch_issue: float = 1.0
+    other_issue: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mlp < 1:
+            raise ConfigError("mlp must be >= 1")
+        if min(self.lat_l1, self.lat_l2, self.lat_l3, self.lat_tcm) < 1:
+            raise ConfigError("latencies must be >= 1 cycle")
+
+
+class Cpu:
+    """Executes the workload-facing micro-op stream against a hierarchy."""
+
+    def __init__(
+        self,
+        timing: TimingConfig,
+        hierarchy: MemoryHierarchy,
+        counters: PmuCounters,
+    ):
+        self.timing = timing
+        self.hierarchy = hierarchy
+        self.counters = counters
+        self._latency = [0.0] * 5  # indexed by LEVEL_* constants
+        self.set_frequency(1.0)
+
+    def set_counters(self, counters: PmuCounters) -> None:
+        self.counters = counters
+
+    def set_frequency(self, freq_ghz: float) -> None:
+        """Recompute per-level latencies for a new core frequency."""
+        if freq_ghz <= 0:
+            raise ConfigError("frequency must be positive")
+        self.freq_ghz = freq_ghz
+        t = self.timing
+        self._latency[LEVEL_TCM] = float(t.lat_tcm)
+        self._latency[LEVEL_L1D] = float(t.lat_l1)
+        self._latency[LEVEL_L2] = float(t.lat_l2)
+        self._latency[LEVEL_L3] = float(t.lat_l3)
+        self._latency[LEVEL_MEM] = t.lat_l3 + t.dram_lat_ns * freq_ghz
+
+    # ------------------------------------------------------------ loads/stores
+
+    def load(self, addr: int, dependent: bool = False) -> int:
+        """One 8-byte (or smaller) load instruction; returns service level."""
+        level = self.hierarchy.load(addr)
+        c = self.counters
+        c.n_load_inst += 1
+        latency = self._latency[level]
+        if dependent:
+            c.cycles += latency
+            c.stall_cycles += latency - 1.0
+        else:
+            issue = self.timing.load_issue
+            c.cycles += issue
+            if level > LEVEL_L1D:
+                exposed = latency / self.timing.mlp - issue
+                if exposed > 0.0:
+                    c.cycles += exposed
+                    c.stall_cycles += exposed
+        return level
+
+    def load_bytes(self, addr: int, nbytes: int, dependent: bool = False) -> None:
+        """A multi-word read: one load per 8 bytes, first one dependent
+        if requested, the rest independent (they share the address)."""
+        n_words = max(1, (nbytes + 7) // 8)
+        self.load(addr, dependent=dependent)
+        for i in range(1, n_words):
+            self.load(addr + 8 * i)
+
+    def scan_lines(self, base_addr: int, n_lines: int, loads_per_line: int = 1) -> None:
+        """Sequentially read ``n_lines`` cache lines starting at ``base_addr``.
+
+        The first load of each line goes through the hierarchy; the
+        remaining ``loads_per_line - 1`` loads are same-line and therefore
+        guaranteed L1D hits — they are accounted in bulk, which keeps
+        table scans fast to simulate without changing any counter value.
+        """
+        if n_lines <= 0:
+            return
+        extra = loads_per_line - 1
+        c = self.counters
+        t_issue = self.timing.load_issue
+        for i in range(n_lines):
+            self.load(base_addr + i * LINE_SIZE)
+        if extra > 0:
+            bulk = n_lines * extra
+            c.n_load_inst += bulk
+            c.n_l1d += bulk
+            c.l1d_hits += bulk
+            c.cycles += bulk * t_issue
+
+    def hot_loads(self, addr: int, n: int) -> None:
+        """``n`` loads against a known-hot working set at ``addr``.
+
+        Interpretive database engines issue hundreds of loads per tuple
+        against their own state (tuple slots, operator nodes, the VDBE
+        program).  That working set is touched continuously — hundreds of
+        times between any two data accesses — so it is L1D-resident in
+        steady state regardless of what the data scan evicts.  All ``n``
+        loads are therefore accounted as L1D hits in bulk, which keeps
+        the simulation O(rows) instead of O(instructions).
+
+        If ``addr`` sits in a TCM region, all ``n`` loads are TCM loads
+        (the §4.2 co-design moves exactly this state into DTCM).
+        """
+        if n <= 0:
+            return
+        c = self.counters
+        if self.hierarchy.in_tcm(addr):
+            c.n_tcm_load += n
+            c.n_load_inst += n
+            c.cycles += n * self.timing.load_issue
+            return
+        c.n_load_inst += n
+        c.n_l1d += n
+        c.l1d_hits += n
+        c.cycles += n * self.timing.load_issue
+
+    def hot_stores(self, addr: int, n: int) -> None:
+        """``n`` stores against a known-hot working set (see hot_loads)."""
+        if n <= 0:
+            return
+        c = self.counters
+        if self.hierarchy.in_tcm(addr):
+            c.n_tcm_store += n
+            c.n_store_inst += n
+            c.cycles += n * self.timing.store_issue
+            return
+        c.n_store_inst += n
+        c.n_store += n
+        c.n_store_l1d_hit += n
+        c.cycles += n * self.timing.store_issue
+
+    def store(self, addr: int) -> None:
+        """One store instruction (write-back, 1-cycle via store buffer)."""
+        self.hierarchy.store(addr)
+        c = self.counters
+        c.n_store_inst += 1
+        c.cycles += self.timing.store_issue
+
+    def store_bytes(self, addr: int, nbytes: int) -> None:
+        n_words = max(1, (nbytes + 7) // 8)
+        for i in range(n_words):
+            self.store(addr + 8 * i)
+
+    # ------------------------------------------------------------ compute ops
+
+    def add(self, n: int = 1) -> None:
+        self.counters.n_add += n
+        self.counters.cycles += n * self.timing.alu_issue
+
+    def nop(self, n: int = 1) -> None:
+        self.counters.n_nop += n
+        self.counters.cycles += n * self.timing.nop_issue
+
+    def mul(self, n: int = 1) -> None:
+        self.counters.n_mul += n
+        self.counters.cycles += n * self.timing.mul_issue
+
+    def cmp(self, n: int = 1) -> None:
+        self.counters.n_cmp += n
+        self.counters.cycles += n * self.timing.cmp_issue
+
+    def branch(self, n: int = 1) -> None:
+        self.counters.n_branch += n
+        self.counters.cycles += n * self.timing.branch_issue
+
+    def other(self, n: int = 1) -> None:
+        self.counters.n_other += n
+        self.counters.cycles += n * self.timing.other_issue

@@ -1,0 +1,130 @@
+"""P-states, the voltage/frequency law, and an EIST-like governor.
+
+The i7-4790 exposes 29 P-states, numbered by frequency in units of
+100 MHz: P-state 36 is 3.6 GHz (highest), P-state 8 is 800 MHz (lowest)
+(§2.7).  A P-state is a (frequency, voltage) operating point; the paper
+models per-micro-op energy as a function of the point (Table 2) and
+samples residency while EIST is on (Figure 5).
+
+The governor here is a plain demand/ondemand policy: every epoch it looks
+at the busy fraction and steps the P-state up aggressively on high load
+and down gradually on low load — enough to reproduce the paper's
+observation that CPU-bound queries sit at P-state 36 almost all the time
+while I/O-interleaved ones spread out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VoltageLaw:
+    """Linear V(f) law: ``V = v0 + slope * f_ghz``.
+
+    Defaults give 1.2 V at 3.6 GHz, 1.0 V at 2.4 GHz, 0.8 V at 1.2 GHz —
+    the three operating points the paper evaluates.
+    """
+
+    v0: float = 0.6
+    slope: float = 1.0 / 6.0
+
+    def voltage(self, freq_ghz: float) -> float:
+        return self.v0 + self.slope * freq_ghz
+
+
+@dataclass(frozen=True)
+class PstateTable:
+    """The set of available P-states for a machine.
+
+    P-state ``p`` runs at ``p * 100 MHz``; valid states span
+    ``[lowest, highest]`` inclusive.
+    """
+
+    lowest: int = 8
+    highest: int = 36
+    law: VoltageLaw = field(default_factory=VoltageLaw)
+
+    def __post_init__(self) -> None:
+        if self.lowest <= 0 or self.highest < self.lowest:
+            raise ConfigError(
+                f"invalid P-state range [{self.lowest}, {self.highest}]"
+            )
+
+    def validate(self, pstate: int) -> int:
+        if not self.lowest <= pstate <= self.highest:
+            raise ConfigError(
+                f"P-state {pstate} outside [{self.lowest}, {self.highest}]"
+            )
+        return pstate
+
+    def clamp(self, pstate: int) -> int:
+        return max(self.lowest, min(self.highest, pstate))
+
+    def freq_ghz(self, pstate: int) -> float:
+        self.validate(pstate)
+        return pstate / 10.0
+
+    def voltage(self, pstate: int) -> float:
+        return self.law.voltage(self.freq_ghz(pstate))
+
+    def vf2(self, pstate: int, reference: int | None = None) -> float:
+        """``(V/Vref)**2`` — the dynamic-energy scale factor of a P-state."""
+        ref = self.highest if reference is None else reference
+        return (self.voltage(pstate) / self.voltage(ref)) ** 2
+
+    def states(self) -> range:
+        return range(self.lowest, self.highest + 1)
+
+
+@dataclass
+class ResidencyRecorder:
+    """Accumulates wall-clock seconds spent in each P-state.
+
+    Figure 5 is computed from the *percent of time at P-state 36* per
+    query; this recorder provides that as :meth:`fraction_at`.
+    """
+
+    seconds: dict[int, float] = field(default_factory=dict)
+
+    def record(self, pstate: int, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError("residency seconds must be non-negative")
+        self.seconds[pstate] = self.seconds.get(pstate, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction_at(self, pstate: int) -> float:
+        total = self.total
+        return self.seconds.get(pstate, 0.0) / total if total else 0.0
+
+    def reset(self) -> None:
+        self.seconds.clear()
+
+
+@dataclass
+class EistGovernor:
+    """Demand-based DVFS governor (EIST analogue).
+
+    Every ``epoch_seconds`` of simulated time the machine reports the
+    busy fraction of the elapsed epoch; the governor answers with the
+    next P-state.  High load jumps straight to the highest state (like
+    ondemand); low load walks down one step per epoch.
+    """
+
+    table: PstateTable
+    epoch_seconds: float = 0.01
+    up_threshold: float = 0.80
+    down_threshold: float = 0.40
+    down_step: int = 4
+
+    def next_pstate(self, current: int, busy_fraction: float) -> int:
+        if busy_fraction >= self.up_threshold:
+            return self.table.highest
+        if busy_fraction <= self.down_threshold:
+            return self.table.clamp(current - self.down_step)
+        return self.table.clamp(current)

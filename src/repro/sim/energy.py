@@ -1,0 +1,222 @@
+"""Ground-truth energy model and RAPL-style counters.
+
+The real i7-4790 exposes energy only through RAPL's three domains (core,
+package, dram) — the paper's whole methodology exists because per-
+micro-operation energy is *not* directly observable.  The simulator keeps
+that property: workloads and the measurement code only ever see
+
+* PMU counts (:mod:`repro.sim.pmu`), and
+* cumulative RAPL domain energies (:class:`RaplCounters`).
+
+Internally the simulator prices every micro-event with a hidden
+:class:`EventEnergyTable`.  Calibration (:mod:`repro.core.calibration`)
+then has to *recover* those prices from aggregate measurements, exactly
+as §2.5 does on hardware.  The recovered values will not be identical to
+the hidden ones (loop-control instructions, write-backs, and the paper's
+prefetch-energy assumption all introduce error), which is what makes the
+Table 3 verification accuracy a meaningful number here.
+
+Scaling with the P-state follows the classic CMOS split: each event price
+is ``fixed + var * (V/Vref)**2``.  Core-located events are almost fully
+voltage-scaled; DRAM-located events are almost fully fixed — reproducing
+the Table 2 pattern (dE_L1D falls ~54% from P36 to P12, dE_mem ~4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.pmu import PmuCounters
+
+NANOJOULE = 1e-9
+
+
+@dataclass(frozen=True)
+class EventCost:
+    """Price of one micro-event in nanojoules: ``fixed + var * vf2``.
+
+    ``vf2`` is ``(V/Vref)**2`` for the current P-state, so at the
+    reference P-state the price is ``fixed + var``.
+    """
+
+    fixed: float
+    var: float
+
+    def at(self, vf2: float) -> float:
+        return self.fixed + self.var * vf2
+
+
+@dataclass(frozen=True)
+class EventEnergyTable:
+    """Hidden per-event prices, split by RAPL domain.
+
+    ``core`` events land in the core domain (and therefore also in
+    package, which physically contains the core); ``uncore`` events land
+    in package only (L3, memory controller, prefetch logic); ``dram``
+    events land in the dram domain.
+
+    Default values are chosen so that the *recovered* dE_m at the
+    reference P-state is close to the paper's Table 2 (L1D 1.30 nJ,
+    L2 4.37, L3 6.64, mem 103.1, store 2.42, stall 1.72, add 1.03,
+    nop 0.65).  The prefetch prices intentionally deviate a little from
+    the paper's equal-cost assumption (dE_pf_l2 = dE_L3) so that the
+    assumption is an approximation here too.
+    """
+
+    # ---- core domain
+    load_l1d: EventCost = EventCost(0.0, 1.30)
+    store_l1d: EventCost = EventCost(0.0, 2.42)
+    xfer_l2: EventCost = EventCost(0.30, 4.07)
+    stall_cycle: EventCost = EventCost(0.05, 1.67)
+    add: EventCost = EventCost(0.0, 1.03)
+    nop: EventCost = EventCost(0.0, 0.65)
+    mul: EventCost = EventCost(0.0, 1.80)
+    cmp: EventCost = EventCost(0.0, 0.88)
+    branch: EventCost = EventCost(0.0, 1.15)
+    other: EventCost = EventCost(0.0, 1.00)
+    tcm_load: EventCost = EventCost(0.0, 1.17)
+    tcm_store: EventCost = EventCost(0.0, 2.18)
+    # ---- uncore (package minus core)
+    xfer_l3: EventCost = EventCost(5.00, 1.64)
+    pf_l2: EventCost = EventCost(4.50, 1.48)   # paper assumes == xfer_l3
+    mem_ctl: EventCost = EventCost(8.00, 4.00)
+    writeback: EventCost = EventCost(1.00, 1.00)
+    # ---- dram
+    dram_access: EventCost = EventCost(89.0, 2.10)
+    pf_l3_dram: EventCost = EventCost(84.0, 2.00)  # paper assumes == mem
+
+
+@dataclass(frozen=True)
+class BackgroundPower:
+    """Fixed activation power per RAPL domain, in watts.
+
+    ``core`` is contained in ``package_total``; the paper measures the
+    Background energy of each domain with an only-blocked program
+    (``sleep 1``) while C-states are disabled (§2.6) — the simulator's
+    analogue is :meth:`repro.sim.machine.Machine.idle` with C-states off.
+    The ``idle_fraction`` applies when C-states are *enabled*: deep idle
+    drops background power to that fraction.
+    """
+
+    core: float = 4.0
+    package_total: float = 7.0
+    dram: float = 1.5
+    idle_fraction: float = 0.3
+
+    def package_extra(self) -> float:
+        return self.package_total - self.core
+
+
+@dataclass
+class EnergyAccount:
+    """Joules accumulated so far, per RAPL domain component."""
+
+    core_active: float = 0.0
+    uncore_active: float = 0.0
+    dram_active: float = 0.0
+    core_background: float = 0.0
+    uncore_background: float = 0.0
+    dram_background: float = 0.0
+
+    def copy(self) -> "EnergyAccount":
+        return EnergyAccount(
+            self.core_active, self.uncore_active, self.dram_active,
+            self.core_background, self.uncore_background, self.dram_background,
+        )
+
+
+def active_energy_joules(
+    counters: PmuCounters, table: EventEnergyTable, vf2: float
+) -> EnergyAccount:
+    """Price a counter delta at a single P-state.
+
+    This is the hidden ground truth: total active energy equals the sum of
+    per-event counts times per-event prices.  Only :class:`RaplCounters`
+    calls this; measurement code must work from domain totals.
+    """
+    account = EnergyAccount()
+    t = table
+    account.core_active = NANOJOULE * (
+        counters.n_l1d * t.load_l1d.at(vf2)
+        + counters.n_store_l1d_hit * t.store_l1d.at(vf2)
+        + counters.n_l2 * t.xfer_l2.at(vf2)
+        + counters.stall_cycles * t.stall_cycle.at(vf2)
+        + counters.n_add * t.add.at(vf2)
+        + counters.n_nop * t.nop.at(vf2)
+        + counters.n_mul * t.mul.at(vf2)
+        + counters.n_cmp * t.cmp.at(vf2)
+        + counters.n_branch * t.branch.at(vf2)
+        + counters.n_other * t.other.at(vf2)
+        + counters.n_tcm_load * t.tcm_load.at(vf2)
+        + counters.n_tcm_store * t.tcm_store.at(vf2)
+    )
+    account.uncore_active = NANOJOULE * (
+        counters.n_l3 * t.xfer_l3.at(vf2)
+        + counters.n_pf_l2 * t.pf_l2.at(vf2)
+        + (counters.n_mem + counters.n_pf_l3) * t.mem_ctl.at(vf2)
+        + counters.n_writeback * t.writeback.at(vf2)
+    )
+    account.dram_active = NANOJOULE * (
+        counters.n_mem * t.dram_access.at(vf2)
+        + counters.n_pf_l3 * t.pf_l3_dram.at(vf2)
+    )
+    return account
+
+
+class RaplCounters:
+    """RAPL-like cumulative energy counters over three domains.
+
+    The machine calls :meth:`settle` whenever enough state changed (a
+    P-state switch, an idle period, a measurement read); settling prices
+    the PMU-count delta since the previous settle at the P-state that was
+    active in between.  Reads therefore always reflect all work done.
+    """
+
+    def __init__(self, table: EventEnergyTable, background: BackgroundPower):
+        self._table = table
+        self._background = background
+        self._account = EnergyAccount()
+
+    # -- the machine drives these -----------------------------------------
+
+    def settle_active(self, delta: PmuCounters, vf2: float) -> None:
+        """Fold a PMU counter delta executed entirely at ``vf2``."""
+        priced = active_energy_joules(delta, self._table, vf2)
+        self._account.core_active += priced.core_active
+        self._account.uncore_active += priced.uncore_active
+        self._account.dram_active += priced.dram_active
+
+    def settle_background(self, seconds: float, deep_idle: bool = False) -> None:
+        """Accrue background energy for ``seconds`` of wall-clock time."""
+        if seconds <= 0.0:
+            return
+        scale = self._background.idle_fraction if deep_idle else 1.0
+        self._account.core_background += self._background.core * scale * seconds
+        self._account.uncore_background += (
+            self._background.package_extra() * scale * seconds
+        )
+        self._account.dram_background += self._background.dram * scale * seconds
+
+    # -- measurement-facing reads ------------------------------------------
+
+    def energy_core(self) -> float:
+        """Cumulative core-domain joules (like RAPL PP0)."""
+        return self._account.core_active + self._account.core_background
+
+    def energy_package(self) -> float:
+        """Cumulative package-domain joules (core + L3 + memory ctl)."""
+        return (
+            self.energy_core()
+            + self._account.uncore_active
+            + self._account.uncore_background
+        )
+
+    def energy_dram(self) -> float:
+        """Cumulative dram-domain joules."""
+        return self._account.dram_active + self._account.dram_background
+
+    def snapshot(self) -> EnergyAccount:
+        return self._account.copy()
+
+    def reset(self) -> None:
+        self._account = EnergyAccount()

@@ -1,0 +1,262 @@
+"""The simulated machine: CPU + caches + DVFS + RAPL + clock + disk.
+
+This is the single object workloads run against.  It exposes
+
+* the **workload-facing** micro-op API (``load``/``store``/``add``/...),
+  delegated to :class:`repro.sim.cpu.Cpu`;
+* the **runtime-configuration** knobs the paper tunes in §2.5.3 —
+  P-state pinning, EIST on/off, hardware prefetcher on/off (the MSR
+  analogue), C-states on/off;
+* the **measurement** surface — PMU snapshots, RAPL domain reads,
+  wall-clock time, P-state residency.
+
+Energy settling: PMU counters are priced lazily.  Whenever the P-state
+changes, the machine idles, or a measurement is read, :meth:`settle`
+prices the counter delta since the previous settle at the P-state that
+was active in between and advances the wall clock by
+``delta_cycles / frequency``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config -> sim)
+    from repro.config import MachineConfig
+from repro.sim.address_space import AddressSpace
+from repro.sim.cache import CacheLevel
+from repro.sim.cpu import Cpu
+from repro.sim.disk import DiskModel
+from repro.sim.dvfs import EistGovernor, ResidencyRecorder
+from repro.sim.energy import RaplCounters
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.pmu import Pmu, PmuCounters
+from repro.sim.prefetcher import StreamPrefetcher
+from repro.sim.tcm import TcmAllocator
+
+#: How many micro-ops pass between EIST epoch checks (keeps the hot path
+#: branch-cheap while bounding governor latency).
+_EIST_CHECK_OPS = 256
+
+
+@dataclass
+class MachineStats:
+    """A coherent snapshot of counters, energy, and time."""
+
+    counters: PmuCounters
+    energy_core_j: float
+    energy_package_j: float
+    energy_dram_j: float
+    time_s: float
+    busy_s: float
+    idle_s: float
+
+
+class Machine:
+    """A complete simulated platform built from a :class:`MachineConfig`."""
+
+    def __init__(self, config: "MachineConfig", pstate: Optional[int] = None,
+                 seed: int = 0):
+        self.config = config
+        self.address_space = AddressSpace()
+        self.pmu = Pmu()
+        self.rapl = RaplCounters(config.energy_table, config.background)
+        self.disk = DiskModel()
+        self.residency = ResidencyRecorder()
+        self.rng = random.Random(seed)
+
+        l1d = CacheLevel("L1D", config.l1d.size, config.l1d.assoc)
+        l2 = (CacheLevel("L2", config.l2.size, config.l2.assoc)
+              if config.l2 is not None else None)
+        l3 = (CacheLevel("L3", config.l3.size, config.l3.assoc)
+              if config.l3 is not None else None)
+        self.prefetcher = StreamPrefetcher(
+            n_streams=config.prefetcher_streams,
+            degree=config.prefetcher_degree,
+            l3_extra=config.prefetcher_l3_extra,
+        )
+        tcm_region = config.tcm.region() if config.tcm is not None else None
+        self.tcm = TcmAllocator(tcm_region) if tcm_region is not None else None
+        self.hierarchy = MemoryHierarchy(
+            l1d=l1d, l2=l2, l3=l3,
+            prefetcher=self.prefetcher,
+            counters=self.pmu.counters,
+            tcm_region=tcm_region,
+        )
+        self.cpu = Cpu(config.timing, self.hierarchy, self.pmu.counters)
+
+        self.cstates_enabled = False
+        self._eist: Optional[EistGovernor] = None
+        self._epoch_start_time = 0.0
+        self._epoch_busy = 0.0
+        self._ops_since_check = 0
+
+        self.time_s = 0.0
+        self.busy_s = 0.0
+        self.idle_s = 0.0
+        self._settled = PmuCounters()
+
+        initial = config.pstates.highest if pstate is None else pstate
+        self.pstate = config.pstates.validate(initial)
+        self._vf2 = config.pstates.vf2(self.pstate)
+        self.cpu.set_frequency(config.pstates.freq_ghz(self.pstate))
+
+        # Re-export the hot-path micro-op methods: workloads call
+        # machine.load(...) etc. without an extra attribute hop.
+        self.load = self.cpu.load
+        self.load_bytes = self.cpu.load_bytes
+        self.hot_loads = self.cpu.hot_loads
+        self.hot_stores = self.cpu.hot_stores
+        self.scan_lines = self.cpu.scan_lines
+        self.store = self.cpu.store
+        self.store_bytes = self.cpu.store_bytes
+        self.add = self.cpu.add
+        self.nop = self.cpu.nop
+        self.mul = self.cpu.mul
+        self.cmp = self.cpu.cmp
+        self.branch = self.cpu.branch
+        self.other = self.cpu.other
+
+    # ------------------------------------------------------------ knobs
+
+    def set_pstate(self, pstate: int) -> None:
+        """Pin the CPU to a P-state (disables nothing; EIST may move it)."""
+        pstate = self.config.pstates.validate(pstate)
+        if pstate == self.pstate:
+            return
+        self.settle()
+        self.pstate = pstate
+        self._vf2 = self.config.pstates.vf2(pstate)
+        self.cpu.set_frequency(self.config.pstates.freq_ghz(pstate))
+
+    def enable_eist(self, governor: Optional[EistGovernor] = None) -> None:
+        """Turn the DVFS governor on (paper default for real deployments)."""
+        self._eist = governor or EistGovernor(table=self.config.pstates)
+        self._epoch_start_time = self.time_s
+        self._epoch_busy = 0.0
+        self._ops_since_check = 0
+
+    def disable_eist(self) -> None:
+        self._eist = None
+
+    @property
+    def eist_enabled(self) -> bool:
+        return self._eist is not None
+
+    def set_prefetcher(self, enabled: bool) -> None:
+        """MSR-style hardware prefetcher switch (§2.5.3)."""
+        self.prefetcher.enabled = enabled
+
+    def set_cstates(self, enabled: bool) -> None:
+        """C-states allow deep idle; the paper disables them to measure
+        Background energy (§2.6)."""
+        self.cstates_enabled = enabled
+
+    # ------------------------------------------------------------ time/energy
+
+    def settle(self) -> None:
+        """Price all un-priced work at the current P-state."""
+        delta = self.pmu.counters.minus(self._settled)
+        if delta.cycles > 0 or delta.instructions > 0:
+            freq_hz = self.cpu.freq_ghz * 1e9
+            busy = delta.cycles / freq_hz
+            self.rapl.settle_active(delta, self._vf2)
+            self.rapl.settle_background(busy)
+            self.time_s += busy
+            self.busy_s += busy
+            self._epoch_busy += busy
+            self.residency.record(self.pstate, busy)
+        self._settled = self.pmu.counters.copy()
+
+    def idle(self, seconds: float) -> None:
+        """CPU-idle wall-clock time (disk waits, sleeps)."""
+        if seconds < 0:
+            raise ConfigError("idle seconds must be non-negative")
+        self.settle()
+        self.time_s += seconds
+        self.idle_s += seconds
+        self.rapl.settle_background(seconds, deep_idle=self.cstates_enabled)
+        self.residency.record(self.pstate, seconds)
+        self._maybe_run_governor()
+
+    def disk_read(self, block: int, nbytes: int) -> None:
+        """A synchronous disk read: the CPU idles for the device time."""
+        self.idle(self.disk.read_time(block, nbytes))
+
+    def disk_write(self, block: int, nbytes: int) -> None:
+        self.idle(self.disk.write_time(block, nbytes))
+
+    def governor_tick(self) -> None:
+        """Give the EIST governor a chance to act.  Workload loops call
+        this every few thousand operations; it is a no-op when EIST is
+        off or the current epoch has not elapsed."""
+        self._ops_since_check += 1
+        if self._ops_since_check < _EIST_CHECK_OPS:
+            return
+        self._ops_since_check = 0
+        self._maybe_run_governor()
+
+    def _maybe_run_governor(self) -> None:
+        if self._eist is None:
+            return
+        self.settle()
+        elapsed = self.time_s - self._epoch_start_time
+        if elapsed < self._eist.epoch_seconds:
+            return
+        busy_fraction = self._epoch_busy / elapsed if elapsed > 0 else 1.0
+        new_pstate = self._eist.next_pstate(self.pstate, busy_fraction)
+        self._epoch_start_time = self.time_s
+        self._epoch_busy = 0.0
+        if new_pstate != self.pstate:
+            self.set_pstate(new_pstate)
+
+    # ------------------------------------------------------------ measurement
+
+    def stats(self) -> MachineStats:
+        """Settle and return a coherent snapshot."""
+        self.settle()
+        return MachineStats(
+            counters=self.pmu.snapshot(),
+            energy_core_j=self.rapl.energy_core(),
+            energy_package_j=self.rapl.energy_package(),
+            energy_dram_j=self.rapl.energy_dram(),
+            time_s=self.time_s,
+            busy_s=self.busy_s,
+            idle_s=self.idle_s,
+        )
+
+    def measurement_noise_factor(self) -> float:
+        """One draw of the multiplicative measurement-noise factor."""
+        sigma = self.config.measurement_noise
+        if sigma <= 0:
+            return 1.0
+        return max(0.0, self.rng.gauss(1.0, sigma))
+
+    def reset_measurements(self) -> None:
+        """Zero counters, energy, clocks, and residency — keep cache
+        contents (a warmed-up machine, the common measurement setup)."""
+        self.settle()
+        self.pmu.reset()
+        self.hierarchy.set_counters(self.pmu.counters)
+        self.cpu.set_counters(self.pmu.counters)
+        self._settled = PmuCounters()
+        self.rapl.reset()
+        self.residency.reset()
+        self.disk.reset_stats()
+        self.time_s = 0.0
+        self.busy_s = 0.0
+        self.idle_s = 0.0
+        self._epoch_start_time = 0.0
+        self._epoch_busy = 0.0
+
+    def cold_reset(self) -> None:
+        """Like :meth:`reset_measurements` but also flushes every cache."""
+        self.reset_measurements()
+        self.hierarchy.flush()
+
+    def frequency_ghz(self) -> float:
+        return self.cpu.freq_ghz

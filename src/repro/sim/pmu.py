@@ -1,0 +1,144 @@
+"""Performance monitoring unit: the counters the methodology reads.
+
+The paper's breakdown (§2.4) needs, per workload:
+
+* ``N_m`` for ``m in {L1D, L2, L3}`` — loads that *access* that level,
+  i.e. the sum of hits and misses there (step-by-step replication means a
+  DRAM load also accesses L1D, L2 and L3 on the way);
+* ``N_mem`` — L3 miss count;
+* ``N_Reg2L1D`` — store hits in L1D;
+* ``N_pf_l2`` / ``N_pf_l3`` — prefetches into L2 / into L3;
+* ``N_stall`` — stall cycles due to memory access;
+* instruction counts per class (for BLI and for ``E_other`` estimation).
+
+This mirrors what Linux perf / ocperf read from the real PMU.  The PMU is
+deliberately *count only*: it knows nothing about energy, so the
+methodology cannot cheat by peeking at the simulator's hidden per-event
+energy table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+#: Instruction classes tracked by the PMU.  "other" covers instructions the
+#: methodology does not model individually (address generation, moves, ...).
+INSTRUCTION_CLASSES = ("load", "store", "add", "nop", "mul", "cmp", "branch", "other")
+
+
+@dataclass
+class PmuCounters:
+    """A snapshot of every counter; plain integers/floats, cheap to copy."""
+
+    # Demand load accesses per level (hits + misses at that level).
+    n_l1d: int = 0
+    n_l2: int = 0
+    n_l3: int = 0
+    n_mem: int = 0
+    # Hits per level (for hit-rate style metrics, Table 1).
+    l1d_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    # Stores.
+    n_store: int = 0
+    n_store_l1d_hit: int = 0
+    # Prefetches (into L2 from L3, into L3 from DRAM).
+    n_pf_l2: int = 0
+    n_pf_l3: int = 0
+    # TCM accesses (loads+stores served by tightly coupled memory).
+    n_tcm_load: int = 0
+    n_tcm_store: int = 0
+    # Write-backs of dirty lines out of a level.
+    n_writeback: int = 0
+    # Timing.
+    cycles: float = 0.0
+    stall_cycles: float = 0.0
+    # Instruction counts per class.
+    n_load_inst: int = 0
+    n_store_inst: int = 0
+    n_add: int = 0
+    n_nop: int = 0
+    n_mul: int = 0
+    n_cmp: int = 0
+    n_branch: int = 0
+    n_other: int = 0
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def instructions(self) -> int:
+        return (
+            self.n_load_inst + self.n_store_inst + self.n_add + self.n_nop
+            + self.n_mul + self.n_cmp + self.n_branch + self.n_other
+        )
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return 1.0 - self.l1d_hits / self.n_l1d if self.n_l1d else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return 1.0 - self.l2_hits / self.n_l2 if self.n_l2 else 0.0
+
+    @property
+    def l3_miss_rate(self) -> float:
+        return 1.0 - self.l3_hits / self.n_l3 if self.n_l3 else 0.0
+
+    @property
+    def store_l1d_hit_rate(self) -> float:
+        return self.n_store_l1d_hit / self.n_store if self.n_store else 0.0
+
+    def body_loop_instruction_pct(self, *classes: str) -> float:
+        """BLI metric of Table 1: share of instructions in given classes."""
+        total = self.instructions
+        if not total:
+            return 0.0
+        per_class = {
+            "load": self.n_load_inst,
+            "store": self.n_store_inst,
+            "add": self.n_add,
+            "nop": self.n_nop,
+            "mul": self.n_mul,
+            "cmp": self.n_cmp,
+            "branch": self.n_branch,
+            "other": self.n_other,
+        }
+        return 100.0 * sum(per_class[c] for c in classes) / total
+
+    def minus(self, other: "PmuCounters") -> "PmuCounters":
+        """Counter delta ``self - other`` (for windowed measurements)."""
+        delta = PmuCounters()
+        for f in fields(PmuCounters):
+            setattr(delta, f.name, getattr(self, f.name) - getattr(other, f.name))
+        return delta
+
+    def copy(self) -> "PmuCounters":
+        snap = PmuCounters()
+        for f in fields(PmuCounters):
+            setattr(snap, f.name, getattr(self, f.name))
+        return snap
+
+
+@dataclass
+class Pmu:
+    """Live counters plus snapshot support.
+
+    The CPU and hierarchy mutate :attr:`counters` directly (it is the hot
+    path); measurement code uses :meth:`snapshot`/:meth:`since`.
+    """
+
+    counters: PmuCounters = field(default_factory=PmuCounters)
+
+    def reset(self) -> None:
+        self.counters = PmuCounters()
+
+    def snapshot(self) -> PmuCounters:
+        return self.counters.copy()
+
+    def since(self, snapshot: PmuCounters) -> PmuCounters:
+        return self.counters.minus(snapshot)

@@ -1,0 +1,99 @@
+"""Stream prefetcher modelled on the paper's "L2 hardware prefetcher".
+
+The i7-4790 exposes four prefetchers; the paper only counts the two that
+the L2 hardware prefetcher generates — prefetches *into L2* (from L3) and
+prefetches *into L3* (from DRAM) — because only those have performance
+counters (§2.3).  This module mirrors that: it watches the stream of L1D
+demand misses, detects ascending sequential line streams, and asks the
+hierarchy to stage upcoming lines into L2 and L3 ahead of demand.
+
+Detection is a small table of independent stream trackers.  A tracker
+confirms a stream after ``train_threshold`` consecutive +1-line accesses
+and then keeps a prefetch window ``degree`` lines ahead of demand.  This
+is enough to make sequential scans (the dominant pattern of the database
+workloads in §3) hit in L2/L1D while leaving pointer-chasing untouched —
+which is exactly the behavioural contrast the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _Stream:
+    last_line: int = -2
+    run_length: int = 0
+    prefetched_up_to: int = -1
+
+
+@dataclass
+class StreamPrefetcher:
+    """Sequential stream detector issuing L2/L3 prefetch requests.
+
+    Parameters
+    ----------
+    n_streams:
+        Number of concurrent streams tracked (round-robin replacement).
+    train_threshold:
+        Consecutive sequential misses needed before prefetching starts.
+    degree:
+        How many lines ahead of demand the L2 window is kept.
+    l3_extra:
+        Additional lines beyond the L2 window staged only into L3.
+    """
+
+    n_streams: int = 8
+    train_threshold: int = 2
+    degree: int = 4
+    l3_extra: int = 8
+    enabled: bool = True
+    _streams: list = field(default_factory=list, repr=False)
+    _victim: int = 0
+
+    def __post_init__(self) -> None:
+        self._streams = [_Stream() for _ in range(self.n_streams)]
+
+    def reset(self) -> None:
+        for stream in self._streams:
+            stream.last_line = -2
+            stream.run_length = 0
+            stream.prefetched_up_to = -1
+        self._victim = 0
+
+    def observe(self, line: int) -> tuple[range, range]:
+        """Feed one L1D-miss line number to the prefetcher.
+
+        Returns ``(l2_lines, l3_lines)`` — the ranges of line numbers to
+        stage into L2 and (beyond those) into L3.  Both are empty when the
+        prefetcher is disabled or the access does not extend a trained
+        stream.
+        """
+        if not self.enabled or not self._streams:
+            return range(0), range(0)
+        for stream in self._streams:
+            if line == stream.last_line + 1:
+                stream.last_line = line
+                stream.run_length += 1
+                if stream.run_length < self.train_threshold:
+                    return range(0), range(0)
+                l2_start = max(line + 1, stream.prefetched_up_to + 1)
+                l2_end = line + 1 + self.degree
+                l3_end = l2_end + self.l3_extra
+                if l2_start >= l3_end:
+                    return range(0), range(0)
+                stream.prefetched_up_to = l3_end - 1
+                l2_lines = range(l2_start, max(l2_start, l2_end))
+                l3_lines = range(max(l2_start, l2_end), l3_end)
+                return l2_lines, l3_lines
+            if line == stream.last_line:
+                # Repeated miss on the same line (e.g. conflict churn):
+                # neither extends nor breaks the stream.
+                return range(0), range(0)
+        # No tracker matched: start (or restart) a stream in the victim slot.
+        stream = self._streams[self._victim]
+        self._victim = (self._victim + 1) % self.n_streams
+        stream.last_line = line
+        stream.run_length = 1
+        stream.prefetched_up_to = -1
+        return range(0), range(0)

@@ -1,0 +1,91 @@
+"""Tightly-coupled memory (TCM / scratchpad) support.
+
+ARM1176JZF-S provides DTCM: programmable on-chip memory at a *fixed
+physical address*, as fast as the L1 cache but cheaper per access, and
+never swapped in or out of the cache hierarchy (§4.1, Figure 12).  The
+simulator models a DTCM region as an address range that the memory
+hierarchy serves directly (see :class:`repro.sim.hierarchy.MemoryHierarchy`).
+
+:class:`TcmAllocator` is the user-space API the paper had to build a
+kernel driver for: a tiny first-fit allocator over the fixed region, so
+the database co-design (§4.2) can place its hot structures explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.sim.address_space import LINE_SIZE, Region, align_up
+
+#: Fixed physical base of the DTCM region, far away from DRAM allocations.
+TCM_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class TcmConfig:
+    """Size of the data TCM, in bytes (ARM1176JZF-S: 32 KiB)."""
+
+    size: int = 32 * 1024
+
+    def region(self) -> Region:
+        return Region(base=TCM_BASE, size=self.size, label="DTCM")
+
+
+class TcmAllocator:
+    """First-fit allocator over a fixed TCM region.
+
+    Supports ``alloc`` and ``free`` so the database buffer can be
+    re-partitioned between queries (the paper divides the B-tree budget
+    evenly across the tables of the current query).
+    """
+
+    def __init__(self, region: Region):
+        self.region = region
+        self._free: list[tuple[int, int]] = [(region.base, region.size)]
+        self._live: dict[int, int] = {}
+
+    @property
+    def bytes_free(self) -> int:
+        return sum(size for _, size in self._free)
+
+    @property
+    def bytes_live(self) -> int:
+        return sum(self._live.values())
+
+    def alloc(self, size: int, label: str = "") -> Region:
+        if size <= 0:
+            raise AllocationError("TCM allocation size must be positive")
+        need = align_up(size, LINE_SIZE)
+        for index, (base, avail) in enumerate(self._free):
+            if avail >= need:
+                if avail == need:
+                    del self._free[index]
+                else:
+                    self._free[index] = (base + need, avail - need)
+                self._live[base] = need
+                return Region(base=base, size=size, label=label)
+        raise AllocationError(
+            f"DTCM exhausted: need {need} bytes, {self.bytes_free} free"
+        )
+
+    def free(self, region: Region) -> None:
+        size = self._live.pop(region.base, None)
+        if size is None:
+            raise AllocationError(f"double free / unknown TCM region {region}")
+        self._free.append((region.base, size))
+        self._coalesce()
+
+    def free_all(self) -> None:
+        self._live.clear()
+        self._free = [(self.region.base, self.region.size)]
+
+    def _coalesce(self) -> None:
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for base, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((base, size))
+        self._free = merged

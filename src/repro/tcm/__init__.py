@@ -1,0 +1,29 @@
+"""The section-4 proof-of-concept: DTCM-backed energy-efficient SQLite."""
+
+from repro.tcm.codesign import (
+    BTREE_LAYER_BYTES,
+    DATABASE_BUFFER_BYTES,
+    SPECIAL_VARIABLES_BYTES,
+    CodesignReport,
+    apply_codesign,
+    scale_budgets,
+)
+from repro.tcm.poc import (
+    PocResult,
+    QueryComparison,
+    measure_peak_saving,
+    run_poc,
+)
+
+__all__ = [
+    "BTREE_LAYER_BYTES",
+    "DATABASE_BUFFER_BYTES",
+    "SPECIAL_VARIABLES_BYTES",
+    "CodesignReport",
+    "apply_codesign",
+    "scale_budgets",
+    "PocResult",
+    "QueryComparison",
+    "measure_peak_saving",
+    "run_poc",
+]

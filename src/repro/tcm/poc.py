@@ -1,0 +1,153 @@
+"""§4.3's proof-of-concept experiment (Figure 13).
+
+Runs the 22 TPC-H queries on the ARM1176JZF-S preset twice — a plain
+SQLite-like database and a DTCM-co-designed one — and reports per-query
+energy saving and performance improvement, plus the DTCM peak saving
+measured by ``B_DTCM_array`` vs ``B_L1D_array`` (the paper's 10%).
+
+The paper uses 10 MB of TPC-H data with the *small* knob setting and an
+external power meter; here both databases run on one simulated machine
+and the measurement layer plays the power meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import arm1176jzf_s
+from repro.db.engine import Database
+from repro.db.profiles import SMALL, sqlite_like
+from repro.micro.measurement import measure_background, run_measured
+from repro.micro.runner import RuntimeConfig, run_microbenchmark
+from repro.sim.machine import Machine
+from repro.tcm.codesign import CodesignReport, apply_codesign
+from repro.workloads.tpch import ALL_QUERY_NUMBERS, TpchData, load_into, run_query
+
+
+@dataclass(frozen=True)
+class QueryComparison:
+    """One Figure 13 bar pair."""
+
+    number: int
+    energy_plain_j: float
+    energy_tcm_j: float
+    time_plain_s: float
+    time_tcm_s: float
+
+    @property
+    def energy_saving_pct(self) -> float:
+        if self.energy_plain_j <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.energy_tcm_j / self.energy_plain_j)
+
+    @property
+    def perf_improvement_pct(self) -> float:
+        if self.time_plain_s <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.time_tcm_s / self.time_plain_s)
+
+
+@dataclass
+class PocResult:
+    """The full Figure 13 dataset."""
+
+    comparisons: list[QueryComparison]
+    peak_saving_pct: float
+    codesign: CodesignReport
+
+    @property
+    def average_energy_saving_pct(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return sum(c.energy_saving_pct for c in self.comparisons) / len(
+            self.comparisons
+        )
+
+    @property
+    def average_perf_improvement_pct(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return sum(c.perf_improvement_pct for c in self.comparisons) / len(
+            self.comparisons
+        )
+
+    @property
+    def fraction_of_peak_pct(self) -> float:
+        """The paper's headline: 60% of the peak saving is achieved."""
+        if self.peak_saving_pct <= 0:
+            return 0.0
+        return 100.0 * self.average_energy_saving_pct / self.peak_saving_pct
+
+    @property
+    def queries_improved_pct(self) -> float:
+        """Share of queries whose performance improved (paper: 64%)."""
+        if not self.comparisons:
+            return 0.0
+        improved = sum(1 for c in self.comparisons if c.perf_improvement_pct > 0)
+        return 100.0 * improved / len(self.comparisons)
+
+
+def measure_peak_saving(machine: Machine, seed: int = 1234) -> float:
+    """B_DTCM_array vs B_L1D_array: the DTCM peak energy saving (§4.3)."""
+    runtime = RuntimeConfig(repeats=5)
+    background = measure_background(machine)
+    plain = run_microbenchmark(machine, "B_L1D_array", background, runtime,
+                               seed=seed)
+    dtcm = run_microbenchmark(machine, "B_DTCM_array", background, runtime,
+                              seed=seed)
+    per_load_plain = plain.active_energy_j / max(1, plain.ops_measured)
+    per_load_dtcm = dtcm.active_energy_j / max(1, dtcm.ops_measured)
+    if per_load_plain <= 0:
+        return 0.0
+    return 100.0 * (1.0 - per_load_dtcm / per_load_plain)
+
+
+def run_poc(
+    tier: str = "10MB",
+    queries: tuple = ALL_QUERY_NUMBERS,
+    seed: int = 0,
+    machine: Optional[Machine] = None,
+    repeats: int = 3,
+) -> PocResult:
+    """Run the full §4.3 experiment and return the Figure 13 dataset."""
+    if machine is None:
+        machine = Machine(arm1176jzf_s(), seed=seed)
+    peak = measure_peak_saving(machine)
+
+    data = TpchData(tier)
+    profile = sqlite_like(SMALL)
+    db_plain = Database(machine, profile, name="sqlite-plain")
+    load_into(db_plain, data)
+    db_tcm = Database(machine, profile, name="sqlite-dtcm")
+    load_into(db_tcm, data)
+    machine.tcm.free_all()
+    codesign = apply_codesign(db_tcm, machine)
+
+    background = measure_background(machine)
+    comparisons = []
+    for number in queries:
+        pair = []
+        for db in (db_plain, db_tcm):
+            run_query(db, number)  # warm-up
+            energies = []
+            times = []
+            for _ in range(max(1, repeats)):
+                window = run_measured(
+                    machine, lambda: run_query(db, number), background
+                )
+                energies.append(window.active_energy_j)
+                times.append(window.busy_s)
+            pair.append((sum(energies) / len(energies),
+                         sum(times) / len(times)))
+        comparisons.append(
+            QueryComparison(
+                number=number,
+                energy_plain_j=pair[0][0],
+                energy_tcm_j=pair[1][0],
+                time_plain_s=pair[0][1],
+                time_tcm_s=pair[1][1],
+            )
+        )
+    return PocResult(comparisons=comparisons, peak_saving_pct=peak,
+                     codesign=codesign)

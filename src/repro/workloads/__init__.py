@@ -1,0 +1,17 @@
+"""Workloads: TPC-H, the 7 basic query operations, CPU2006-like kernels."""
+
+from repro.workloads.basic_ops import (
+    BASIC_OPERATIONS,
+    basic_operation_plan,
+    run_basic_operation,
+)
+from repro.workloads.cpu2006 import CPU2006_WORKLOADS, KERNELS, run_kernel
+
+__all__ = [
+    "BASIC_OPERATIONS",
+    "basic_operation_plan",
+    "run_basic_operation",
+    "CPU2006_WORKLOADS",
+    "KERNELS",
+    "run_kernel",
+]

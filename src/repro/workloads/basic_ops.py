@@ -1,0 +1,79 @@
+"""The 7 basic query operations of Figure 6.
+
+The paper breaks down the Active energy of seven primitive operations —
+select, projection, join, sort, groupby, table scan, index scan — per
+database system.  Here each is a small logical plan over the loaded
+TPC-H tables; table scan and index scan force their access paths so the
+contrast the paper highlights (sequential locality vs pointer chasing,
+§3.2) is guaranteed rather than planner-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+from repro.db.exprs import Between, Col, Const
+from repro.db.operators import AggSpec
+from repro.db.planner import (
+    Aggregate,
+    Join,
+    Logical,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.db.types import Row
+
+#: Figure 6's workload order.
+BASIC_OPERATIONS = (
+    "select",
+    "projection",
+    "join",
+    "sort",
+    "groupby",
+    "table_scan",
+    "index_scan",
+)
+
+
+def basic_operation_plan(name: str) -> Logical:
+    """The logical plan of one basic operation (over TPC-H tables)."""
+    if name == "select":
+        # Moderately selective predicate over the fact table.
+        return Scan("lineitem", Between(Col("l_quantity"), 10.0, 24.0))
+    if name == "projection":
+        return Project(
+            Scan("lineitem"),
+            (("l_orderkey", Col("l_orderkey")),
+             ("gross", Col("l_extendedprice") * (Const(1) - Col("l_discount"))),
+             ("l_shipdate", Col("l_shipdate"))),
+        )
+    if name == "join":
+        return Join(
+            Scan("lineitem"),
+            Scan("orders"),
+            Col("l_orderkey"), Col("o_orderkey"),
+        )
+    if name == "sort":
+        return Sort(
+            Scan("lineitem"),
+            ((Col("l_extendedprice"), True),),
+        )
+    if name == "groupby":
+        return Aggregate(
+            Scan("lineitem"),
+            (("l_returnflag", Col("l_returnflag")),
+             ("l_linestatus", Col("l_linestatus"))),
+            (AggSpec("n", "count"),
+             AggSpec("total", "sum", Col("l_extendedprice"))),
+        )
+    if name == "table_scan":
+        return Scan("lineitem", access="seq")
+    if name == "index_scan":
+        return Scan("lineitem", access="index_order")
+    raise KeyError(f"unknown basic operation {name!r}")
+
+
+def run_basic_operation(db: Database, name: str) -> list[Row]:
+    """Execute one basic operation; results are materialised and
+    returned (display stays disabled, as in the paper's kernels)."""
+    return db.execute(basic_operation_plan(name))

@@ -1,0 +1,28 @@
+"""TPC-H workload: schema, deterministic generator, and the 22 queries."""
+
+from repro.workloads.tpch.datagen import (
+    BASELINE_TIER,
+    TIERS,
+    ScaleTier,
+    TpchData,
+    load_into,
+    tier,
+)
+from repro.workloads.tpch.queries import (
+    ALL_QUERY_NUMBERS,
+    QUERIES,
+    TpchQuery,
+    run_query,
+)
+from repro.workloads.tpch.schema import (
+    PRIMARY_KEYS,
+    SCHEMAS,
+    SECONDARY_INDEXES,
+    d,
+)
+
+__all__ = [
+    "BASELINE_TIER", "TIERS", "ScaleTier", "TpchData", "load_into", "tier",
+    "ALL_QUERY_NUMBERS", "QUERIES", "TpchQuery", "run_query",
+    "PRIMARY_KEYS", "SCHEMAS", "SECONDARY_INDEXES", "d",
+]

@@ -1,0 +1,155 @@
+"""TPC-H schema, scaled down and adapted to the mini engine.
+
+Differences from the reference schema, each documented because the
+engine's storage model requires them:
+
+* composite primary keys (partsupp, lineitem) get a synthetic scalar
+  first column (``ps_key``, ``l_key``) because the B-tree keys scalars;
+* dates are integer proleptic ordinals (``datetime.date.toordinal``);
+* string widths are close to the spec but trimmed where a column's only
+  use is equality/prefix matching.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.db.types import Column, DATE, FLOAT, INT, STR, Schema
+
+
+def d(year: int, month: int, day: int) -> int:
+    """A TPC-H date literal as stored in the database."""
+    return date(year, month, day).toordinal()
+
+
+REGION = Schema([
+    Column("r_regionkey", INT),
+    Column("r_name", STR, 16),
+    Column("r_comment", STR, 40),
+])
+
+NATION = Schema([
+    Column("n_nationkey", INT),
+    Column("n_name", STR, 16),
+    Column("n_regionkey", INT),
+    Column("n_comment", STR, 40),
+])
+
+SUPPLIER = Schema([
+    Column("s_suppkey", INT),
+    Column("s_name", STR, 24),
+    Column("s_address", STR, 32),
+    Column("s_nationkey", INT),
+    Column("s_phone", STR, 16),
+    Column("s_acctbal", FLOAT),
+    Column("s_comment", STR, 56),
+])
+
+CUSTOMER = Schema([
+    Column("c_custkey", INT),
+    Column("c_name", STR, 24),
+    Column("c_address", STR, 32),
+    Column("c_nationkey", INT),
+    Column("c_phone", STR, 16),
+    Column("c_acctbal", FLOAT),
+    Column("c_mktsegment", STR, 16),
+    Column("c_comment", STR, 56),
+])
+
+PART = Schema([
+    Column("p_partkey", INT),
+    Column("p_name", STR, 40),
+    Column("p_mfgr", STR, 24),
+    Column("p_brand", STR, 16),
+    Column("p_type", STR, 24),
+    Column("p_size", INT),
+    Column("p_container", STR, 16),
+    Column("p_retailprice", FLOAT),
+    Column("p_comment", STR, 16),
+])
+
+PARTSUPP = Schema([
+    Column("ps_key", INT),           # synthetic scalar PK
+    Column("ps_partkey", INT),
+    Column("ps_suppkey", INT),
+    Column("ps_availqty", INT),
+    Column("ps_supplycost", FLOAT),
+    Column("ps_comment", STR, 40),
+])
+
+ORDERS = Schema([
+    Column("o_orderkey", INT),
+    Column("o_custkey", INT),
+    Column("o_orderstatus", STR, 8),
+    Column("o_totalprice", FLOAT),
+    Column("o_orderdate", DATE),
+    Column("o_orderpriority", STR, 16),
+    Column("o_clerk", STR, 16),
+    Column("o_shippriority", INT),
+    Column("o_comment", STR, 40),
+])
+
+LINEITEM = Schema([
+    Column("l_key", INT),            # synthetic scalar PK
+    Column("l_orderkey", INT),
+    Column("l_partkey", INT),
+    Column("l_suppkey", INT),
+    Column("l_linenumber", INT),
+    Column("l_quantity", FLOAT),
+    Column("l_extendedprice", FLOAT),
+    Column("l_discount", FLOAT),
+    Column("l_tax", FLOAT),
+    Column("l_returnflag", STR, 8),
+    Column("l_linestatus", STR, 8),
+    Column("l_shipdate", DATE),
+    Column("l_commitdate", DATE),
+    Column("l_receiptdate", DATE),
+    Column("l_shipinstruct", STR, 24),
+    Column("l_shipmode", STR, 16),
+    Column("l_comment", STR, 24),
+])
+
+SCHEMAS = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+PRIMARY_KEYS = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_key",
+    "orders": "o_orderkey",
+    "lineitem": "l_key",
+}
+
+#: Secondary indexes the engines build (the FK columns the 22 queries
+#: join and range over).
+SECONDARY_INDEXES = {
+    "customer": ["c_nationkey"],
+    "orders": ["o_custkey", "o_orderdate"],
+    "lineitem": ["l_orderkey", "l_partkey", "l_shipdate"],
+    "partsupp": ["ps_partkey", "ps_suppkey"],
+    "supplier": ["s_nationkey"],
+    "nation": ["n_regionkey"],
+}
+
+#: Encoding of the composite partsupp / lineitem keys.
+PS_KEY_FACTOR = 1 << 20
+L_KEY_FACTOR = 8
+
+
+def ps_key(partkey: int, suppkey: int) -> int:
+    return partkey * PS_KEY_FACTOR + suppkey
+
+
+def l_key(orderkey: int, linenumber: int) -> int:
+    return orderkey * L_KEY_FACTOR + linenumber

@@ -1,0 +1,124 @@
+"""SQL-text renditions of TPC-H queries for the SQL front-end.
+
+The 22 reference queries live as logical-plan builders in
+:mod:`repro.workloads.tpch.queries` (several need rewrites the SQL
+subset cannot express).  The queries below are the subset whose
+reference semantics fit the SQL front-end directly; each must produce
+*exactly* the same rows as its plan-built twin — the strongest
+end-to-end check the SQL stack has (``tests/workloads/test_sql_tpch.py``).
+
+Dates are inlined with the ``DATE 'YYYY-MM-DD'`` literal; parameters
+match the plan builders' values.
+"""
+
+from __future__ import annotations
+
+#: query number -> SQL text semantically identical to the plan builder.
+SQL_QUERIES = {
+    1: """
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity) AS sum_qty,
+               SUM(l_extendedprice) AS sum_base_price,
+               SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               AVG(l_quantity) AS avg_qty,
+               AVG(l_extendedprice) AS avg_price,
+               AVG(l_discount) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    3: """
+        SELECT l_orderkey, o_orderdate, o_shippriority,
+               SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, orders, customer
+        WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey
+          AND c_mktsegment = 'BUILDING'
+          AND o_orderdate < DATE '1995-03-15'
+          AND l_shipdate > DATE '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """,
+    5: None,   # needs the composite supplier/customer nation condition
+    6: """
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    10: """
+        SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+               c_comment,
+               SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, orders, customer, nation
+        WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey
+          AND c_nationkey = n_nationkey
+          AND l_returnflag = 'R'
+          AND o_orderdate BETWEEN DATE '1993-10-01' AND DATE '1993-12-31'
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+                 c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """,
+    12: """
+        SELECT l_shipmode,
+               SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                        THEN 0 ELSE 1 END) AS low_line_count
+        FROM lineitem, orders
+        WHERE l_orderkey = o_orderkey
+          AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """,
+    14: """
+        SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                                THEN l_extendedprice * (1 - l_discount)
+                                ELSE 0 END)
+               / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate BETWEEN DATE '1995-09-01' AND DATE '1995-09-30'
+    """,
+    19: """
+        SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipmode IN ('AIR', 'REG AIR')
+          AND l_shipinstruct = 'DELIVER IN PERSON'
+          AND ((p_brand = 'Brand#12'
+                AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                AND l_quantity BETWEEN 1 AND 11
+                AND p_size BETWEEN 1 AND 5)
+            OR (p_brand = 'Brand#23'
+                AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                AND l_quantity BETWEEN 10 AND 20
+                AND p_size BETWEEN 1 AND 10)
+            OR (p_brand = 'Brand#34'
+                AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                AND l_quantity BETWEEN 20 AND 30
+                AND p_size BETWEEN 1 AND 15))
+    """,
+}
+
+#: The numbers with a usable SQL text.
+SQL_QUERY_NUMBERS = tuple(sorted(n for n, q in SQL_QUERIES.items()
+                                 if q is not None))
+
+
+def sql_text(number: int) -> str:
+    """The SQL text of query ``number`` (KeyError/ValueError otherwise)."""
+    text = SQL_QUERIES.get(number)
+    if text is None:
+        raise ValueError(
+            f"Q{number} has no SQL-subset rendition; use the plan builder"
+        )
+    return " ".join(text.split())

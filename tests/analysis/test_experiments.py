@@ -1,0 +1,87 @@
+"""Tests of the experiment layer (cheap experiments run fully; shape
+checks are asserted — the slow sweeps are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, Lab, LabConfig, tab01, tab02, tab03
+from repro.analysis.experiments import ExperimentResult, fig13, tab05
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(LabConfig(scale=16))
+
+
+class TestLab:
+    def test_machine_memoised(self, lab):
+        assert lab.machine is lab.machine
+
+    def test_calibration_memoised(self, lab):
+        assert lab.calibration() is lab.calibration()
+
+    def test_calibration_per_pstate(self, lab):
+        assert lab.calibration(36) is not lab.calibration(24)
+
+    def test_database_memoised(self, lab):
+        assert lab.database("sqlite") is lab.database("sqlite")
+
+    def test_database_per_engine(self, lab):
+        assert lab.database("sqlite") is not lab.database("mysql")
+
+
+class TestRegistry:
+    def test_all_fifteen_experiments(self):
+        assert set(EXPERIMENTS) == {
+            "tab01", "tab02", "tab03", "tab05",
+            "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig13", "sec5", "ext_nosql", "ext_writes",
+        }
+
+    def test_result_type(self, lab):
+        result = tab01(lab)
+        assert isinstance(result, ExperimentResult)
+        assert result.text
+        assert result.data
+
+
+class TestCheapExperiments:
+    def test_tab01_checks_pass(self, lab):
+        result = tab01(lab)
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_tab02_checks_pass(self, lab):
+        result = tab02(lab)
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_tab03_checks_pass(self, lab):
+        result = tab03(lab)
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_tab05_checks_pass(self, lab):
+        result = tab05(lab)
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_fig13_subset_checks_pass(self, lab):
+        result = fig13(lab, queries=(1, 3, 6, 12))
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_failed_checks_listing(self):
+        result = ExperimentResult("x", "t", "text", {}, {"a": True, "b": False})
+        assert not result.all_checks_pass
+        assert result.failed_checks() == ["b"]
+
+
+class TestSweepQueries:
+    def test_subset_of_all(self):
+        from repro.analysis import SWEEP_QUERIES
+        from repro.workloads.tpch import ALL_QUERY_NUMBERS
+
+        assert set(SWEEP_QUERIES) <= set(ALL_QUERY_NUMBERS)
+        assert len(SWEEP_QUERIES) >= 6
+
+    def test_every_experiment_takes_a_lab(self):
+        import inspect
+
+        for name, fn in EXPERIMENTS.items():
+            params = list(inspect.signature(fn).parameters)
+            assert params[0] == "lab", name

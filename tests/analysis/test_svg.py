@@ -1,0 +1,129 @@
+"""Structural tests for the SVG figure renderer (no browser offline, so
+the geometry contract is asserted mechanically)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.svg import (
+    PALETTE,
+    breakdown_rows_from_experiment,
+    experiment_to_svg,
+    stacked_bar_svg,
+)
+from repro.core.model import BREAKDOWN_COMPONENTS
+
+NS = "{http://www.w3.org/2000/svg}"
+
+ROWS = [
+    ("alpha", {"E_L1D": 40.0, "E_Reg2L1D": 30.0, "E_L2": 5.0, "E_L3": 5.0,
+               "E_mem": 5.0, "E_pf": 5.0, "E_stall": 5.0, "E_other": 5.0}),
+    ("beta", {"E_L1D": 10.0, "E_Reg2L1D": 10.0, "E_L2": 10.0, "E_L3": 10.0,
+              "E_mem": 20.0, "E_pf": 10.0, "E_stall": 20.0, "E_other": 10.0}),
+]
+
+
+def render(rows=ROWS, **kwargs):
+    return stacked_bar_svg(rows, "Test figure", "subtitle", **kwargs)
+
+
+class TestStackedBarSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(render())
+        assert root.tag == f"{NS}svg"
+
+    def test_all_marks_inside_viewbox(self):
+        root = ET.fromstring(render())
+        width = float(root.get("width"))
+        height = float(root.get("height"))
+        for rect in root.iter(f"{NS}rect"):
+            x = float(rect.get("x", 0))
+            y = float(rect.get("y", 0))
+            assert 0 <= x <= width
+            assert 0 <= y <= height
+            assert x + float(rect.get("width")) <= width + 0.6
+            assert y + float(rect.get("height")) <= height + 0.6
+
+    def test_palette_covers_all_components(self):
+        assert set(PALETTE) == set(BREAKDOWN_COMPONENTS)
+
+    def test_every_component_has_legend_entry(self):
+        svg = render()
+        for component in BREAKDOWN_COMPONENTS:
+            assert component.replace("E_", "") in svg
+
+    def test_segments_carry_tooltips(self):
+        root = ET.fromstring(render())
+        titles = [t.text for t in root.iter(f"{NS}title")]
+        assert any("E_L1D" in t for t in titles)
+        assert any("%" in t for t in titles)
+
+    def test_segment_widths_sum_to_plot_width(self):
+        """Per-bar segment spans (incl. gaps) tile the plot width."""
+        root = ET.fromstring(render(rows=[ROWS[0]]))
+        spans = []
+        for node in list(root.iter(f"{NS}rect")) + list(root.iter(f"{NS}path")):
+            title = node.find(f"{NS}title")
+            if title is None or "—" not in (title.text or ""):
+                continue
+            share = float(title.text.split("—")[1].strip().rstrip("%"))
+            spans.append(share)
+        assert sum(spans) == pytest.approx(100.0, abs=0.5)
+
+    def test_direct_label_is_selective(self):
+        """One headline label per bar, not a number on every segment."""
+        svg = render()
+        assert svg.count("L1D+st") == len(ROWS)
+
+    def test_text_uses_ink_not_series_colors(self):
+        root = ET.fromstring(render())
+        for text in root.iter(f"{NS}text"):
+            assert text.get("fill") in ("#0b0b0b", "#52514e")
+
+    def test_zero_total_row_skipped(self):
+        svg = render(rows=[("empty", {c: 0.0 for c in BREAKDOWN_COMPONENTS})])
+        root = ET.fromstring(svg)
+        titles = [t.text for t in root.iter(f"{NS}title")]
+        assert not any("—" in (t or "") for t in titles)
+
+    def test_title_escaping(self):
+        svg = stacked_bar_svg(ROWS, "a <b> & \"c\"")
+        ET.fromstring(svg)  # must stay valid XML
+
+    def test_apostrophe_in_title(self):
+        """Single quotes appear in real titles (e.g. "§2.3's") and the
+        attributes are single-quoted — regression for a malformed file."""
+        svg = stacked_bar_svg(ROWS, "§2.3's open question")
+        root = ET.fromstring(svg)
+        assert "§2.3's open question" in root.get("aria-label")
+
+
+class TestExperimentExtraction:
+    def flat(self):
+        return ExperimentResult("x", "flat", "", {"w1": ROWS[0][1]})
+
+    def nested(self):
+        return ExperimentResult("x", "nested", "",
+                                {"sqlite": {"q1": ROWS[0][1]}})
+
+    def test_flat_rows(self):
+        rows = breakdown_rows_from_experiment(self.flat())
+        assert rows == [("w1", ROWS[0][1])]
+
+    def test_nested_rows(self):
+        rows = breakdown_rows_from_experiment(self.nested())
+        assert rows == [("sqlite/q1", ROWS[0][1])]
+
+    def test_non_breakdown_returns_none(self):
+        result = ExperimentResult("x", "t", "", {"a": 1.0, "b": {"c": 2}})
+        assert breakdown_rows_from_experiment(result) is None
+
+    def test_experiment_to_svg(self):
+        svg = experiment_to_svg(self.nested())
+        assert svg is not None
+        ET.fromstring(svg)
+
+    def test_experiment_to_svg_none_for_tables(self):
+        result = ExperimentResult("tab02", "t", "", {"36": {"dE_L1D": 1.3}})
+        assert experiment_to_svg(result) is None

@@ -1,0 +1,90 @@
+"""Shared fixtures.
+
+Machines are cheap to build, so most fixtures are function-scoped for
+isolation; the expensive artefacts (TPC-H data, loaded databases,
+calibration) are session-scoped and used read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, arm1176jzf_s, intel_i7_4790, tiny_arm, tiny_intel
+from repro.core.calibration import calibrate
+from repro.db import Database, mysql_like, postgres_like, sqlite_like
+from repro.workloads.tpch import TpchData, load_into
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh 16x-scaled Intel machine."""
+    return Machine(tiny_intel())
+
+
+@pytest.fixture
+def arm_machine() -> Machine:
+    """A fresh full-size ARM1176JZF-S machine (with DTCM)."""
+    return Machine(arm1176jzf_s())
+
+
+@pytest.fixture
+def quiet_machine() -> Machine:
+    """A tiny Intel machine with measurement noise disabled."""
+    import dataclasses
+
+    config = dataclasses.replace(tiny_intel(), measurement_noise=0.0)
+    return Machine(config)
+
+
+@pytest.fixture
+def quiet_arm() -> Machine:
+    """A full-size ARM machine with measurement noise disabled."""
+    import dataclasses
+
+    config = dataclasses.replace(arm1176jzf_s(), measurement_noise=0.0)
+    return Machine(config)
+
+
+@pytest.fixture(scope="session")
+def tpch_small() -> TpchData:
+    """The 10MB tier dataset (smallest; fast to load)."""
+    return TpchData("10MB")
+
+
+@pytest.fixture(scope="session")
+def session_machine() -> Machine:
+    """One shared machine for read-only query tests."""
+    return Machine(tiny_intel())
+
+
+def _loaded(machine: Machine, profile, data: TpchData, name: str) -> Database:
+    db = Database(machine, profile, name=name)
+    load_into(db, data)
+    return db
+
+
+@pytest.fixture(scope="session")
+def sqlite_db(session_machine, tpch_small) -> Database:
+    return _loaded(session_machine, sqlite_like(), tpch_small, "t-sqlite")
+
+
+@pytest.fixture(scope="session")
+def postgres_db(session_machine, tpch_small) -> Database:
+    return _loaded(session_machine, postgres_like(), tpch_small, "t-postgres")
+
+
+@pytest.fixture(scope="session")
+def mysql_db(session_machine, tpch_small) -> Database:
+    return _loaded(session_machine, mysql_like(), tpch_small, "t-mysql")
+
+
+@pytest.fixture(scope="session")
+def all_dbs(sqlite_db, postgres_db, mysql_db):
+    return {"sqlite": sqlite_db, "postgresql": postgres_db, "mysql": mysql_db}
+
+
+@pytest.fixture(scope="session")
+def session_calibration():
+    """One calibration on its own machine (used read-only)."""
+    machine = Machine(tiny_intel(), seed=7)
+    return machine, calibrate(machine)

@@ -1,0 +1,38 @@
+"""Tests of the verification report (2.5.5)."""
+
+import pytest
+
+from repro.core.accuracy import VerificationRow, verify
+
+
+class TestVerificationRow:
+    def test_perfect(self):
+        row = VerificationRow("x", measured_j=10.0, estimated_j=10.0)
+        assert row.accuracy_pct == 100.0
+
+    def test_symmetric_error(self):
+        over = VerificationRow("x", 10.0, 11.0)
+        under = VerificationRow("x", 10.0, 9.0)
+        assert over.accuracy_pct == pytest.approx(under.accuracy_pct)
+
+    def test_clamped_at_zero(self):
+        row = VerificationRow("x", 1.0, 5.0)
+        assert row.accuracy_pct == 0.0
+
+    def test_zero_measurement(self):
+        assert VerificationRow("x", 0.0, 1.0).accuracy_pct == 0.0
+
+
+class TestVerify:
+    def test_full_report(self, session_calibration):
+        machine, cal = session_calibration
+        report = verify(machine, cal.delta_e, background=cal.background)
+        assert len(report.rows) == 7
+        assert report.average_accuracy_pct >= 90.0
+
+    def test_row_lookup(self, session_calibration):
+        machine, cal = session_calibration
+        report = verify(machine, cal.delta_e, background=cal.background)
+        assert report.row("B_L1D_list_nop").name == "B_L1D_list_nop"
+        with pytest.raises(KeyError):
+            report.row("nope")

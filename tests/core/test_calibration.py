@@ -1,0 +1,63 @@
+"""Tests of the dE_m solving procedure."""
+
+import pytest
+
+from repro.core.calibration import CalibrationResult, calibrate, calibrate_pstates
+from repro.errors import CalibrationError
+
+
+class TestCalibrate:
+    def test_recovers_ground_truth(self, session_calibration):
+        """Calibrated dE_m land near the hidden energy table."""
+        machine, cal = session_calibration
+        table = machine.config.energy_table
+        nj = cal.delta_e.nanojoules()
+        assert nj["dE_L1D"] == pytest.approx(table.load_l1d.at(1.0), rel=0.15)
+        assert nj["dE_Reg2L1D"] == pytest.approx(table.store_l1d.at(1.0), rel=0.15)
+        assert nj["dE_stall"] == pytest.approx(table.stall_cycle.at(1.0), rel=0.15)
+        mem_truth = table.mem_ctl.at(1.0) + table.dram_access.at(1.0)
+        assert nj["dE_mem"] == pytest.approx(mem_truth, rel=0.15)
+
+    def test_ordering(self, session_calibration):
+        _, cal = session_calibration
+        de = cal.delta_e
+        assert de.l1d < de.reg2l1d < de.l2 < de.l3 < de.mem
+
+    def test_prefetch_assumption(self, session_calibration):
+        _, cal = session_calibration
+        assert cal.delta_e.pf_l2 == cal.delta_e.l3
+        assert cal.delta_e.pf_l3 == cal.delta_e.mem
+
+    def test_results_contain_all_benchmarks(self, session_calibration):
+        _, cal = session_calibration
+        for name in ("B_L1D_array", "B_L1D_list", "B_L2", "B_L3", "B_mem",
+                     "B_Reg2L1D", "B_add", "B_nop"):
+            assert cal.result(name).name == name
+
+    def test_unknown_result_rejected(self, session_calibration):
+        _, cal = session_calibration
+        with pytest.raises(CalibrationError):
+            cal.result("B_bogus")
+
+    def test_conflicting_pstate_args_rejected(self, machine):
+        from repro.micro.runner import RuntimeConfig
+        with pytest.raises(CalibrationError):
+            calibrate(machine, pstate=24, runtime=RuntimeConfig(pstate=12))
+
+
+class TestArmCalibration:
+    def test_works_without_l2_l3(self, arm_machine):
+        cal = calibrate(arm_machine)
+        assert cal.delta_e.l2 is None
+        assert cal.delta_e.l3 is None
+        assert cal.delta_e.mem > cal.delta_e.l1d
+
+
+class TestPstateSweep:
+    def test_voltage_scaling_pattern(self, machine):
+        results = calibrate_pstates(machine, [36, 12])
+        hi = results[36].delta_e
+        lo = results[12].delta_e
+        # Core-located ops drop hard; DRAM barely (Table 2's pattern).
+        assert lo.l1d < 0.6 * hi.l1d
+        assert lo.mem > 0.85 * hi.mem

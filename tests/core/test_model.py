@@ -1,0 +1,132 @@
+"""Unit tests for DeltaE / EnergyBreakdown / WorkloadProfile."""
+
+import pytest
+
+from repro.core.model import (
+    BREAKDOWN_COMPONENTS,
+    MS,
+    DeltaE,
+    EnergyBreakdown,
+    WorkloadProfile,
+    sum_breakdowns,
+)
+from repro.errors import CalibrationError
+from repro.sim.pmu import PmuCounters
+
+
+def sample_delta_e() -> DeltaE:
+    return DeltaE(l1d=1.3e-9, reg2l1d=2.4e-9, stall=1.7e-9, mem=103e-9,
+                  add=1.0e-9, nop=0.65e-9, l2=4.4e-9, l3=6.6e-9,
+                  pf_l2=6.6e-9, pf_l3=103e-9)
+
+
+def sample_breakdown(**overrides) -> EnergyBreakdown:
+    values = dict(e_l1d=4.0, e_reg2l1d=2.0, e_l2=1.0, e_l3=0.5, e_mem=0.5,
+                  e_pf=0.5, e_stall=1.0, e_other=0.5,
+                  active_energy_j=10.0, background_energy_j=5.0)
+    values.update(overrides)
+    return EnergyBreakdown(**values)
+
+
+class TestMS:
+    def test_paper_set(self):
+        assert MS == ("L1D", "Reg2L1D", "L2", "L3", "mem", "pf", "stall")
+
+    def test_components_cover_ms_plus_other(self):
+        assert len(BREAKDOWN_COMPONENTS) == len(MS) + 1
+        assert BREAKDOWN_COMPONENTS[-1] == "E_other"
+
+
+class TestDeltaE:
+    def test_nanojoules_rendering(self):
+        nj = sample_delta_e().nanojoules()
+        assert nj["dE_L1D"] == pytest.approx(1.3)
+        assert nj["dE_mem"] == pytest.approx(103.0)
+
+    def test_optional_levels_render_none(self):
+        de = DeltaE(l1d=1e-9, reg2l1d=2e-9, stall=1e-9, mem=50e-9,
+                    add=1e-9, nop=1e-9)
+        nj = de.nanojoules()
+        assert nj["dE_L2"] is None
+        assert nj["dE_L3"] is None
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        assert sample_breakdown().total == pytest.approx(10.0)
+
+    def test_shares_sum_to_100(self):
+        shares = sample_breakdown().shares_pct()
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_l1d_share(self):
+        assert sample_breakdown().l1d_share_pct == pytest.approx(60.0)
+
+    def test_movement_share_excludes_other(self):
+        assert sample_breakdown().data_movement_share_pct == pytest.approx(95.0)
+
+    def test_zero_total(self):
+        b = EnergyBreakdown(0, 0, 0, 0, 0, 0, 0, 0)
+        assert b.l1d_share_pct == 0.0
+        assert all(v == 0.0 for v in b.shares_pct().values())
+
+    def test_scaled(self):
+        b = sample_breakdown().scaled(0.5)
+        assert b.e_l1d == pytest.approx(2.0)
+        assert b.active_energy_j == pytest.approx(5.0)
+
+    def test_scaling_preserves_shares(self):
+        original = sample_breakdown().shares_pct()
+        scaled = sample_breakdown().scaled(3.0).shares_pct()
+        for component in BREAKDOWN_COMPONENTS:
+            assert scaled[component] == pytest.approx(original[component])
+
+
+class TestSumBreakdowns:
+    def test_componentwise(self):
+        total = sum_breakdowns([sample_breakdown(), sample_breakdown()])
+        assert total.e_l1d == pytest.approx(8.0)
+        assert total.active_energy_j == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            sum_breakdowns([])
+
+
+class TestWorkloadProfile:
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            name="w", breakdown=sample_breakdown(),
+            counters=PmuCounters(), busy_s=1.0, idle_s=0.0, time_s=1.0,
+            domain="core",
+        )
+
+    def test_busy_cpu_energy(self):
+        assert self.profile().busy_cpu_energy_j == pytest.approx(15.0)
+
+    def test_breakdown_coverage(self):
+        # (movement 9.5 + background 5) / busy 15 = 96.7%
+        assert self.profile().breakdown_coverage_pct == pytest.approx(96.7, abs=0.1)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = sample_delta_e()
+        restored = DeltaE.from_json(original.to_json())
+        assert restored == original
+
+    def test_optional_levels_survive(self):
+        original = DeltaE(l1d=1e-9, reg2l1d=2e-9, stall=1e-9, mem=5e-8,
+                          add=1e-9, nop=1e-9)
+        restored = DeltaE.from_json(original.to_json())
+        assert restored.l2 is None and restored.pf_l3 is None
+
+    def test_unknown_fields_rejected(self):
+        import json
+        import pytest as _pytest
+        from repro.errors import CalibrationError
+
+        payload = json.loads(sample_delta_e().to_json())
+        payload["dE_bogus"] = 1.0
+        with _pytest.raises(CalibrationError):
+            DeltaE.from_json(json.dumps(payload))

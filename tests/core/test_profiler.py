@@ -1,0 +1,48 @@
+"""Tests of the one-call workload profiler."""
+
+import pytest
+
+from repro.core.profiler import profile_workload
+
+
+class TestProfileWorkload:
+    def test_basic_profile(self, session_calibration):
+        machine, cal = session_calibration
+        region = machine.address_space.alloc_lines(8, "pw")
+
+        def workload():
+            for _ in range(500):
+                machine.load(region.base)
+                machine.add(2)
+
+        profile = profile_workload(
+            machine, "w", workload, cal.delta_e, background=cal.background,
+        )
+        assert profile.name == "w"
+        assert profile.breakdown.active_energy_j > 0
+        assert profile.counters.n_l1d >= 500
+        assert profile.busy_s > 0
+
+    def test_prefetcher_on_by_default(self, session_calibration):
+        machine, cal = session_calibration
+        profile_workload(machine, "w", lambda: machine.add(10),
+                         cal.delta_e, background=cal.background)
+        assert machine.prefetcher.enabled
+
+    def test_warmup_not_measured(self, session_calibration):
+        machine, cal = session_calibration
+        calls = []
+        profile = profile_workload(
+            machine, "w", lambda: (calls.append(1), machine.add(100))[1],
+            cal.delta_e, background=cal.background,
+            warmup=lambda: calls.append("warm"),
+        )
+        assert "warm" in calls
+        assert profile.counters.n_add == 100
+
+    def test_pinned_pstate(self, session_calibration):
+        machine, cal = session_calibration
+        profile_workload(machine, "w", lambda: machine.add(10),
+                         cal.delta_e, background=cal.background, pstate=24)
+        assert machine.pstate == 24
+        machine.set_pstate(36)

@@ -1,0 +1,53 @@
+"""Tests of the text renderers."""
+
+from repro.core.accuracy import VerificationReport, VerificationRow
+from repro.core.model import EnergyBreakdown
+from repro.core.report import (
+    render_breakdown_bar,
+    render_breakdown_rows,
+    render_delta_e,
+    render_table,
+    render_verification,
+)
+
+
+def breakdown() -> EnergyBreakdown:
+    return EnergyBreakdown(4, 2, 1, 0.5, 0.5, 0.5, 1, 0.5,
+                           active_energy_j=10.0)
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "-" in text  # None cell
+
+    def test_large_and_small_numbers(self):
+        text = render_table(["v"], [[123456.0], [0.0001]])
+        assert "1.23e+05" in text and "0.0001" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderers:
+    def test_breakdown_rows(self):
+        text = render_breakdown_rows({"w1": breakdown()}, "Fig")
+        assert "E_L1D%" in text and "w1" in text
+
+    def test_breakdown_bar_width(self):
+        bar = render_breakdown_bar(breakdown(), width=40)
+        assert len(bar) == 42  # brackets + width
+        assert "#" in bar
+
+    def test_delta_e_table(self):
+        text = render_delta_e({36: {"dE_L1D": 1.3}, 12: {"dE_L1D": 0.6}})
+        assert "P-state 36" in text and "P-state 12" in text
+
+    def test_verification_table(self):
+        report = VerificationReport([VerificationRow("b", 2.0, 1.9)])
+        text = render_verification(report)
+        assert "b" in text and "average" in text

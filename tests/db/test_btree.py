@@ -1,0 +1,207 @@
+"""Unit and property tests for the B-tree (bulk load, insert, scans)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.btree import BTree
+from repro.errors import DatabaseError
+
+
+def tree(machine, node_bytes=256, payload_bytes=8) -> BTree:
+    return BTree(machine, "t", payload_bytes=payload_bytes,
+                 node_bytes=node_bytes)
+
+
+class TestBulkLoad:
+    def test_round_trip(self, machine):
+        t = tree(machine)
+        pairs = [(k, f"v{k}") for k in range(500)]
+        t.bulk_load(pairs)
+        assert t.n_entries == 500
+        assert t.keys_in_order() == list(range(500))
+
+    def test_search_every_key(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k * 10) for k in range(0, 100, 2)])
+        for k in range(0, 100, 2):
+            hit = t.search(k)
+            assert hit is not None and hit[0] == k * 10
+
+    def test_search_missing(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(0, 100, 2)])
+        assert t.search(1) is None
+        assert t.search(-5) is None
+        assert t.search(999) is None
+
+    def test_unsorted_input_rejected(self, machine):
+        with pytest.raises(DatabaseError):
+            tree(machine).bulk_load([(3, "a"), (1, "b")])
+
+    def test_bulk_load_nonempty_rejected(self, machine):
+        t = tree(machine)
+        t.bulk_load([(1, "a")])
+        with pytest.raises(DatabaseError):
+            t.bulk_load([(2, "b")])
+
+    def test_height_grows_logarithmically(self, machine):
+        small = tree(machine)
+        small.bulk_load([(k, k) for k in range(10)])
+        big = tree(machine)
+        big.bulk_load([(k, k) for k in range(2000)])
+        assert big.height > small.height
+        assert big.height <= 5
+
+    def test_empty_bulk_load(self, machine):
+        t = tree(machine)
+        t.bulk_load([])
+        assert t.n_entries == 0
+        assert t.search(1) is None
+
+
+class TestInsert:
+    def test_insert_then_search(self, machine):
+        t = tree(machine)
+        for k in (5, 1, 9, 3, 7):
+            t.insert(k, k * 2)
+        for k in (5, 1, 9, 3, 7):
+            assert t.search(k)[0] == k * 2
+
+    def test_inserts_cause_splits(self, machine):
+        t = tree(machine, node_bytes=256)
+        for k in range(300):
+            t.insert(k, k)
+        assert t.height >= 2
+        assert t.keys_in_order() == list(range(300))
+
+    def test_reverse_order_inserts(self, machine):
+        t = tree(machine, node_bytes=256)
+        for k in range(200, 0, -1):
+            t.insert(k, k)
+        assert t.keys_in_order() == list(range(1, 201))
+
+    def test_insert_into_bulk_loaded(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(0, 100, 2)])
+        t.insert(51, 51)
+        assert t.search(51)[0] == 51
+        assert t.keys_in_order() == sorted(list(range(0, 100, 2)) + [51])
+
+
+class TestScans:
+    def test_scan_all_in_order(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(300)])
+        keys = [k for k, _, _ in t.scan_all()]
+        assert keys == list(range(300))
+
+    def test_range_scan_inclusive(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(100)])
+        keys = [k for k, _, _ in t.range_scan(10, 20)]
+        assert keys == list(range(10, 21))
+
+    def test_range_scan_with_duplicates(self, machine):
+        """The duplicate-key regression: all equal keys must be found."""
+        t = tree(machine, node_bytes=256)
+        pairs = sorted([(k % 7, i) for i, k in enumerate(range(200))])
+        t.bulk_load(pairs)
+        hits = [payload for _, payload, _ in t.range_scan(3, 3)]
+        expected = [p for k, p in pairs if k == 3]
+        assert sorted(hits) == sorted(expected)
+
+    def test_range_scan_crossing_leaves(self, machine):
+        t = tree(machine, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(1000)])
+        keys = [k for k, _, _ in t.range_scan(95, 905)]
+        assert keys == list(range(95, 906))
+
+    def test_range_scan_empty(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(0, 100, 10)])
+        assert list(t.range_scan(41, 49)) == []
+
+    def test_on_leaf_callback_fires_per_leaf(self, machine):
+        t = tree(machine, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(500)])
+        visits = []
+        list(t.scan_all(on_leaf=visits.append))
+        assert len(visits) == len(t.levels()[-1])
+
+
+class TestTopology:
+    def test_levels_root_first(self, machine):
+        t = tree(machine, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(500)])
+        levels = t.levels()
+        assert len(levels[0]) == 1
+        assert len(levels[-1]) > 1
+        assert t.n_nodes == sum(len(level) for level in levels)
+
+    def test_relocate_top_levels(self, arm_machine):
+        t = BTree(arm_machine, "t", payload_bytes=8, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(500)])
+        moved = t.relocate_top_levels(arm_machine.tcm, budget_bytes=1024)
+        assert moved >= 1
+        assert t.levels()[0][0].region.base >= 1 << 40
+        # Tree still works after relocation.
+        assert t.search(250)[0] == 250
+
+    def test_relocate_zero_budget(self, arm_machine):
+        t = BTree(arm_machine, "t", payload_bytes=8, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(100)])
+        assert t.relocate_top_levels(arm_machine.tcm, budget_bytes=0) == 0
+
+
+class TestAccounting:
+    def test_search_issues_dependent_loads(self, machine):
+        t = tree(machine, node_bytes=256)
+        t.bulk_load([(k, k) for k in range(1000)])
+        machine.reset_measurements()
+        t.search(500)
+        counters = machine.pmu.counters
+        assert counters.n_load_inst > 0
+        assert counters.stall_cycles > 0
+
+    def test_scan_charges_key_loads(self, machine):
+        t = tree(machine)
+        t.bulk_load([(k, k) for k in range(100)])
+        machine.reset_measurements()
+        list(t.scan_all())
+        assert machine.pmu.counters.n_load_inst >= 100
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=-10_000, max_value=10_000),
+                    unique=True, min_size=1, max_size=300))
+    def test_insert_matches_dict(self, keys):
+        from repro import Machine, tiny_intel
+
+        machine = Machine(tiny_intel())
+        t = BTree(machine, "p", payload_bytes=8, node_bytes=256)
+        reference = {}
+        for key in keys:
+            t.insert(key, key * 3)
+            reference[key] = key * 3
+        assert t.keys_in_order() == sorted(reference)
+        for key, value in reference.items():
+            assert t.search(key)[0] == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                 max_size=200),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_range_scan_matches_filter(self, keys, a, b):
+        from repro import Machine, tiny_intel
+
+        lo, hi = min(a, b), max(a, b)
+        machine = Machine(tiny_intel())
+        t = BTree(machine, "p", payload_bytes=8, node_bytes=256)
+        t.bulk_load(sorted((k, i) for i, k in enumerate(keys)))
+        got = sorted(payload for _, payload, _ in t.range_scan(lo, hi))
+        expected = sorted(i for i, k in enumerate(keys) if lo <= k <= hi)
+        assert got == expected

@@ -1,0 +1,47 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, postgres_like
+from repro.db.catalog import Catalog, TableDef
+from repro.db.types import Column, INT, Schema
+from repro.errors import CatalogError
+
+
+def loaded_db():
+    db = Database(Machine(tiny_intel()), postgres_like())
+    schema = Schema([Column("a", INT), Column("b", INT)])
+    db.create_table("t", schema, [(1, 2)], primary_key="a", indexes=["b"])
+    return db
+
+
+class TestCatalog:
+    def test_lookup(self):
+        db = loaded_db()
+        assert db.catalog.table("t").name == "t"
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("missing")
+
+    def test_contains(self):
+        db = loaded_db()
+        assert "t" in db.catalog
+        assert "u" not in db.catalog
+
+    def test_index_on(self):
+        table = loaded_db().catalog.table("t")
+        assert table.index_on("b").column == "b"
+        assert table.index_on("a") is not None  # heap PK index
+
+    def test_tables_listing(self):
+        assert [t.name for t in loaded_db().catalog.tables()] == ["t"]
+
+    def test_index_on_unknown_column_rejected(self):
+        from repro.db.catalog import IndexDef
+        db = loaded_db()
+        with pytest.raises(CatalogError):
+            db.catalog.add_index(
+                IndexDef("bad", "t", "zz", tree=None)
+            )

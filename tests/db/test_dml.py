@@ -1,0 +1,145 @@
+"""Tests for the write path: INSERT / UPDATE / DELETE on both storage
+organisations, with index maintenance."""
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, mysql_like, postgres_like, sqlite_like
+from repro.db.exprs import Col, Const
+from repro.db.planner import Scan
+from repro.db.types import Column, FLOAT, INT, Schema
+from repro.errors import DatabaseError
+
+SCHEMA = Schema([Column("k", INT), Column("v", FLOAT), Column("g", INT)])
+ROWS = [(i, float(i), i % 3) for i in range(40)]
+
+ALL_PROFILES = [postgres_like, sqlite_like, mysql_like]
+
+
+@pytest.fixture(params=ALL_PROFILES, ids=lambda p: p().name)
+def db(request):
+    database = Database(Machine(tiny_intel()), request.param(), name="dml")
+    database.create_table("t", SCHEMA, ROWS, primary_key="k", indexes=["g"])
+    return database
+
+
+class TestInsert:
+    def test_visible_in_scan(self, db):
+        assert db.insert("t", [(100, 1.5, 0)]) == 1
+        assert (100, 1.5, 0) in db.execute(Scan("t"))
+
+    def test_visible_through_index(self, db):
+        db.insert("t", [(100, 1.5, 9)])
+        got = db.execute(Scan("t", Col("g").eq(9)))
+        assert got == [(100, 1.5, 9)]
+
+    def test_n_rows_updated(self, db):
+        before = db.catalog.table("t").n_rows
+        db.insert("t", [(100, 0.0, 0), (101, 0.0, 0)])
+        assert db.catalog.table("t").n_rows == before + 2
+
+    def test_arity_checked(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert("t", [(1, 2)])
+
+    def test_charges_stores(self, db):
+        machine = db.machine
+        machine.reset_measurements()
+        db.insert("t", [(100, 1.0, 0)])
+        assert machine.pmu.counters.n_store > 0
+
+
+class TestUpdate:
+    def test_expression_assignment(self, db):
+        n = db.update("t", {"v": Col("v") * Const(10)}, Col("k") < Const(3))
+        assert n == 3
+        values = {r[0]: r[1] for r in db.execute(Scan("t"))}
+        assert values[0] == 0.0 and values[2] == 20.0 and values[3] == 3.0
+
+    def test_constant_assignment(self, db):
+        db.update("t", {"v": 99.0}, Col("k").eq(7))
+        assert (7, 99.0, 1) in db.execute(Scan("t"))
+
+    def test_update_all_rows(self, db):
+        assert db.update("t", {"v": Const(0.0)}) == 40
+        assert all(r[1] == 0.0 for r in db.execute(Scan("t")))
+
+    def test_indexed_column_maintained(self, db):
+        db.update("t", {"g": Const(8)}, Col("k").eq(5))
+        via_index = db.execute(Scan("t", Col("g").eq(8)))
+        assert [r[0] for r in via_index] == [5]
+        # The old index entry must be gone.
+        old = db.execute(Scan("t", Col("g").eq(5 % 3)))
+        assert 5 not in {r[0] for r in old}
+
+    def test_primary_key_update_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.update("t", {"k": Const(999)})
+
+
+class TestDelete:
+    def test_delete_by_predicate(self, db):
+        assert db.delete("t", Col("g").eq(0)) == 14
+        remaining = db.execute(Scan("t"))
+        assert len(remaining) == 26
+        assert all(r[2] != 0 for r in remaining)
+
+    def test_index_paths_skip_deleted(self, db):
+        db.delete("t", Col("k").eq(9))
+        assert db.execute(Scan("t", Col("g").eq(0))) == [
+            r for r in ROWS if r[2] == 0 and r[0] != 9
+        ]
+
+    def test_delete_everything(self, db):
+        assert db.delete("t") == 40
+        assert db.execute(Scan("t")) == []
+        assert db.catalog.table("t").n_rows == 0
+
+    def test_reinsert_after_delete(self, db):
+        db.delete("t", Col("k").eq(3))
+        db.insert("t", [(3, -1.0, 2)])
+        got = [r for r in db.execute(Scan("t")) if r[0] == 3]
+        assert got == [(3, -1.0, 2)]
+
+
+class TestSqlDml:
+    def test_insert_statement(self, db):
+        assert db.sql("INSERT INTO t VALUES (200, 5.5, 1)") == 1
+        assert db.sql("SELECT v FROM t WHERE k = 200") == [(5.5,)]
+
+    def test_insert_negative_and_null(self, db):
+        schema = Schema([Column("a", INT), Column("b", FLOAT)])
+        db.create_table("u", schema, [(1, 1.0)])
+        assert db.sql("INSERT INTO u VALUES (-5, NULL)") == 1
+        rows = db.sql("SELECT * FROM u WHERE a < 0")
+        assert rows == [(-5, None)]
+
+    def test_update_statement(self, db):
+        n = db.sql("UPDATE t SET v = v + 1 WHERE g = 2")
+        assert n == sum(1 for r in ROWS if r[2] == 2)
+
+    def test_delete_statement(self, db):
+        assert db.sql("DELETE FROM t WHERE k BETWEEN 0 AND 9") == 10
+        assert db.sql("SELECT COUNT(*) FROM t") == [(30,)]
+
+    def test_unknown_column_in_set(self, db):
+        from repro.errors import SqlError
+        with pytest.raises(SqlError):
+            db.sql("UPDATE t SET nope = 1")
+
+
+class TestWriteEnergyShape:
+    def test_writes_store_heavy(self):
+        """Write statements produce a higher store:load ratio than reads."""
+        machine = Machine(tiny_intel())
+        db = Database(machine, sqlite_like(), name="w")
+        db.create_table("t", SCHEMA, ROWS, primary_key="k")
+        machine.reset_measurements()
+        db.execute(Scan("t"))
+        counters = machine.pmu.counters
+        read_ratio = counters.n_store / max(1, counters.n_l1d)
+        machine.reset_measurements()
+        db.insert("t", [(100 + i, 0.0, 0) for i in range(20)])
+        counters = machine.pmu.counters
+        write_ratio = counters.n_store / max(1, counters.n_l1d)
+        assert write_ratio > read_ratio

@@ -1,0 +1,111 @@
+"""Unit tests for the executor plumbing: temp arena, output sink,
+per-row overhead accounting."""
+
+import pytest
+
+from repro.db.operators.base import ExecContext, OutputSink, TempArena
+from repro.db.profiles import sqlite_like
+
+
+class TestTempArena:
+    def test_alloc_within_arena(self, machine):
+        arena = TempArena(machine, 4096)
+        region = arena.alloc(100)
+        assert arena.region.base <= region.base < arena.region.end
+
+    def test_allocations_disjoint(self, machine):
+        arena = TempArena(machine, 4096)
+        a = arena.alloc(100)
+        b = arena.alloc(100)
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_reset_reuses_addresses(self, machine):
+        arena = TempArena(machine, 4096)
+        first = arena.alloc(128)
+        arena.reset()
+        second = arena.alloc(128)
+        assert second.base == first.base  # warm temp memory across queries
+
+    def test_overflow_grows_cold_extension(self, machine):
+        arena = TempArena(machine, 1024)
+        arena.alloc(1024)
+        extension = arena.alloc(4096)  # does not fit: extension region
+        assert not arena.region.contains(extension.base)
+
+    def test_bytes_used(self, machine):
+        arena = TempArena(machine, 4096)
+        arena.alloc(100)
+        assert arena.bytes_used == 128  # line-aligned
+
+
+class TestOutputSink:
+    def test_emit_counts(self, machine):
+        sink = OutputSink(machine, size=1024)
+        sink.emit(100)
+        sink.emit(50)
+        assert sink.rows_emitted == 2
+        assert sink.bytes_emitted == 150
+
+    def test_emit_charges_stores(self, machine):
+        sink = OutputSink(machine, size=1024)
+        machine.reset_measurements()
+        sink.emit(64)
+        assert machine.pmu.counters.n_store == 8  # 64B = 8 words
+
+    def test_ring_wraps(self, machine):
+        sink = OutputSink(machine, size=256)
+        for _ in range(10):
+            sink.emit(100)  # > size total: cursor must wrap, not overflow
+        assert sink.rows_emitted == 10
+
+    def test_reset(self, machine):
+        sink = OutputSink(machine, size=256)
+        sink.emit(10)
+        sink.reset()
+        assert sink.rows_emitted == 0 and sink.bytes_emitted == 0
+
+
+class TestOverheadAccounting:
+    def make_ctx(self, machine):
+        return ExecContext(
+            machine=machine, profile=sqlite_like(), catalog=None,
+            temp=TempArena(machine, 4096), sink=OutputSink(machine),
+            state_region=machine.address_space.alloc(4096, "st"),
+            cold_region=machine.address_space.alloc(1 << 14, "cold"),
+        )
+
+    def test_row_overhead_matches_profile(self, machine):
+        ctx = self.make_ctx(machine)
+        machine.reset_measurements()
+        ctx.row_overhead()
+        counters = machine.pmu.counters
+        profile = ctx.profile
+        assert counters.n_load_inst == (profile.state_loads_per_row
+                                        + profile.cold_loads_per_row)
+        assert counters.n_store_inst == profile.state_stores_per_row
+
+    def test_produce_overhead_lighter_than_row(self, machine):
+        ctx = self.make_ctx(machine)
+        machine.reset_measurements()
+        ctx.row_overhead()
+        row_ops = machine.pmu.counters.instructions
+        machine.reset_measurements()
+        ctx.produce_overhead()
+        produce_ops = machine.pmu.counters.instructions
+        assert produce_ops < row_ops
+
+    def test_tcm_state_split(self, arm_machine):
+        """With an overflow region, only the covered fraction goes to TCM."""
+        tcm_region = arm_machine.tcm.alloc(2048, "state")
+        ctx = ExecContext(
+            machine=arm_machine, profile=sqlite_like(), catalog=None,
+            temp=TempArena(arm_machine, 4096), sink=OutputSink(arm_machine),
+            state_region=tcm_region,
+            state_overflow_region=arm_machine.address_space.alloc(4096, "ovf"),
+            state_tcm_fraction=0.65,
+        )
+        arm_machine.reset_measurements()
+        ctx.row_overhead()
+        counters = arm_machine.pmu.counters
+        total_loads = counters.n_tcm_load + counters.n_l1d
+        assert counters.n_tcm_load == pytest.approx(0.65 * total_loads, rel=0.05)

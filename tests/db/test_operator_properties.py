@@ -1,0 +1,81 @@
+"""Property-based operator correctness against plain-Python semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, tiny_intel
+from repro.db import Database, postgres_like, sqlite_like
+from repro.db.exprs import Col
+from repro.db.operators import AggSpec
+from repro.db.planner import Aggregate, Join, Scan, Sort
+from repro.db.types import Column, FLOAT, INT, Schema
+
+SCHEMA = Schema([Column("k", INT), Column("g", INT), Column("v", FLOAT)])
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=-100, max_value=100,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def load(rows, profile_factory):
+    profile = profile_factory() if callable(profile_factory) else profile_factory
+    db = Database(Machine(tiny_intel()), profile, name="prop")
+    # Unique surrogate PK so clustered storage accepts duplicates of k.
+    widened = Schema([Column("pk", INT)] + list(SCHEMA.columns))
+    db.create_table("t", widened,
+                    [(i,) + tuple(r) for i, r in enumerate(rows)],
+                    primary_key="pk")
+    return db
+
+
+class TestSortProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy)
+    def test_sort_matches_sorted(self, rows):
+        db = load(rows, sqlite_like)
+        got = db.execute(Sort(Scan("t"), ((Col("v"), False), (Col("pk"), False))))
+        assert [r[3] for r in got] == [
+            v for v, _ in sorted((r[2], i) for i, r in enumerate(rows))
+        ]
+
+
+class TestAggregateProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy)
+    def test_group_sums_match_reference(self, rows):
+        db = load(rows, postgres_like)
+        got = db.execute(Aggregate(
+            Scan("t"), (("g", Col("g")),),
+            (AggSpec("n", "count"), AggSpec("s", "sum", Col("v"))),
+        ))
+        reference = {}
+        for _k, g, v in rows:
+            slot = reference.setdefault(g, [0, 0.0])
+            slot[0] += 1
+            slot[1] += v
+        assert {r[0]: r[1] for r in got} == {g: n for g, (n, _) in reference.items()}
+        for g, n, s in got:
+            assert s == pytest.approx(reference[g][1], abs=1e-6)
+
+
+class TestJoinProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(rows_strategy, rows_strategy)
+    def test_join_cardinality_matches_reference(self, left, right):
+        db = load(left, sqlite_like)
+        widened = Schema([Column("rpk", INT), Column("rk", INT),
+                          Column("rg", INT), Column("rv", FLOAT)])
+        db.create_table("u", widened,
+                        [(i,) + tuple(r) for i, r in enumerate(right)],
+                        primary_key="rpk")
+        got = db.execute(Join(Scan("t"), Scan("u"), Col("g"), Col("rg")))
+        expected = sum(
+            1 for _lk, lg, _lv in left for _rk, rg, _rv in right if lg == rg
+        )
+        assert len(got) == expected

@@ -1,0 +1,305 @@
+"""Correctness tests for the physical operators, checked against plain
+Python implementations of the same semantics."""
+
+import random
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, postgres_like
+from repro.db.exprs import Col, Const, TupleOf
+from repro.db.operators import (
+    AggOp,
+    AggSpec,
+    DistinctOp,
+    FilterOp,
+    HashJoinOp,
+    IndexNLJoinOp,
+    LimitOp,
+    ProjectOp,
+    SeqScanOp,
+    SortOp,
+)
+from repro.db.operators.base import ExecContext, OutputSink, TempArena
+from repro.db.types import Column, FLOAT, INT, STR, Schema
+from repro.errors import PlanError
+
+LEFT_SCHEMA = Schema([Column("k", INT), Column("x", FLOAT)])
+RIGHT_SCHEMA = Schema([Column("rk", INT), Column("label", STR, 8)])
+
+
+@pytest.fixture
+def env():
+    """Machine + database with two small loaded tables + exec context."""
+    machine = Machine(tiny_intel())
+    db = Database(machine, postgres_like(), name="ops")
+    rng = random.Random(3)
+    # Keys 0..12 repeat, so joins and group-bys have real fan-out.
+    left_rows = [(i % 13, round(rng.random() * 100, 2)) for i in range(160)]
+    db.create_table("left_t", LEFT_SCHEMA, left_rows, primary_key="k")
+    right_rows = [(i, f"lab{i}") for i in range(10)]
+    db.create_table("right_t", RIGHT_SCHEMA, right_rows, primary_key="rk")
+    ctx = ExecContext(
+        machine=machine, profile=db.profile, catalog=db.catalog,
+        temp=TempArena(machine, 1 << 20), sink=OutputSink(machine),
+        state_region=machine.address_space.alloc(4096, "state"),
+        cold_region=machine.address_space.alloc(1 << 15, "cold"),
+    )
+    return db, ctx, left_rows, right_rows
+
+
+def rows_of(op, ctx):
+    return list(op.rows(ctx))
+
+
+class TestScanFilterProject:
+    def test_seq_scan_all_rows(self, env):
+        db, ctx, left_rows, _ = env
+        op = SeqScanOp(db.catalog.table("left_t"))
+        assert sorted(rows_of(op, ctx)) == sorted(left_rows)
+
+    def test_pushed_predicate(self, env):
+        db, ctx, left_rows, _ = env
+        op = SeqScanOp(db.catalog.table("left_t"), Col("x") < Const(50))
+        assert sorted(rows_of(op, ctx)) == sorted(
+            r for r in left_rows if r[1] < 50
+        )
+
+    def test_filter_op(self, env):
+        db, ctx, left_rows, _ = env
+        op = FilterOp(SeqScanOp(db.catalog.table("left_t")),
+                      Col("k").eq(5))
+        assert all(r[0] == 5 for r in rows_of(op, ctx))
+
+    def test_project(self, env):
+        db, ctx, left_rows, _ = env
+        op = ProjectOp(SeqScanOp(db.catalog.table("left_t")),
+                       [("double_x", Col("x") * Const(2))])
+        got = sorted(r[0] for r in rows_of(op, ctx))
+        assert got == sorted(r[1] * 2 for r in left_rows)
+
+    def test_project_schema(self, env):
+        db, ctx, _, _ = env
+        op = ProjectOp(SeqScanOp(db.catalog.table("left_t")),
+                       [("k", Col("k")), ("y", Col("x") + Const(1))])
+        assert op.schema.names() == ("k", "y")
+
+    def test_empty_projection_rejected(self, env):
+        db, _, _, _ = env
+        with pytest.raises(PlanError):
+            ProjectOp(SeqScanOp(db.catalog.table("left_t")), [])
+
+
+class TestLimitDistinct:
+    def test_limit(self, env):
+        db, ctx, _, _ = env
+        op = LimitOp(SeqScanOp(db.catalog.table("left_t")), 7)
+        assert len(rows_of(op, ctx)) == 7
+
+    def test_limit_zero(self, env):
+        db, ctx, _, _ = env
+        op = LimitOp(SeqScanOp(db.catalog.table("left_t")), 0)
+        assert rows_of(op, ctx) == []
+
+    def test_limit_negative_rejected(self, env):
+        db, _, _, _ = env
+        with pytest.raises(PlanError):
+            LimitOp(SeqScanOp(db.catalog.table("left_t")), -1)
+
+    def test_distinct(self, env):
+        db, ctx, left_rows, _ = env
+        op = DistinctOp(ProjectOp(SeqScanOp(db.catalog.table("left_t")),
+                                  [("k", Col("k"))]))
+        got = sorted(r[0] for r in rows_of(op, ctx))
+        assert got == sorted({r[0] for r in left_rows})
+
+
+class TestHashJoin:
+    def expected_inner(self, left_rows, right_rows):
+        return sorted(
+            l + r for l in left_rows for r in right_rows if l[0] == r[0]
+        )
+
+    def test_inner(self, env):
+        db, ctx, left_rows, right_rows = env
+        op = HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                        SeqScanOp(db.catalog.table("right_t")),
+                        Col("k"), Col("rk"))
+        assert sorted(rows_of(op, ctx)) == self.expected_inner(
+            left_rows, right_rows
+        )
+
+    def test_left_outer(self, env):
+        db, ctx, left_rows, right_rows = env
+        op = HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                        SeqScanOp(db.catalog.table("right_t")),
+                        Col("k"), Col("rk"), kind="left")
+        rows = rows_of(op, ctx)
+        matched_keys = {r[0] for r in right_rows}
+        unmatched = [r for r in rows if r[2] is None]
+        assert all(r[0] not in matched_keys for r in unmatched)
+        assert len(rows) >= len(left_rows)
+
+    def test_semi(self, env):
+        db, ctx, left_rows, right_rows = env
+        op = HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                        SeqScanOp(db.catalog.table("right_t")),
+                        Col("k"), Col("rk"), kind="semi")
+        keys = {r[0] for r in right_rows}
+        assert sorted(rows_of(op, ctx)) == sorted(
+            r for r in left_rows if r[0] in keys
+        )
+
+    def test_anti(self, env):
+        db, ctx, left_rows, right_rows = env
+        op = HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                        SeqScanOp(db.catalog.table("right_t")),
+                        Col("k"), Col("rk"), kind="anti")
+        keys = {r[0] for r in right_rows}
+        assert sorted(rows_of(op, ctx)) == sorted(
+            r for r in left_rows if r[0] not in keys
+        )
+
+    def test_tuple_keys(self, env):
+        db, ctx, left_rows, right_rows = env
+        op = HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                        SeqScanOp(db.catalog.table("right_t")),
+                        TupleOf(Col("k"), Col("k")),
+                        TupleOf(Col("rk"), Col("rk")))
+        assert sorted(rows_of(op, ctx)) == self.expected_inner(
+            left_rows, right_rows
+        )
+
+    def test_unknown_kind(self, env):
+        db, _, _, _ = env
+        with pytest.raises(PlanError):
+            HashJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                       SeqScanOp(db.catalog.table("right_t")),
+                       Col("k"), Col("rk"), kind="cross")
+
+
+class TestIndexNLJoin:
+    def test_matches_hash_join(self, env):
+        db, ctx, left_rows, right_rows = env
+        nl = IndexNLJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                           db.catalog.table("right_t"),
+                           Col("k"), "rk")
+        expected = sorted(
+            l + r for l in left_rows for r in right_rows if l[0] == r[0]
+        )
+        assert sorted(rows_of(nl, ctx)) == expected
+
+    def test_semi(self, env):
+        db, ctx, left_rows, right_rows = env
+        nl = IndexNLJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                           db.catalog.table("right_t"),
+                           Col("k"), "rk", kind="semi")
+        keys = {r[0] for r in right_rows}
+        assert sorted(rows_of(nl, ctx)) == sorted(
+            r for r in left_rows if r[0] in keys
+        )
+
+    def test_requires_access_path(self, env):
+        db, _, _, _ = env
+        with pytest.raises(PlanError):
+            IndexNLJoinOp(SeqScanOp(db.catalog.table("left_t")),
+                          db.catalog.table("right_t"),
+                          Col("k"), "label")
+
+
+class TestSort:
+    def test_ascending(self, env):
+        db, ctx, left_rows, _ = env
+        op = SortOp(SeqScanOp(db.catalog.table("left_t")),
+                    [(Col("x"), False)])
+        got = [r[1] for r in rows_of(op, ctx)]
+        assert got == sorted(r[1] for r in left_rows)
+
+    def test_descending(self, env):
+        db, ctx, left_rows, _ = env
+        op = SortOp(SeqScanOp(db.catalog.table("left_t")),
+                    [(Col("x"), True)])
+        got = [r[1] for r in rows_of(op, ctx)]
+        assert got == sorted((r[1] for r in left_rows), reverse=True)
+
+    def test_multi_key(self, env):
+        db, ctx, left_rows, _ = env
+        op = SortOp(SeqScanOp(db.catalog.table("left_t")),
+                    [(Col("k"), False), (Col("x"), True)])
+        got = [(r[0], r[1]) for r in rows_of(op, ctx)]
+        assert got == sorted(left_rows, key=lambda r: (r[0], -r[1]))
+
+    def test_descending_strings(self, env):
+        db, ctx, _, right_rows = env
+        op = SortOp(SeqScanOp(db.catalog.table("right_t")),
+                    [(Col("label"), True)])
+        got = [r[1] for r in rows_of(op, ctx)]
+        assert got == sorted((r[1] for r in right_rows), reverse=True)
+
+    def test_top_n(self, env):
+        db, ctx, left_rows, _ = env
+        op = SortOp(SeqScanOp(db.catalog.table("left_t")),
+                    [(Col("x"), True)], limit=5)
+        got = [r[1] for r in rows_of(op, ctx)]
+        assert got == sorted((r[1] for r in left_rows), reverse=True)[:5]
+
+    def test_empty_input(self, env):
+        db, ctx, _, _ = env
+        op = SortOp(SeqScanOp(db.catalog.table("left_t"),
+                              Col("x") < Const(-1)),
+                    [(Col("x"), False)])
+        assert rows_of(op, ctx) == []
+
+    def test_no_keys_rejected(self, env):
+        db, _, _, _ = env
+        with pytest.raises(PlanError):
+            SortOp(SeqScanOp(db.catalog.table("left_t")), [])
+
+
+class TestAggregate:
+    def test_group_by_counts_and_sums(self, env):
+        db, ctx, left_rows, _ = env
+        op = AggOp(SeqScanOp(db.catalog.table("left_t")),
+                   [("k", Col("k"))],
+                   [AggSpec("n", "count"), AggSpec("s", "sum", Col("x")),
+                    AggSpec("lo", "min", Col("x")),
+                    AggSpec("hi", "max", Col("x")),
+                    AggSpec("mean", "avg", Col("x"))])
+        got = {r[0]: r[1:] for r in rows_of(op, ctx)}
+        for key in {r[0] for r in left_rows}:
+            values = [r[1] for r in left_rows if r[0] == key]
+            n, s, lo, hi, mean = got[key]
+            assert n == len(values)
+            assert s == pytest.approx(sum(values))
+            assert lo == min(values) and hi == max(values)
+            assert mean == pytest.approx(sum(values) / len(values))
+
+    def test_scalar_aggregate(self, env):
+        db, ctx, left_rows, _ = env
+        op = AggOp(SeqScanOp(db.catalog.table("left_t")), [],
+                   [AggSpec("total", "sum", Col("x"))])
+        rows = rows_of(op, ctx)
+        assert len(rows) == 1
+        assert rows[0][0] == pytest.approx(sum(r[1] for r in left_rows))
+
+    def test_scalar_aggregate_empty_input(self, env):
+        db, ctx, _, _ = env
+        op = AggOp(SeqScanOp(db.catalog.table("left_t"),
+                             Col("x") < Const(-1)),
+                   [], [AggSpec("n", "count"), AggSpec("s", "sum", Col("x"))])
+        rows = rows_of(op, ctx)
+        assert rows == [(0, None)]
+
+    def test_count_distinct(self, env):
+        db, ctx, left_rows, _ = env
+        op = AggOp(SeqScanOp(db.catalog.table("left_t")), [],
+                   [AggSpec("d", "count_distinct", Col("k"))])
+        assert rows_of(op, ctx)[0][0] == len({r[0] for r in left_rows})
+
+    def test_invalid_agg_kind(self):
+        with pytest.raises(PlanError):
+            AggSpec("x", "median", Col("a"))
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(PlanError):
+            AggSpec("x", "sum")

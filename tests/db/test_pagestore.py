@@ -1,0 +1,74 @@
+"""Unit tests for the paged file."""
+
+import pytest
+
+from repro.db.pagestore import PAGE_HEADER_BYTES, PagedFile, PageId
+from repro.db.types import Column, INT, Schema
+from repro.errors import DatabaseError
+
+
+def schema():
+    return Schema([Column("k", INT), Column("v", INT)])
+
+
+def file_with(n_rows, page_size=4096):
+    f = PagedFile(1, schema(), page_size, first_block=100)
+    f.append_rows([(i, i * 2) for i in range(n_rows)])
+    return f
+
+
+class TestLayout:
+    def test_rows_per_page(self):
+        f = PagedFile(1, schema(), 4096)
+        expected = (4096 - PAGE_HEADER_BYTES) // schema().row_size
+        assert f.rows_per_page == expected
+
+    def test_row_too_wide(self):
+        from repro.db.types import STR
+        wide = Schema([Column("s", STR, 5000)])
+        with pytest.raises(DatabaseError):
+            PagedFile(1, wide, 4096)
+
+    def test_page_count(self):
+        f = file_with(500)
+        assert f.n_pages == (500 + f.rows_per_page - 1) // f.rows_per_page
+        assert f.n_rows == 500
+
+    def test_arity_check(self):
+        f = PagedFile(1, schema(), 4096)
+        with pytest.raises(DatabaseError):
+            f.append_rows([(1, 2, 3)])
+
+
+class TestAccess:
+    def test_locate_round_trip(self):
+        f = file_with(500)
+        for i in (0, 1, f.rows_per_page, 499):
+            page_no, slot = f.locate(i)
+            assert f.row_at(page_no, slot) == (i, i * 2)
+
+    def test_locate_out_of_range(self):
+        f = file_with(10)
+        with pytest.raises(DatabaseError):
+            f.locate(10)
+
+    def test_page_out_of_range(self):
+        f = file_with(10)
+        with pytest.raises(DatabaseError):
+            f.page(99)
+
+    def test_bad_slot(self):
+        f = file_with(10)
+        with pytest.raises(DatabaseError):
+            f.row_at(0, 9999)
+
+    def test_blocks_sequential(self):
+        f = file_with(500)
+        blocks = [f.block_of(p) for p in range(f.n_pages)]
+        assert blocks == list(range(100, 100 + f.n_pages))
+
+    def test_page_ids(self):
+        f = file_with(100)
+        ids = list(f.page_ids())
+        assert ids[0] == PageId(1, 0)
+        assert len(ids) == f.n_pages

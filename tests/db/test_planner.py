@@ -1,0 +1,146 @@
+"""Tests of the logical->physical planner's per-engine rules."""
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, mysql_like, postgres_like, sqlite_like
+from repro.db.exprs import Between, Col, Const
+from repro.db.operators import (
+    HashJoinOp,
+    IndexNLJoinOp,
+    IndexOrderScanOp,
+    IndexRangeScanOp,
+    SeqScanOp,
+)
+from repro.db.planner import Aggregate, Join, Project, Scan, collect_used_columns
+from repro.db.operators import AggSpec
+from repro.db.types import Column, FLOAT, INT, Schema
+from repro.errors import PlanError
+
+SCHEMA_A = Schema([Column("ak", INT), Column("av", FLOAT), Column("af", INT)])
+SCHEMA_B = Schema([Column("bk", INT), Column("bv", FLOAT)])
+
+
+def make_db(profile):
+    machine = Machine(tiny_intel())
+    db = Database(machine, profile, name="plan")
+    db.create_table("a", SCHEMA_A, [(i, float(i), i % 5) for i in range(100)],
+                    primary_key="ak", indexes=["af"])
+    db.create_table("b", SCHEMA_B, [(i, float(i)) for i in range(20)],
+                    primary_key="bk")
+    return db
+
+
+class TestAccessPaths:
+    def test_pg_uses_index_for_range(self):
+        db = make_db(postgres_like())
+        plan = db.plan(Scan("a", Between(Col("ak"), 5, 10)))
+        assert isinstance(plan, IndexRangeScanOp)
+
+    def test_sqlite_prefers_seq_scan(self):
+        db = make_db(sqlite_like())
+        plan = db.plan(Scan("a", Between(Col("ak"), 5, 10)))
+        assert isinstance(plan, SeqScanOp)
+
+    def test_forced_seq(self):
+        db = make_db(postgres_like())
+        plan = db.plan(Scan("a", Between(Col("ak"), 5, 10), access="seq"))
+        assert isinstance(plan, SeqScanOp)
+
+    def test_forced_index_order_uses_secondary(self):
+        db = make_db(mysql_like())
+        plan = db.plan(Scan("a", access="index_order"))
+        assert isinstance(plan, IndexOrderScanOp)
+        assert plan.index.column == "af"  # the (only) secondary index
+
+    def test_no_index_for_unindexed_column(self):
+        db = make_db(postgres_like())
+        plan = db.plan(Scan("a", Between(Col("av"), 1.0, 2.0)))
+        assert isinstance(plan, SeqScanOp)
+
+    def test_strict_bound_kept_in_residual(self):
+        db = make_db(postgres_like())
+        plan = db.plan(Scan("a", Col("ak") < Const(10)))
+        assert isinstance(plan, IndexRangeScanOp)
+        assert plan.residual is not None
+
+    def test_equality_becomes_point_range(self):
+        db = make_db(postgres_like())
+        plan = db.plan(Scan("a", Col("ak").eq(7)))
+        assert isinstance(plan, IndexRangeScanOp)
+        assert plan.lo == 7 and plan.hi == 7
+
+    def test_results_identical_across_paths(self):
+        logical = Scan("a", Between(Col("ak"), 5, 60))
+        results = {
+            name: sorted(make_db(profile()).execute(logical))
+            for name, profile in (("pg", postgres_like),
+                                  ("lite", sqlite_like))
+        }
+        assert results["pg"] == results["lite"]
+
+
+class TestJoins:
+    def join(self):
+        return Join(Scan("a"), Scan("b"), Col("ak"), Col("bk"))
+
+    def test_pg_hash_join(self):
+        plan = make_db(postgres_like()).plan(self.join())
+        assert isinstance(plan, HashJoinOp)
+
+    def test_sqlite_index_nl(self):
+        plan = make_db(sqlite_like()).plan(self.join())
+        assert isinstance(plan, IndexNLJoinOp)
+
+    def test_sqlite_falls_back_to_hash_without_path(self):
+        join = Join(Scan("a"), Scan("b"), Col("av"), Col("bv"))
+        plan = make_db(sqlite_like()).plan(join)
+        assert isinstance(plan, HashJoinOp)
+
+    def test_join_results_match_across_strategies(self):
+        join = self.join()
+        pg = sorted(make_db(postgres_like()).execute(join))
+        lite = sorted(make_db(sqlite_like()).execute(join))
+        assert pg == lite
+
+
+class TestColumnUsage:
+    def test_root_scan_is_fully_visible(self):
+        used, visible = collect_used_columns(Scan("a"))
+        assert visible == {"a"}
+
+    def test_project_hides_children(self):
+        plan = Project(Scan("a"), (("x", Col("av")),))
+        used, visible = collect_used_columns(plan)
+        assert visible == set()
+        assert used == {"av"}
+
+    def test_aggregate_hides_children(self):
+        plan = Aggregate(Scan("a"), (("af", Col("af")),),
+                         (AggSpec("n", "count"),))
+        used, visible = collect_used_columns(plan)
+        assert visible == set()
+        assert used == {"af"}
+
+    def test_semi_join_hides_right(self):
+        plan = Join(Scan("a"), Scan("b"), Col("ak"), Col("bk"), kind="semi")
+        _, visible = collect_used_columns(plan)
+        assert visible == {"a"}
+
+    def test_inner_join_exposes_both(self):
+        _, visible = collect_used_columns(
+            Join(Scan("a"), Scan("b"), Col("ak"), Col("bk"))
+        )
+        assert visible == {"a", "b"}
+
+
+class TestErrors:
+    def test_unknown_table(self):
+        db = make_db(postgres_like())
+        with pytest.raises(Exception):
+            db.plan(Scan("missing"))
+
+    def test_forced_range_without_conjunct(self):
+        db = make_db(postgres_like())
+        with pytest.raises(PlanError):
+            db.plan(Scan("a", Col("av").eq(1.0), access="ak"))

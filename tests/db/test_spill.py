@@ -1,0 +1,55 @@
+"""Tests of work_mem spill behaviour in sort / hash join / aggregate."""
+
+import dataclasses
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, postgres_like
+from repro.db.exprs import Col
+from repro.db.planner import Aggregate, Join, Scan, Sort
+from repro.db.operators import AggSpec
+from repro.db.types import Column, FLOAT, INT, Schema
+
+SCHEMA = Schema([Column("k", INT), Column("v", FLOAT)])
+ROWS = [(i, float(i * 7 % 101)) for i in range(600)]
+
+
+def tiny_workmem_db(work_mem: int):
+    profile = dataclasses.replace(postgres_like(), work_mem_bytes=work_mem)
+    machine = Machine(tiny_intel())
+    db = Database(machine, profile, name="spill")
+    db.create_table("t", SCHEMA, ROWS, primary_key="k")
+    db.create_table("u", SCHEMA, ROWS, primary_key="k")
+    return machine, db
+
+
+class TestSpill:
+    def test_sort_spills_when_over_budget(self):
+        machine, db = tiny_workmem_db(work_mem=1024)
+        machine.disk.reset_stats()
+        rows = db.execute(Sort(Scan("t"), ((Col("v"), False),)))
+        assert [r[1] for r in rows] == sorted(r[1] for r in ROWS)
+        assert machine.disk.writes > 0  # the external-merge round trip
+
+    def test_sort_no_spill_with_room(self):
+        machine, db = tiny_workmem_db(work_mem=1 << 22)
+        db.execute(Scan("t"))  # warm the pool so the scan itself is diskless
+        machine.disk.reset_stats()
+        db.execute(Sort(Scan("t"), ((Col("v"), False),)))
+        assert machine.disk.writes == 0
+
+    def test_hash_join_spills(self):
+        machine, db = tiny_workmem_db(work_mem=1024)
+        machine.disk.reset_stats()
+        rows = db.execute(Join(Scan("t"), Scan("u"), Col("k"), Col("k")))
+        assert len(rows) == len(ROWS)
+        assert machine.disk.writes > 0
+
+    def test_spill_correctness_unchanged(self):
+        """Spilling affects energy/time, never results."""
+        _, small = tiny_workmem_db(work_mem=1024)
+        _, big = tiny_workmem_db(work_mem=1 << 22)
+        plan = Aggregate(Scan("t"), (("k", Col("k")),),
+                         (AggSpec("s", "sum", Col("v")),))
+        assert sorted(small.execute(plan)) == sorted(big.execute(plan))

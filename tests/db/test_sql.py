@@ -1,0 +1,245 @@
+"""Tests for the SQL front-end: lexer, parser, and translation."""
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, postgres_like, sqlite_like
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse
+from repro.db.types import Column, FLOAT, INT, STR, Schema
+from repro.errors import SqlError
+
+
+# ------------------------------------------------------------------- lexer
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind == "IDENT" and tokens[0].value == "MyTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == "42" and tokens[1].value == "3.14"
+
+    def test_strings_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "STRING" and tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:4]] == ["<=", ">=", "<>", "!="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert tokens[1].value == "1"
+
+    def test_stray_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+    def test_qualified_name_tokens(self):
+        tokens = tokenize("t.col")
+        assert [t.value for t in tokens[:3]] == ["t", ".", "col"]
+
+
+# ------------------------------------------------------------------ parser
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert len(stmt.items) == 2
+        assert stmt.tables[0].name == "t"
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.select_star
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.tables[0].alias == "u"
+
+    def test_where_between_and_in(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 "
+                     "AND b IN (1, 2, 3)")
+        assert stmt.where is not None
+
+    def test_join_on(self):
+        stmt = parse("SELECT a FROM t JOIN u ON x = y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+
+    def test_left_join(self):
+        stmt = parse("SELECT a FROM t LEFT OUTER JOIN u ON x = y")
+        assert stmt.joins[0].kind == "left"
+
+    def test_group_having_order_limit(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a "
+                     "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 10
+
+    def test_date_literal(self):
+        from datetime import date
+        stmt = parse("SELECT a FROM t WHERE d < DATE '1995-03-15'")
+        literal = stmt.where.right
+        assert literal.value == date(1995, 3, 15).toordinal()
+
+    def test_bad_date(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE d < DATE 'soon'")
+
+    def test_case_when(self):
+        stmt = parse("SELECT CASE WHEN a > 1 THEN 1 ELSE 0 END FROM t")
+        assert stmt.items
+
+    def test_arith_precedence(self):
+        stmt = parse("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_count_star_only(self):
+        with pytest.raises(SqlError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t extra garbage ;")
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+    def test_not_like(self):
+        stmt = parse("SELECT a FROM t WHERE s NOT LIKE 'x%'")
+        assert stmt.where.negated
+
+
+# -------------------------------------------------------------- end-to-end
+
+SCHEMA = Schema([
+    Column("pid", INT), Column("grp", INT), Column("score", FLOAT),
+    Column("name", STR, 16),
+])
+ROWS = [(i, i % 4, float(i * 7 % 23), f"name{i % 6}") for i in range(60)]
+
+GRP_SCHEMA = Schema([Column("gid", INT), Column("gname", STR, 8)])
+GRP_ROWS = [(i, f"g{i}") for i in range(4)]
+
+
+@pytest.fixture(params=["postgresql", "sqlite"])
+def sql_db(request):
+    profile = postgres_like() if request.param == "postgresql" else sqlite_like()
+    db = Database(Machine(tiny_intel()), profile, name="sqltest")
+    db.create_table("people", SCHEMA, ROWS, primary_key="pid",
+                    indexes=["grp"])
+    db.create_table("grp_names", GRP_SCHEMA, GRP_ROWS, primary_key="gid")
+    return db
+
+
+class TestExecution:
+    def test_filter_and_projection(self, sql_db):
+        rows = sql_db.sql("SELECT pid FROM people WHERE score > 10 "
+                          "ORDER BY pid")
+        expected = sorted(r[0] for r in ROWS if r[2] > 10)
+        assert [r[0] for r in rows] == expected
+
+    def test_select_star(self, sql_db):
+        rows = sql_db.sql("SELECT * FROM people WHERE pid = 5")
+        assert rows == [ROWS[5]]
+
+    def test_group_by(self, sql_db):
+        rows = sql_db.sql("SELECT grp, COUNT(*) AS n, SUM(score) AS s "
+                          "FROM people GROUP BY grp ORDER BY grp")
+        for grp, n, s in rows:
+            members = [r for r in ROWS if r[1] == grp]
+            assert n == len(members)
+            assert s == pytest.approx(sum(r[2] for r in members))
+
+    def test_having(self, sql_db):
+        rows = sql_db.sql("SELECT name, COUNT(*) AS n FROM people "
+                          "GROUP BY name HAVING COUNT(*) > 10 ORDER BY name")
+        assert all(r[1] > 10 for r in rows)
+
+    def test_comma_join(self, sql_db):
+        rows = sql_db.sql(
+            "SELECT pid, gname FROM people, grp_names "
+            "WHERE grp = gid AND pid < 8 ORDER BY pid"
+        )
+        assert [r for r in rows] == [
+            (r[0], f"g{r[1]}") for r in ROWS if r[0] < 8
+        ]
+
+    def test_explicit_join(self, sql_db):
+        rows = sql_db.sql(
+            "SELECT pid FROM people JOIN grp_names ON grp = gid "
+            "WHERE gname = 'g1' ORDER BY pid"
+        )
+        assert [r[0] for r in rows] == [r[0] for r in ROWS if r[1] == 1]
+
+    def test_distinct(self, sql_db):
+        rows = sql_db.sql("SELECT DISTINCT grp FROM people ORDER BY grp")
+        assert [r[0] for r in rows] == [0, 1, 2, 3]
+
+    def test_like(self, sql_db):
+        rows = sql_db.sql("SELECT COUNT(*) FROM people WHERE name LIKE 'name1%'")
+        assert rows[0][0] == sum(1 for r in ROWS if r[3].startswith("name1"))
+
+    def test_limit_without_order(self, sql_db):
+        rows = sql_db.sql("SELECT pid FROM people LIMIT 5")
+        assert len(rows) == 5
+
+    def test_order_by_aggregate_alias(self, sql_db):
+        rows = sql_db.sql("SELECT grp, COUNT(*) AS n FROM people "
+                          "GROUP BY grp ORDER BY n DESC, grp")
+        assert [r[1] for r in rows] == sorted((r[1] for r in rows),
+                                              reverse=True)
+
+    def test_arith_in_select(self, sql_db):
+        rows = sql_db.sql("SELECT pid, score * 2 + 1 AS s2 FROM people "
+                          "WHERE pid = 3")
+        assert rows[0][1] == pytest.approx(ROWS[3][2] * 2 + 1)
+
+    def test_case_when_sum(self, sql_db):
+        rows = sql_db.sql(
+            "SELECT SUM(CASE WHEN grp = 1 THEN 1 ELSE 0 END) AS n FROM people"
+        )
+        assert rows[0][0] == sum(1 for r in ROWS if r[1] == 1)
+
+
+class TestBindingErrors:
+    def test_unknown_table(self, sql_db):
+        with pytest.raises(Exception):
+            sql_db.sql("SELECT a FROM nope")
+
+    def test_unknown_column(self, sql_db):
+        with pytest.raises(SqlError):
+            sql_db.sql("SELECT wat FROM people")
+
+    def test_no_join_condition(self, sql_db):
+        with pytest.raises(SqlError):
+            sql_db.sql("SELECT pid FROM people, grp_names")
+
+    def test_star_with_aggregate(self, sql_db):
+        with pytest.raises(SqlError):
+            sql_db.sql("SELECT * FROM people GROUP BY grp")
+
+    def test_aggregate_in_where(self, sql_db):
+        with pytest.raises(SqlError):
+            sql_db.sql("SELECT pid FROM people WHERE COUNT(*) > 1")
+
+    def test_unsupported_like_pattern(self, sql_db):
+        with pytest.raises(SqlError):
+            sql_db.sql("SELECT pid FROM people WHERE name LIKE 'a%b%c'")

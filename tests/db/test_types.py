@@ -1,0 +1,70 @@
+"""Unit tests for Schema / Column / row layout."""
+
+import pytest
+
+from repro.db.types import Column, DATE, FLOAT, INT, ROW_HEADER_BYTES, STR, Schema
+from repro.errors import CatalogError
+
+
+class TestColumn:
+    def test_fixed_widths(self):
+        assert Column("a", INT).width == 8
+        assert Column("b", FLOAT).width == 8
+        assert Column("c", DATE).width == 8
+
+    def test_string_needs_width(self):
+        with pytest.raises(CatalogError):
+            Column("s", STR)
+
+    def test_unknown_type(self):
+        with pytest.raises(CatalogError):
+            Column("x", "blob")
+
+
+class TestSchema:
+    def schema(self):
+        return Schema([Column("a", INT), Column("s", STR, 20),
+                       Column("b", FLOAT)])
+
+    def test_offsets(self):
+        s = self.schema()
+        assert s.offsets[0] == ROW_HEADER_BYTES
+        assert s.offsets[1] == ROW_HEADER_BYTES + 8
+        assert s.offsets[2] == ROW_HEADER_BYTES + 28
+
+    def test_row_size(self):
+        assert self.schema().row_size == ROW_HEADER_BYTES + 8 + 20 + 8
+
+    def test_index_of(self):
+        assert self.schema().index_of("s") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            self.schema().index_of("zz")
+
+    def test_contains(self):
+        s = self.schema()
+        assert "a" in s and "zz" not in s
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", INT), Column("a", INT)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_project(self):
+        s = self.schema().project(["b", "a"])
+        assert s.names() == ("b", "a")
+
+    def test_concat(self):
+        left = Schema([Column("a", INT)])
+        right = Schema([Column("b", INT)])
+        assert left.concat(right).names() == ("a", "b")
+
+    def test_concat_renames_collisions(self):
+        left = Schema([Column("a", INT), Column("k", INT)])
+        right = Schema([Column("k", INT), Column("b", INT)])
+        merged = left.concat(right)
+        assert merged.names() == ("a", "k", "k_r", "b")

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the paper's pipeline on small inputs."""
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.core import calibrate, profile_workload, verify
+from repro.db import Database, sqlite_like
+from repro.workloads.tpch import TpchData, load_into, run_query
+
+
+class TestFullPipeline:
+    def test_calibrate_verify_profile(self):
+        """§2 + §3 in one flow: calibrate, verify, break a query down."""
+        machine = Machine(tiny_intel(), seed=1)
+        cal = calibrate(machine)
+        report = verify(machine, cal.delta_e, background=cal.background)
+        assert report.average_accuracy_pct > 85.0
+
+        db = Database(machine, sqlite_like(), name="e2e")
+        load_into(db, TpchData("10MB"))
+        workload = lambda: run_query(db, 6)
+        profile = profile_workload(
+            machine, "Q6", workload, cal.delta_e,
+            background=cal.background, warmup=workload,
+        )
+        breakdown = profile.breakdown
+        # The headline finding on a warm query:
+        assert breakdown.l1d_share_pct > 30.0
+        assert breakdown.data_movement_share_pct > 50.0
+        # All components non-negative and consistent.
+        assert all(v >= 0 for v in breakdown.components().values())
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.components().values())
+        )
+
+    def test_breakdown_explains_majority_of_busy_energy(self):
+        """§3's claim: most Busy-CPU energy is attributable."""
+        machine = Machine(tiny_intel(), seed=2)
+        cal = calibrate(machine)
+        db = Database(machine, sqlite_like(), name="e2e2")
+        load_into(db, TpchData("10MB"))
+        workload = lambda: run_query(db, 1)
+        profile = profile_workload(
+            machine, "Q1", workload, cal.delta_e,
+            background=cal.background, warmup=workload,
+        )
+        assert profile.breakdown_coverage_pct > 70.0
+
+    def test_store_hit_rate_matches_paper(self):
+        """§2.3: ~99.86% of query stores hit L1D."""
+        machine = Machine(tiny_intel(), seed=3)
+        db = Database(machine, sqlite_like(), name="e2e3")
+        load_into(db, TpchData("10MB"))
+        run_query(db, 3)
+        machine.reset_measurements()
+        run_query(db, 3)
+        counters = machine.pmu.counters
+        assert counters.store_l1d_hit_rate > 0.99
+
+    def test_queries_have_high_l1d_hit_rate(self):
+        """§3.2: L1D hit rate ~97.7% for warm query workloads."""
+        machine = Machine(tiny_intel(), seed=4)
+        db = Database(machine, sqlite_like(), name="e2e4")
+        load_into(db, TpchData("10MB"))
+        run_query(db, 1)
+        machine.reset_measurements()
+        run_query(db, 1)
+        counters = machine.pmu.counters
+        assert counters.l1d_miss_rate < 0.05
+
+    def test_high_ipc_like_paper(self):
+        """§3.4: TPC-H runs at IPC ~1.9 (busy CPU)."""
+        machine = Machine(tiny_intel(), seed=5)
+        db = Database(machine, sqlite_like(), name="e2e5")
+        load_into(db, TpchData("10MB"))
+        run_query(db, 1)
+        machine.reset_measurements()
+        run_query(db, 1)
+        assert machine.pmu.counters.ipc > 1.2
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_energy(self):
+        def run(seed):
+            machine = Machine(tiny_intel(), seed=seed)
+            db = Database(machine, sqlite_like(), name="det")
+            load_into(db, TpchData("10MB"))
+            run_query(db, 12)
+            stats = machine.stats()
+            return (stats.energy_package_j, stats.counters.n_l1d,
+                    stats.time_s)
+
+        assert run(9) == run(9)
+
+    def test_counters_insensitive_to_noise_seed(self):
+        """Noise affects measurements, never the simulated execution."""
+        def counters(seed):
+            machine = Machine(tiny_intel(), seed=seed)
+            db = Database(machine, sqlite_like(), name="det2")
+            load_into(db, TpchData("10MB"))
+            run_query(db, 12)
+            c = machine.pmu.counters
+            return (c.n_l1d, c.n_mem, c.cycles)
+
+        assert counters(1) == counters(2)

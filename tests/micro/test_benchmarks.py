@@ -1,0 +1,122 @@
+"""Tests of the MBS benchmark definitions and their behaviours."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.micro.benchmarks import MBS, default_rounds, mbs_for, prepare
+from repro.micro.measurement import measure_background
+from repro.micro.runner import RuntimeConfig, run_prepared
+
+
+class TestPrepare:
+    def test_all_mbs_preparable(self, machine):
+        for name in MBS:
+            prepared = prepare(name, machine)
+            assert prepared.name == name
+            assert prepared.items_per_round > 0
+
+    def test_unknown_name(self, machine):
+        with pytest.raises(ConfigError):
+            prepare("B_nonexistent", machine)
+
+    def test_l1_benchmarks_fit_l1(self, machine):
+        for name in ("B_L1D_array", "B_L1D_list"):
+            prepared = prepare(name, machine)
+            assert prepared.regions[0].size <= machine.config.l1d.size
+
+    def test_l2_benchmark_exceeds_l1(self, machine):
+        prepared = prepare("B_L2", machine)
+        assert prepared.regions[0].size > machine.config.l1d.size
+
+    def test_mem_benchmark_exceeds_all_caches(self, machine):
+        prepared = prepare("B_mem", machine)
+        assert prepared.regions[0].size > machine.config.l3.size
+
+    def test_dtcm_requires_tcm(self, machine):
+        with pytest.raises(ConfigError):
+            prepare("B_DTCM_array", machine)
+
+    def test_dtcm_on_arm(self, arm_machine):
+        prepared = prepare("B_DTCM_array", arm_machine)
+        assert prepared.regions[0].base >= 1 << 40
+
+    def test_mbs_for_respects_geometry(self, machine, arm_machine):
+        assert "B_L2" in mbs_for(machine)
+        assert "B_L3" in mbs_for(machine)
+        arm = mbs_for(arm_machine)
+        assert "B_L2" not in arm and "B_L3" not in arm
+        assert "B_mem" in arm
+
+    def test_default_rounds_scales_inverse(self, machine):
+        small = prepare("B_L1D_array", machine)
+        big = prepare("B_mem", machine)
+        assert default_rounds(small, 10_000) >= default_rounds(big, 10_000)
+
+    def test_rejects_nonpositive_rounds(self, machine):
+        prepared = prepare("B_add", machine)
+        with pytest.raises(ConfigError):
+            prepared.run(0)
+
+
+class TestBehaviours:
+    """Table 1's qualitative behaviours, asserted per benchmark."""
+
+    @pytest.fixture
+    def runtime(self):
+        return RuntimeConfig(target_ops=20_000, repeats=1)
+
+    def run(self, machine, name, runtime):
+        background = measure_background(machine)
+        return run_prepared(machine, prepare(name, machine), background,
+                            runtime)
+
+    def test_l1d_array_no_stalls(self, machine, runtime):
+        result = self.run(machine, "B_L1D_array", runtime)
+        counters = result.measurement.counters
+        assert counters.l1d_miss_rate < 0.01
+        assert result.ipc > 1.7
+
+    def test_l1d_list_quarter_ipc(self, machine, runtime):
+        result = self.run(machine, "B_L1D_list", runtime)
+        assert 0.2 < result.ipc < 0.3
+        assert result.measurement.counters.l1d_miss_rate < 0.01
+
+    def test_l2_only_l2(self, machine, runtime):
+        result = self.run(machine, "B_L2", runtime)
+        counters = result.measurement.counters
+        assert counters.l1d_miss_rate > 0.95
+        assert counters.l2_miss_rate < 0.05
+
+    def test_l3_only_l3(self, machine, runtime):
+        result = self.run(machine, "B_L3", runtime)
+        counters = result.measurement.counters
+        assert counters.l2_miss_rate > 0.95
+        assert counters.l3_miss_rate < 0.05
+
+    def test_mem_misses_everything(self, machine, runtime):
+        result = self.run(machine, "B_mem", runtime)
+        counters = result.measurement.counters
+        assert counters.l3_miss_rate > 0.9
+        assert result.ipc < 0.05
+
+    def test_reg2l1d_one_store_per_cycle(self, machine, runtime):
+        result = self.run(machine, "B_Reg2L1D", runtime)
+        assert result.ipc == pytest.approx(1.0, abs=0.1)
+        assert result.measurement.counters.store_l1d_hit_rate > 0.99
+
+    def test_prefetcher_off_during_benchmarks(self, machine, runtime):
+        result = self.run(machine, "B_mem", runtime)
+        counters = result.measurement.counters
+        assert counters.n_pf_l2 == 0 and counters.n_pf_l3 == 0
+
+    def test_dtcm_array_cheaper_than_l1d_array(self, quiet_arm, runtime):
+        arm_machine = quiet_arm
+        background = measure_background(arm_machine)
+        plain = run_prepared(arm_machine, prepare("B_L1D_array", arm_machine),
+                             background, runtime)
+        dtcm = run_prepared(arm_machine, prepare("B_DTCM_array", arm_machine),
+                            background, runtime)
+        per_plain = plain.active_energy_j / plain.ops_measured
+        per_dtcm = dtcm.active_energy_j / dtcm.ops_measured
+        saving = 1 - per_dtcm / per_plain
+        assert saving == pytest.approx(0.10, abs=0.02)

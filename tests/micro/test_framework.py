@@ -1,0 +1,113 @@
+"""Unit tests for the traversal frameworks (Algorithms 1-4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.micro import framework
+
+
+class TestShuffledChainOrder:
+    def test_is_permutation(self):
+        order = framework.shuffled_chain_order(100)
+        assert sorted(order) == list(range(100))
+
+    def test_deterministic_per_seed(self):
+        assert (framework.shuffled_chain_order(64, seed=5)
+                == framework.shuffled_chain_order(64, seed=5))
+
+    def test_seed_changes_order(self):
+        assert (framework.shuffled_chain_order(64, seed=1)
+                != framework.shuffled_chain_order(64, seed=2))
+
+    def test_breaks_locality(self):
+        """Most consecutive hops must span more than a few lines."""
+        order = framework.shuffled_chain_order(256)
+        jumps = [abs(order[i + 1] - order[i]) for i in range(len(order) - 1)]
+        long_jumps = sum(1 for j in jumps if j > 4)
+        assert long_jumps > len(jumps) * 0.7
+
+    def test_tiny_chain(self):
+        assert framework.shuffled_chain_order(2) == [0, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            framework.shuffled_chain_order(0)
+
+
+class TestListTraverse:
+    def test_issues_dependent_loads(self, machine):
+        region = machine.address_space.alloc_lines(8, "t")
+        machine.reset_measurements()
+        framework.list_traverse(machine, region, range(8), rounds=2)
+        counters = machine.pmu.counters
+        assert counters.n_load_inst >= 16
+        assert counters.stall_cycles > 0  # dependent chain stalls
+
+    def test_compute_injection(self, machine):
+        region = machine.address_space.alloc_lines(8, "t")
+        machine.reset_measurements()
+        framework.list_traverse(machine, region, range(8), rounds=1,
+                                add_per_item=2, nop_per_item=3)
+        counters = machine.pmu.counters
+        assert counters.n_add == 16
+        assert counters.n_nop == 24
+
+    def test_loop_overhead_small(self, machine):
+        region = machine.address_space.alloc_lines(256, "t")
+        machine.reset_measurements()
+        framework.list_traverse(machine, region, range(256), rounds=4)
+        counters = machine.pmu.counters
+        assert counters.body_loop_instruction_pct("load") > 95.0
+
+
+class TestArrayTraverse:
+    def test_no_stalls_when_l1_resident(self, machine):
+        region = machine.address_space.alloc_lines(8, "t")
+        framework.array_traverse(machine, region, 8, rounds=1)  # warm
+        machine.reset_measurements()
+        framework.array_traverse(machine, region, 8, rounds=10)
+        assert machine.pmu.counters.stall_cycles == 0
+
+    def test_ipc_near_two_on_dual_issue(self, machine):
+        region = machine.address_space.alloc_lines(16, "t")
+        framework.array_traverse(machine, region, 16, rounds=1)
+        machine.reset_measurements()
+        framework.array_traverse(machine, region, 16, rounds=50)
+        assert machine.pmu.counters.ipc == pytest.approx(2.0, abs=0.3)
+
+
+class TestStoreLoop:
+    def test_stores_hit_after_allocate(self, machine):
+        region = machine.address_space.alloc_lines(1, "v")
+        machine.reset_measurements()
+        framework.store_loop(machine, region, rounds=2, unroll=100)
+        counters = machine.pmu.counters
+        assert counters.n_store == 200
+        assert counters.n_store_l1d_hit >= 199  # only the first can miss
+
+
+class TestComputeLoop:
+    def test_add_loop(self, machine):
+        machine.reset_measurements()
+        framework.compute_loop(machine, "add", rounds=3, unroll=50)
+        assert machine.pmu.counters.n_add == 150
+
+    def test_nop_loop(self, machine):
+        machine.reset_measurements()
+        framework.compute_loop(machine, "nop", rounds=2, unroll=50)
+        assert machine.pmu.counters.n_nop == 100
+
+    def test_unknown_kind_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            framework.compute_loop(machine, "mul", rounds=1, unroll=1)
+
+
+class TestInterleaved:
+    def test_both_chains_walked(self, machine):
+        r1 = machine.address_space.alloc_lines(4, "a")
+        r2 = machine.address_space.alloc_lines(4, "b")
+        machine.reset_measurements()
+        framework.interleaved_list_traverse(
+            machine, [(r1, range(4)), (r2, range(4))], rounds=3
+        )
+        assert machine.pmu.counters.n_load_inst == 24

@@ -1,0 +1,89 @@
+"""Tests of the Active-energy measurement procedure (§2.6)."""
+
+import pytest
+
+from repro.micro.measurement import (
+    DOMAIN_CORE,
+    DOMAIN_PACKAGE,
+    DOMAIN_PACKAGE_DRAM,
+    BackgroundRates,
+    measure_background,
+    run_measured,
+    select_domain,
+)
+from repro.sim.pmu import PmuCounters
+
+
+class TestDomainSelection:
+    def test_core_only(self):
+        assert select_domain(PmuCounters(n_l1d=10, n_l2=2)) == DOMAIN_CORE
+
+    def test_package_when_l3_touched(self):
+        assert select_domain(PmuCounters(n_l3=1)) == DOMAIN_PACKAGE
+
+    def test_package_dram_when_memory_touched(self):
+        assert select_domain(PmuCounters(n_mem=1)) == DOMAIN_PACKAGE_DRAM
+
+    def test_prefetch_counts_as_touching(self):
+        assert select_domain(PmuCounters(n_pf_l2=1)) == DOMAIN_PACKAGE
+        assert select_domain(PmuCounters(n_pf_l3=1)) == DOMAIN_PACKAGE_DRAM
+
+
+class TestBackgroundRates:
+    def test_rate_lookup(self):
+        rates = BackgroundRates(core_w=2.0, package_w=5.0, dram_w=1.0)
+        assert rates.rate(DOMAIN_CORE) == 2.0
+        assert rates.rate(DOMAIN_PACKAGE) == 5.0
+        assert rates.rate(DOMAIN_PACKAGE_DRAM) == 6.0
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValueError):
+            BackgroundRates(1, 2, 3).rate("gpu")
+
+    def test_measured_rates_match_config(self, quiet_machine):
+        rates = measure_background(quiet_machine)
+        bg = quiet_machine.config.background
+        assert rates.core_w == pytest.approx(bg.core, rel=1e-6)
+        assert rates.package_w == pytest.approx(bg.package_total, rel=1e-6)
+        assert rates.dram_w == pytest.approx(bg.dram, rel=1e-6)
+
+
+class TestRunMeasured:
+    def test_active_energy_excludes_background(self, quiet_machine):
+        machine = quiet_machine
+        rates = measure_background(machine)
+        region = machine.address_space.alloc_lines(4, "w")
+        machine.load(region.base)  # warm
+
+        def workload():
+            for _ in range(1000):
+                machine.load(region.base)
+
+        m = run_measured(machine, workload, rates, apply_noise=False)
+        # 1000 L1 loads at ~1.3 nJ each.
+        assert m.active_energy_j == pytest.approx(1000 * 1.30e-9, rel=0.02)
+
+    def test_counters_scoped_to_window(self, quiet_machine):
+        machine = quiet_machine
+        rates = measure_background(machine)
+        machine.add(500)  # outside the window
+
+        m = run_measured(machine, lambda: machine.add(100), rates)
+        assert m.counters.n_add == 100
+
+    def test_noise_applied_when_requested(self):
+        from repro import Machine, tiny_intel
+        machine = Machine(tiny_intel(), seed=11)
+        rates = measure_background(machine)
+        values = set()
+        for _ in range(4):
+            m = run_measured(machine, lambda: machine.add(10_000), rates)
+            values.add(round(m.active_energy_j, 15))
+        assert len(values) > 1  # noise varies between windows
+
+    def test_busy_cpu_energy_geq_active(self, quiet_machine):
+        machine = quiet_machine
+        rates = measure_background(machine)
+        m = run_measured(machine, lambda: machine.add(1000), rates,
+                         apply_noise=False)
+        assert m.busy_cpu_energy_j >= m.active_energy_j

@@ -1,0 +1,67 @@
+"""Tests of the micro-benchmark runner (runtime configuration, repeats)."""
+
+import pytest
+
+from repro.micro.measurement import measure_background
+from repro.micro.runner import (
+    RuntimeConfig,
+    apply_runtime_config,
+    run_microbenchmark,
+)
+
+
+class TestRuntimeConfig:
+    def test_pins_pstate(self, machine):
+        apply_runtime_config(machine, RuntimeConfig(pstate=24))
+        assert machine.pstate == 24
+
+    def test_defaults_to_highest(self, machine):
+        machine.set_pstate(12)
+        apply_runtime_config(machine, RuntimeConfig())
+        assert machine.pstate == machine.config.pstates.highest
+
+    def test_disables_prefetcher_by_default(self, machine):
+        machine.set_prefetcher(True)
+        apply_runtime_config(machine, RuntimeConfig())
+        assert not machine.prefetcher.enabled
+
+    def test_disables_eist(self, machine):
+        machine.enable_eist()
+        apply_runtime_config(machine, RuntimeConfig())
+        assert not machine.eist_enabled
+
+
+class TestRunMicrobenchmark:
+    def test_result_fields(self, machine):
+        result = run_microbenchmark(
+            machine, "B_add", runtime=RuntimeConfig(target_ops=10_000)
+        )
+        assert result.name == "B_add"
+        assert result.ops_measured > 0
+        assert result.active_energy_j > 0
+        assert result.bli_pct > 90
+
+    def test_repeats_average_reduces_variance(self):
+        from repro import Machine, tiny_intel
+        import statistics
+
+        def spread(repeats, seed):
+            machine = Machine(tiny_intel(), seed=seed)
+            background = measure_background(machine)
+            vals = []
+            for _ in range(6):
+                r = run_microbenchmark(
+                    machine, "B_add", background,
+                    RuntimeConfig(target_ops=5_000, repeats=repeats),
+                )
+                vals.append(r.active_energy_j)
+            return statistics.pstdev(vals) / statistics.mean(vals)
+
+        assert spread(8, seed=5) < spread(1, seed=5)
+
+    def test_explicit_rounds_respected(self, machine):
+        result = run_microbenchmark(
+            machine, "B_nop", rounds=3,
+            runtime=RuntimeConfig(target_ops=1),
+        )
+        assert result.rounds == 3

@@ -1,0 +1,53 @@
+"""Tests of the verification benchmark set (VMBS)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.micro.verification import VMBS, prepare_verification, vmbs_for
+
+
+class TestPrepareVerification:
+    def test_all_vmbs_preparable(self, machine):
+        for name in VMBS:
+            prepared = prepare_verification(name, machine)
+            assert prepared.items_per_round > 0
+
+    def test_unknown_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            prepare_verification("B_bogus", machine)
+
+    def test_vmbs_for_arm_drops_l2_l3(self, arm_machine):
+        names = vmbs_for(arm_machine)
+        assert "B_L2_nop" not in names
+        assert "B_L3_add" not in names
+        assert "B_mem_nop" in names
+
+    def test_vmbs_for_intel_has_all(self, machine):
+        assert tuple(vmbs_for(machine)) == VMBS
+
+    def test_order_matches_table3(self, machine):
+        names = vmbs_for(machine)
+        assert names == [n for n in VMBS if n in names]
+
+
+class TestCompositeBehaviour:
+    def test_nop_mix_present(self, machine):
+        prepared = prepare_verification("B_L1D_list_nop", machine)
+        machine.reset_measurements()
+        prepared.run(1)
+        counters = machine.pmu.counters
+        assert counters.n_nop == 2 * prepared.items_per_round
+
+    def test_mixed_chain_touches_l2(self, machine):
+        prepared = prepare_verification("B_L1D_list_L2", machine)
+        machine.reset_measurements()
+        prepared.run(2)
+        assert machine.pmu.counters.n_l2 > 0
+
+    def test_nop_add_mix(self, machine):
+        prepared = prepare_verification("B_L1D_list_nop_add", machine)
+        machine.reset_measurements()
+        prepared.run(1)
+        counters = machine.pmu.counters
+        assert counters.n_add == prepared.items_per_round
+        assert counters.n_nop == prepared.items_per_round

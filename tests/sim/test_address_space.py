@@ -1,0 +1,119 @@
+"""Unit tests for the simulated address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AllocationError
+from repro.sim.address_space import (
+    LINE_SHIFT,
+    LINE_SIZE,
+    AddressSpace,
+    Region,
+    align_up,
+)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(129, 64) == 192
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([1, 8, 64, 4096]))
+    def test_properties(self, value, alignment):
+        result = align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+
+class TestRegion:
+    def test_end(self):
+        region = Region(base=1024, size=256)
+        assert region.end == 1280
+
+    def test_n_lines_exact(self):
+        assert Region(base=0, size=128).n_lines == 2
+
+    def test_n_lines_rounds_up(self):
+        assert Region(base=0, size=130).n_lines == 3
+
+    def test_line_addresses(self):
+        region = Region(base=4096, size=256)
+        assert region.line(0) == 4096
+        assert region.line(2) == 4096 + 2 * LINE_SIZE
+
+    def test_contains(self):
+        region = Region(base=100, size=50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert not region.contains(150)
+        assert not region.contains(99)
+
+
+class TestAddressSpace:
+    def test_allocations_are_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_allocations_line_aligned(self):
+        space = AddressSpace()
+        for size in (1, 63, 64, 65, 1000):
+            region = space.alloc(size)
+            assert region.base % LINE_SIZE == 0
+
+    def test_no_line_sharing(self):
+        """Two allocations never share a cache line."""
+        space = AddressSpace()
+        a = space.alloc(1)
+        b = space.alloc(1)
+        assert (a.base >> LINE_SHIFT) != (b.base >> LINE_SHIFT)
+
+    def test_alloc_lines(self):
+        space = AddressSpace()
+        region = space.alloc_lines(10)
+        assert region.n_lines == 10
+        assert region.size == 10 * LINE_SIZE
+
+    def test_zero_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.alloc(0)
+
+    def test_negative_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.alloc(-5)
+
+    def test_exhaustion(self):
+        space = AddressSpace(size=1024)
+        space.alloc(512)
+        with pytest.raises(AllocationError):
+            space.alloc(1024)
+
+    def test_bytes_allocated_grows(self):
+        space = AddressSpace()
+        before = space.bytes_allocated
+        space.alloc(4096)
+        assert space.bytes_allocated >= before + 4096
+
+    def test_labels_recorded(self):
+        space = AddressSpace()
+        space.alloc(64, label="pages")
+        assert space.regions[-1].label == "pages"
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=30))
+    def test_many_allocations_disjoint(self, sizes):
+        space = AddressSpace()
+        regions = [space.alloc(s) for s in sizes]
+        spans = sorted((r.base, r.end) for r in regions)
+        for (b1, e1), (b2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= b2

@@ -1,0 +1,176 @@
+"""Unit and property tests for the set-associative cache level."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.cache import CacheLevel
+
+
+def small_cache(assoc=2, sets=4) -> CacheLevel:
+    return CacheLevel("T", size=assoc * sets * 64, assoc=assoc)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = CacheLevel("L1", size=32 * 1024, assoc=8)
+        assert cache.n_sets == 64
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheLevel("bad", size=1000, assoc=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheLevel("bad", size=3 * 64 * 2, assoc=2)  # 3 sets
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheLevel("bad", size=0, assoc=1)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(7)
+        cache.fill(7)
+        assert cache.lookup(7)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)       # 0 becomes MRU
+        victim = cache.fill(2)  # must evict 1
+        assert victim == (1, False)
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_fill_existing_no_eviction(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.fill(0) is None
+        assert cache.occupancy == 2
+
+    def test_set_isolation(self):
+        """Lines mapping to different sets never evict each other."""
+        cache = small_cache(assoc=1, sets=4)
+        for line in range(4):
+            cache.fill(line)
+        assert all(cache.contains(line) for line in range(4))
+
+    def test_conflict_within_set(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.fill(0)
+        victim = cache.fill(4)  # same set (4 % 4 == 0)
+        assert victim == (0, False)
+
+
+class TestDirty:
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0)
+        cache.lookup(0, write=True)
+        victim = cache.fill(1)
+        assert victim == (0, True)
+        assert cache.dirty_evictions == 1
+
+    def test_fill_dirty(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0, dirty=True)
+        assert cache.fill(1) == (0, True)
+
+    def test_fill_merges_dirty_bit(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(0, dirty=True)  # refresh with dirty
+        cache.fill(1)
+        victim = cache.fill(2)
+        assert victim == (0, True)
+
+    def test_clean_eviction_not_counted_dirty(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.dirty_evictions == 0
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(3)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+        assert not cache.invalidate(3)
+
+    def test_flush_keeps_stats(self):
+        cache = small_cache()
+        cache.lookup(1)
+        cache.fill(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.misses == 1
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.lookup(1)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.hits == 0
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        assert cache.hit_rate() == 0.0
+        cache.lookup(1)
+        cache.fill(1)
+        cache.lookup(1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_contains_does_not_mutate(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.contains(0)  # must NOT refresh LRU
+        victim = cache.fill(2)
+        assert victim == (0, False)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = small_cache(assoc=2, sets=4)
+        for line in lines:
+            if not cache.lookup(line):
+                cache.fill(line)
+        assert cache.occupancy <= 8
+        assert cache.hits + cache.misses == len(lines)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=300))
+    def test_second_access_to_mru_always_hits(self, lines):
+        cache = small_cache(assoc=2, sets=4)
+        for line in lines:
+            if not cache.lookup(line):
+                cache.fill(line)
+            assert cache.lookup(line)  # immediately re-accessed: hit
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=100))
+    def test_working_set_within_capacity_never_misses_twice(self, lines):
+        """Once a <=capacity working set is resident, it stays resident."""
+        cache = small_cache(assoc=8, sets=1)
+        working_set = set(lines)
+        assert len(working_set) <= 8
+        for line in working_set:
+            cache.fill(line)
+        cache.reset_stats()
+        for line in lines:
+            cache.lookup(line)
+        assert cache.misses == 0

@@ -1,0 +1,40 @@
+"""Unit tests for the disk model."""
+
+import pytest
+
+from repro.sim.disk import DiskModel
+
+
+class TestDiskModel:
+    def test_random_slower_than_sequential(self):
+        disk = DiskModel()
+        disk.read_time(100, 4096)
+        sequential = disk.read_time(101, 4096)
+        random = disk.read_time(999, 4096)
+        assert random > sequential
+
+    def test_throughput_term(self):
+        disk = DiskModel()
+        small = disk.read_time(0, 4096)
+        large = disk.read_time(1, 4 << 20)
+        assert large > small
+
+    def test_stats(self):
+        disk = DiskModel()
+        disk.read_time(0, 1000)
+        disk.write_time(1, 2000)
+        assert disk.reads == 1 and disk.writes == 1
+        assert disk.bytes_read == 1000 and disk.bytes_written == 2000
+
+    def test_reset_stats(self):
+        disk = DiskModel()
+        disk.read_time(0, 1000)
+        disk.reset_stats()
+        assert disk.reads == 0 and disk.bytes_read == 0
+
+    def test_write_sequential_bonus(self):
+        disk = DiskModel()
+        disk.write_time(50, 4096)
+        seq = disk.write_time(51, 4096)
+        rand = disk.write_time(5, 4096)
+        assert rand > seq

@@ -1,0 +1,147 @@
+"""Unit tests for P-states, the voltage law, residency, and EIST."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.dvfs import (
+    EistGovernor,
+    PstateTable,
+    ResidencyRecorder,
+    VoltageLaw,
+)
+
+
+class TestVoltageLaw:
+    def test_paper_operating_points(self):
+        law = VoltageLaw(0.6, 1.0 / 6.0)
+        assert law.voltage(3.6) == pytest.approx(1.2)
+        assert law.voltage(2.4) == pytest.approx(1.0)
+        assert law.voltage(1.2) == pytest.approx(0.8)
+
+
+class TestPstateTable:
+    def test_frequency_mapping(self):
+        table = PstateTable(lowest=8, highest=36)
+        assert table.freq_ghz(36) == pytest.approx(3.6)
+        assert table.freq_ghz(8) == pytest.approx(0.8)
+
+    def test_validate_rejects_out_of_range(self):
+        table = PstateTable(lowest=8, highest=36)
+        with pytest.raises(ConfigError):
+            table.freq_ghz(37)
+        with pytest.raises(ConfigError):
+            table.freq_ghz(7)
+
+    def test_clamp(self):
+        table = PstateTable(lowest=8, highest=36)
+        assert table.clamp(100) == 36
+        assert table.clamp(2) == 8
+        assert table.clamp(20) == 20
+
+    def test_vf2_reference_is_one(self):
+        table = PstateTable(lowest=8, highest=36)
+        assert table.vf2(36) == pytest.approx(1.0)
+
+    def test_vf2_paper_ratios(self):
+        """(V24/V36)^2 ~ 0.69, (V12/V36)^2 ~ 0.44 — the Table 2 scaling."""
+        table = PstateTable(lowest=8, highest=36)
+        assert table.vf2(24) == pytest.approx(0.694, abs=0.01)
+        assert table.vf2(12) == pytest.approx(0.444, abs=0.01)
+
+    def test_states_range(self):
+        table = PstateTable(lowest=8, highest=36)
+        states = list(table.states())
+        assert states[0] == 8 and states[-1] == 36 and len(states) == 29
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigError):
+            PstateTable(lowest=10, highest=5)
+
+
+class TestResidency:
+    def test_fractions(self):
+        rec = ResidencyRecorder()
+        rec.record(36, 3.0)
+        rec.record(24, 1.0)
+        assert rec.fraction_at(36) == pytest.approx(0.75)
+        assert rec.fraction_at(24) == pytest.approx(0.25)
+        assert rec.fraction_at(12) == 0.0
+
+    def test_accumulates(self):
+        rec = ResidencyRecorder()
+        rec.record(36, 1.0)
+        rec.record(36, 1.0)
+        assert rec.seconds[36] == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert ResidencyRecorder().fraction_at(36) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ResidencyRecorder().record(36, -1.0)
+
+    def test_reset(self):
+        rec = ResidencyRecorder()
+        rec.record(36, 1.0)
+        rec.reset()
+        assert rec.total == 0.0
+
+
+class TestGovernor:
+    def gov(self):
+        return EistGovernor(table=PstateTable(lowest=8, highest=36),
+                            up_threshold=0.8, down_threshold=0.4,
+                            down_step=4)
+
+    def test_high_load_jumps_to_top(self):
+        assert self.gov().next_pstate(8, 0.95) == 36
+
+    def test_low_load_steps_down(self):
+        assert self.gov().next_pstate(36, 0.1) == 32
+
+    def test_low_load_clamped_at_bottom(self):
+        assert self.gov().next_pstate(8, 0.0) == 8
+
+    def test_mid_load_holds(self):
+        assert self.gov().next_pstate(20, 0.6) == 20
+
+
+class TestMachineIntegration:
+    def test_pstate_changes_frequency(self, machine):
+        machine.set_pstate(12)
+        assert machine.frequency_ghz() == pytest.approx(1.2)
+
+    def test_busy_time_scales_with_frequency(self, machine):
+        machine.set_pstate(36)
+        machine.add(36000)
+        machine.settle()
+        t36 = machine.busy_s
+        machine.reset_measurements()
+        machine.set_pstate(12)
+        machine.add(36000)
+        machine.settle()
+        assert machine.busy_s == pytest.approx(3 * t36)
+
+    def test_eist_ramps_up_under_load(self, machine):
+        machine.set_pstate(8)
+        machine.enable_eist(EistGovernor(table=machine.config.pstates,
+                                         epoch_seconds=1e-6))
+        region = machine.address_space.alloc_lines(8, "w")
+        for _ in range(20_000):
+            machine.load(region.base)
+            machine.governor_tick()
+            if machine.pstate == 36:
+                break
+        assert machine.pstate == 36
+
+    def test_eist_ramps_down_when_idle(self, machine):
+        machine.enable_eist()
+        assert machine.pstate == 36
+        for _ in range(20):
+            machine.idle(0.02)
+        assert machine.pstate < 36
+
+    def test_residency_recorded(self, machine):
+        machine.add(1000)
+        machine.settle()
+        assert machine.residency.fraction_at(machine.pstate) == pytest.approx(1.0)

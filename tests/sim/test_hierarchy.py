@@ -1,0 +1,169 @@
+"""Unit tests for the multi-level hierarchy (step-by-step replication)."""
+
+import pytest
+
+from repro.sim.address_space import LINE_SIZE, Region
+from repro.sim.cache import CacheLevel
+from repro.sim.hierarchy import (
+    LEVEL_L1D,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MEM,
+    LEVEL_TCM,
+    MemoryHierarchy,
+)
+from repro.sim.pmu import PmuCounters
+from repro.sim.prefetcher import StreamPrefetcher
+
+
+def build(l2=True, l3=True, tcm_region=None, prefetch=False):
+    counters = PmuCounters()
+    hierarchy = MemoryHierarchy(
+        l1d=CacheLevel("L1D", 4 * 64 * 2, 2),     # 8 lines
+        l2=CacheLevel("L2", 8 * 64 * 4, 4) if l2 else None,   # 32 lines
+        l3=CacheLevel("L3", 16 * 64 * 8, 8) if l3 else None,  # 128 lines
+        prefetcher=StreamPrefetcher(enabled=prefetch),
+        counters=counters,
+    )
+    if tcm_region is not None:
+        hierarchy.tcm_region = tcm_region
+    return hierarchy, counters
+
+
+def addr(line: int) -> int:
+    return line * LINE_SIZE
+
+
+class TestLoadPath:
+    def test_cold_load_comes_from_memory(self):
+        h, c = build()
+        assert h.load(addr(5)) == LEVEL_MEM
+        assert c.n_l1d == 1 and c.n_l2 == 1 and c.n_l3 == 1 and c.n_mem == 1
+
+    def test_replication_fills_all_levels(self):
+        h, _ = build()
+        h.load(addr(5))
+        assert h.l1d.contains(5)
+        assert h.l2.contains(5)
+        assert h.l3.contains(5)
+
+    def test_second_load_hits_l1(self):
+        h, c = build()
+        h.load(addr(5))
+        assert h.load(addr(5)) == LEVEL_L1D
+        assert c.l1d_hits == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h, _ = build()
+        h.load(addr(0))
+        # Evict line 0 from the 2-way L1 set (set = line % 4).
+        h.load(addr(4))
+        h.load(addr(8))
+        assert h.load(addr(0)) == LEVEL_L2
+
+    def test_same_line_different_offsets(self):
+        h, c = build()
+        h.load(addr(5))
+        assert h.load(addr(5) + 8) == LEVEL_L1D
+        assert h.load(addr(5) + 56) == LEVEL_L1D
+
+    def test_no_l2_machine_goes_to_memory(self):
+        h, c = build(l2=False, l3=False)
+        assert h.load(addr(3)) == LEVEL_MEM
+        assert c.n_l2 == 0 and c.n_l3 == 0 and c.n_mem == 1
+
+    def test_counters_sum_consistent(self):
+        h, c = build()
+        for line in range(200):
+            h.load(addr(line))
+        assert c.n_l1d == 200
+        assert c.l1d_hits + c.n_l2 == c.n_l1d
+        assert c.l2_hits + c.n_l3 == c.n_l2
+        assert c.l3_hits + c.n_mem == c.n_l3
+
+
+class TestStorePath:
+    def test_store_hit(self):
+        h, c = build()
+        h.load(addr(1))
+        assert h.store(addr(1))
+        assert c.n_store_l1d_hit == 1
+
+    def test_store_miss_write_allocates(self):
+        h, c = build()
+        assert not h.store(addr(9))
+        assert h.l1d.contains(9)
+        assert c.n_store == 1
+        assert c.n_store_l1d_hit == 0
+        assert c.n_mem == 1  # the RFO fetched the line
+
+    def test_dirty_writeback_counted(self):
+        h, c = build()
+        # Dirty a line, then stream over its set to force eviction.
+        h.store(addr(0))
+        h.load(addr(4))
+        h.load(addr(8))
+        assert c.n_writeback >= 1
+
+
+class TestTcm:
+    def test_tcm_load_bypasses_caches(self):
+        region = Region(base=1 << 40, size=1024, label="tcm")
+        h, c = build(tcm_region=region)
+        assert h.load(region.base + 64) == LEVEL_TCM
+        assert c.n_tcm_load == 1
+        assert c.n_l1d == 0
+
+    def test_tcm_store(self):
+        region = Region(base=1 << 40, size=1024)
+        h, c = build(tcm_region=region)
+        assert h.store(region.base)
+        assert c.n_tcm_store == 1
+        assert c.n_store == 0
+
+    def test_non_tcm_address_unaffected(self):
+        region = Region(base=1 << 40, size=1024)
+        h, c = build(tcm_region=region)
+        h.load(addr(3))
+        assert c.n_tcm_load == 0
+        assert c.n_l1d == 1
+
+
+class TestPrefetcher:
+    def test_sequential_misses_stage_lines(self):
+        h, c = build(prefetch=True)
+        for line in range(20):
+            h.load(addr(line))
+        assert c.n_pf_l2 + c.n_pf_l3 > 0
+
+    def test_prefetch_into_l2_comes_from_l3(self):
+        h, c = build(prefetch=True)
+        # Pre-fill L3 with the whole range, cold L1/L2.
+        for line in range(30):
+            h.load(addr(line))
+        h.l1d.flush()
+        h.l2.flush()
+        h.prefetcher.reset()
+        before = c.n_pf_l2
+        for line in range(30):
+            h.load(addr(line))
+        assert c.n_pf_l2 > before
+
+    def test_prefetched_line_hits_l2(self):
+        h, _ = build(prefetch=True)
+        for line in range(10):
+            h.load(addr(line))
+        # Something ahead of the stream should now be on chip.
+        staged = [
+            line for line in range(10, 30)
+            if h.l2.contains(line) or h.l3.contains(line)
+        ]
+        assert staged
+
+    def test_flush_clears_everything(self):
+        h, _ = build()
+        h.load(addr(1))
+        h.flush()
+        assert not h.l1d.contains(1)
+        assert not h.l2.contains(1)
+        assert not h.l3.contains(1)

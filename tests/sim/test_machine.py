@@ -1,0 +1,171 @@
+"""Integration-level tests of the Machine facade (settling, energy
+conservation, resets, disk, measurement noise)."""
+
+import pytest
+
+from repro import Machine, arm1176jzf_s, tiny_intel
+from repro.errors import ConfigError
+from repro.sim.energy import active_energy_joules
+
+
+class TestSettling:
+    def test_stats_are_idempotent(self, machine):
+        machine.add(100)
+        first = machine.stats()
+        second = machine.stats()
+        assert first.energy_package_j == second.energy_package_j
+        assert first.time_s == second.time_s
+
+    def test_energy_matches_direct_pricing(self, quiet_machine):
+        """RAPL totals equal counters priced with the hidden table."""
+        machine = quiet_machine
+        region = machine.address_space.alloc_lines(64, "w")
+        for i in range(64):
+            machine.load(region.line(i), dependent=True)
+        machine.store(region.base)
+        machine.add(50)
+        stats = machine.stats()
+        priced = active_energy_joules(
+            stats.counters, machine.config.energy_table,
+            machine.config.pstates.vf2(machine.pstate),
+        )
+        background = machine.config.background
+        expected_core = priced.core_active + background.core * stats.busy_s
+        assert stats.energy_core_j == pytest.approx(expected_core, rel=1e-9)
+
+    @staticmethod
+    def _active_core(machine):
+        """Core energy with the background (time-proportional) removed."""
+        stats = machine.stats()
+        return stats.energy_core_j - machine.config.background.core * stats.busy_s
+
+    def test_pstate_switch_prices_at_old_state(self, quiet_machine):
+        """Work done before a switch is priced at the old P-state."""
+        machine = quiet_machine
+        machine.add(1000)
+        machine.set_pstate(12)     # forces a settle first
+        e_after_switch = self._active_core(machine)
+        # Price the same work entirely at P12 for comparison:
+        low = Machine(machine.config, pstate=12)
+        low.add(1000)
+        low.settle()
+        assert e_after_switch > self._active_core(low)
+
+    def test_mixed_pstate_run_between_bounds(self, quiet_machine):
+        machine = quiet_machine
+        machine.add(10_000)
+        machine.set_pstate(12)
+        machine.add(10_000)
+        machine.settle()
+        total = self._active_core(machine)
+
+        hi = Machine(machine.config, pstate=36)
+        hi.add(20_000)
+        hi.settle()
+        lo = Machine(machine.config, pstate=12)
+        lo.add(20_000)
+        lo.settle()
+        assert self._active_core(lo) < total < self._active_core(hi)
+
+
+class TestIdleAndDisk:
+    def test_idle_advances_time_not_busy(self, machine):
+        machine.idle(0.5)
+        assert machine.time_s == pytest.approx(0.5)
+        assert machine.busy_s == 0.0
+        assert machine.idle_s == pytest.approx(0.5)
+
+    def test_idle_rejects_negative(self, machine):
+        with pytest.raises(ConfigError):
+            machine.idle(-1.0)
+
+    def test_disk_read_idles_cpu(self, machine):
+        machine.disk_read(0, 4096)
+        assert machine.idle_s > 0
+        assert machine.busy_s == 0
+
+    def test_sequential_disk_faster_than_random(self, machine):
+        machine.disk_read(10, 4096)
+        machine.disk_read(11, 4096)   # sequential
+        t_seq = machine.idle_s
+        machine.disk_read(500, 4096)  # random
+        t_rand = machine.idle_s - t_seq
+        assert t_rand > (t_seq / 2)
+
+    def test_cstates_reduce_idle_energy(self):
+        a = Machine(tiny_intel())
+        a.set_cstates(False)
+        a.idle(1.0)
+        b = Machine(tiny_intel())
+        b.set_cstates(True)
+        b.idle(1.0)
+        assert b.rapl.energy_package() < a.rapl.energy_package()
+
+
+class TestResets:
+    def test_reset_measurements_keeps_caches(self, machine):
+        region = machine.address_space.alloc_lines(4, "w")
+        machine.load(region.base)
+        machine.reset_measurements()
+        assert machine.pmu.counters.instructions == 0
+        assert machine.load(region.base) == 1  # LEVEL_L1D: still warm
+
+    def test_cold_reset_flushes_caches(self, machine):
+        region = machine.address_space.alloc_lines(4, "w")
+        machine.load(region.base)
+        machine.cold_reset()
+        assert machine.load(region.base) == 4  # LEVEL_MEM
+
+    def test_reset_clears_clocks(self, machine):
+        machine.add(100)
+        machine.idle(0.1)
+        machine.reset_measurements()
+        assert machine.time_s == 0.0
+        assert machine.busy_s == 0.0
+        assert machine.idle_s == 0.0
+
+
+class TestNoise:
+    def test_noise_is_deterministic_per_seed(self):
+        a = Machine(tiny_intel(), seed=42)
+        b = Machine(tiny_intel(), seed=42)
+        assert [a.measurement_noise_factor() for _ in range(5)] == [
+            b.measurement_noise_factor() for _ in range(5)
+        ]
+
+    def test_noise_differs_across_seeds(self):
+        a = Machine(tiny_intel(), seed=1)
+        b = Machine(tiny_intel(), seed=2)
+        assert a.measurement_noise_factor() != b.measurement_noise_factor()
+
+    def test_zero_noise_config(self, quiet_machine):
+        assert quiet_machine.measurement_noise_factor() == 1.0
+
+    def test_noise_near_one(self):
+        machine = Machine(tiny_intel(), seed=3)
+        factors = [machine.measurement_noise_factor() for _ in range(100)]
+        assert all(0.8 < f < 1.2 for f in factors)
+
+
+class TestArmPreset:
+    def test_no_l2_l3(self, arm_machine):
+        assert arm_machine.hierarchy.l2 is None
+        assert arm_machine.hierarchy.l3 is None
+
+    def test_single_pstate(self, arm_machine):
+        assert arm_machine.config.pstates.lowest == 7
+        assert arm_machine.config.pstates.highest == 7
+        assert arm_machine.frequency_ghz() == pytest.approx(0.7)
+
+    def test_tcm_allocator_present(self, arm_machine):
+        assert arm_machine.tcm is not None
+        assert arm_machine.tcm.bytes_free == 32 * 1024
+
+    def test_in_order_no_overlap(self, arm_machine):
+        """mlp=1: independent misses expose nearly full latency."""
+        region = arm_machine.address_space.alloc_lines(16, "w")
+        arm_machine.reset_measurements()
+        for i in range(16):
+            arm_machine.load(region.line(i))
+        counters = arm_machine.pmu.counters
+        assert counters.stall_cycles > counters.cycles * 0.8

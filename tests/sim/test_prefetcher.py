@@ -1,0 +1,101 @@
+"""Unit tests for the stream prefetcher."""
+
+from repro.sim.prefetcher import StreamPrefetcher
+
+
+def feed(pf, lines):
+    """Feed lines; collect all prefetch targets."""
+    l2, l3 = [], []
+    for line in lines:
+        a, b = pf.observe(line)
+        l2.extend(a)
+        l3.extend(b)
+    return l2, l3
+
+
+class TestTraining:
+    def test_no_prefetch_before_threshold(self):
+        pf = StreamPrefetcher(train_threshold=3)
+        l2, l3 = feed(pf, [10, 11])
+        assert not l2 and not l3
+
+    def test_prefetch_after_threshold(self):
+        pf = StreamPrefetcher(train_threshold=2, degree=4, l3_extra=4)
+        l2, l3 = feed(pf, [10, 11, 12])
+        assert l2 and l3
+        assert min(l2) > 11  # ahead of the last trained position
+
+    def test_random_access_never_trains(self):
+        pf = StreamPrefetcher(train_threshold=2)
+        l2, l3 = feed(pf, [5, 100, 3, 77, 41, 9])
+        assert not l2 and not l3
+
+    def test_descending_never_trains(self):
+        pf = StreamPrefetcher(train_threshold=2)
+        l2, l3 = feed(pf, [50, 49, 48, 47])
+        assert not l2 and not l3
+
+
+class TestWindow:
+    def test_targets_ahead_of_demand(self):
+        pf = StreamPrefetcher(train_threshold=2, degree=2, l3_extra=3)
+        l2, l3 = feed(pf, list(range(100, 110)))
+        assert all(t > 100 for t in l2 + l3)
+
+    def test_no_duplicate_prefetches(self):
+        pf = StreamPrefetcher(train_threshold=2, degree=4, l3_extra=4)
+        l2, l3 = feed(pf, list(range(0, 50)))
+        targets = l2 + l3
+        assert len(targets) == len(set(targets))
+
+    def test_l3_window_beyond_l2(self):
+        pf = StreamPrefetcher(train_threshold=2, degree=2, l3_extra=2)
+        pf.observe(10)
+        pf.observe(11)
+        l2, l3 = pf.observe(12)
+        assert max(l2, default=0) < min(l3, default=1 << 60)
+
+    def test_repeated_line_is_neutral(self):
+        pf = StreamPrefetcher(train_threshold=2)
+        feed(pf, [10, 11, 12])
+        l2, l3 = pf.observe(12)  # repeated miss on same line
+        assert not l2 and not l3
+
+
+class TestMultipleStreams:
+    def test_interleaved_streams_both_train(self):
+        pf = StreamPrefetcher(n_streams=4, train_threshold=2)
+        sequence = []
+        for i in range(6):
+            sequence.append(100 + i)
+            sequence.append(5000 + i)
+        l2, l3 = feed(pf, sequence)
+        targets = set(l2 + l3)
+        assert any(t > 5000 for t in targets)
+        assert any(100 < t < 5000 for t in targets)
+
+    def test_stream_capacity_eviction(self):
+        pf = StreamPrefetcher(n_streams=1, train_threshold=2)
+        feed(pf, [10, 11, 12])          # trained
+        feed(pf, [9000])                # evicts the only tracker
+        l2, l3 = pf.observe(13)         # old stream forgotten
+        assert not l2 and not l3
+
+
+class TestControls:
+    def test_disabled(self):
+        pf = StreamPrefetcher(enabled=False)
+        l2, l3 = feed(pf, list(range(20)))
+        assert not l2 and not l3
+
+    def test_zero_streams(self):
+        pf = StreamPrefetcher(n_streams=0)
+        l2, l3 = feed(pf, list(range(20)))
+        assert not l2 and not l3
+
+    def test_reset_forgets_training(self):
+        pf = StreamPrefetcher(train_threshold=2)
+        feed(pf, [10, 11, 12])
+        pf.reset()
+        l2, l3 = pf.observe(13)
+        assert not l2 and not l3

@@ -1,0 +1,76 @@
+"""Unit tests for the TCM allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.sim.tcm import TCM_BASE, TcmAllocator, TcmConfig
+
+
+def allocator(size=4096) -> TcmAllocator:
+    return TcmAllocator(TcmConfig(size=size).region())
+
+
+class TestTcmConfig:
+    def test_region_at_fixed_base(self):
+        region = TcmConfig(size=1024).region()
+        assert region.base == TCM_BASE
+        assert region.size == 1024
+
+
+class TestAllocator:
+    def test_alloc_within_region(self):
+        tcm = allocator()
+        region = tcm.alloc(128)
+        assert TCM_BASE <= region.base
+        assert region.base + region.size <= TCM_BASE + 4096
+
+    def test_alloc_disjoint(self):
+        tcm = allocator()
+        a = tcm.alloc(100)
+        b = tcm.alloc(100)
+        assert a.base != b.base
+
+    def test_exhaustion(self):
+        tcm = allocator(size=1024)
+        tcm.alloc(1024)
+        with pytest.raises(AllocationError):
+            tcm.alloc(64)
+
+    def test_free_and_reuse(self):
+        tcm = allocator(size=1024)
+        a = tcm.alloc(1024)
+        tcm.free(a)
+        b = tcm.alloc(1024)
+        assert b.base == a.base
+
+    def test_double_free_rejected(self):
+        tcm = allocator()
+        a = tcm.alloc(64)
+        tcm.free(a)
+        with pytest.raises(AllocationError):
+            tcm.free(a)
+
+    def test_coalescing(self):
+        tcm = allocator(size=4096)
+        chunks = [tcm.alloc(1024) for _ in range(4)]
+        for chunk in chunks:
+            tcm.free(chunk)
+        # After freeing everything, one full-size allocation must fit.
+        assert tcm.alloc(4096).size == 4096
+
+    def test_bytes_accounting(self):
+        tcm = allocator(size=4096)
+        tcm.alloc(1000)
+        assert tcm.bytes_live == 1024  # line-aligned
+        assert tcm.bytes_free == 4096 - 1024
+
+    def test_free_all(self):
+        tcm = allocator(size=2048)
+        tcm.alloc(512)
+        tcm.alloc(512)
+        tcm.free_all()
+        assert tcm.bytes_free == 2048
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(AllocationError):
+            allocator().alloc(0)

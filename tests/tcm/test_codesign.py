@@ -1,0 +1,61 @@
+"""Tests of the DTCM co-design strategies (section 4.2)."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.profiles import SMALL, sqlite_like
+from repro.errors import ConfigError
+from repro.tcm.codesign import apply_codesign, scale_budgets
+from repro.workloads.tpch import TpchData, load_into, run_query
+
+
+@pytest.fixture
+def arm_db(arm_machine):
+    db = Database(arm_machine, sqlite_like(SMALL), name="arm-sqlite")
+    load_into(db, TpchData("10MB"))
+    return arm_machine, db
+
+
+class TestBudgets:
+    def test_full_dtcm_split(self, arm_machine):
+        buffer_b, vars_b, btree_b = scale_budgets(arm_machine)
+        assert buffer_b == 16 * 1024
+        assert vars_b == 4 * 1024
+        assert btree_b == 12 * 1024
+
+    def test_requires_tcm(self, machine):
+        with pytest.raises(ConfigError):
+            scale_budgets(machine)
+
+
+class TestApply:
+    def test_placement_report(self, arm_db):
+        arm_machine, db = arm_db
+        report = apply_codesign(db, arm_machine)
+        assert report.state_bytes == 4096
+        assert report.btree_nodes_relocated > 0
+
+    def test_state_region_in_tcm(self, arm_db):
+        arm_machine, db = arm_db
+        apply_codesign(db, arm_machine)
+        assert db.state_region.base >= 1 << 40
+        assert db.state_overflow_region is not None
+
+    def test_queries_still_correct(self, arm_db):
+        arm_machine, db = arm_db
+        before = sorted(run_query(db, 1))
+        apply_codesign(db, arm_machine)
+        after = sorted(run_query(db, 1))
+        assert before == after
+
+    def test_tcm_loads_appear(self, arm_db):
+        arm_machine, db = arm_db
+        apply_codesign(db, arm_machine)
+        arm_machine.reset_measurements()
+        run_query(db, 6)
+        assert arm_machine.pmu.counters.n_tcm_load > 0
+
+    def test_within_dtcm_capacity(self, arm_db):
+        arm_machine, db = arm_db
+        apply_codesign(db, arm_machine)
+        assert arm_machine.tcm.bytes_live <= 32 * 1024

@@ -1,0 +1,37 @@
+"""Tests of the Figure 13 proof-of-concept experiment."""
+
+import pytest
+
+from repro.tcm.poc import QueryComparison, measure_peak_saving, run_poc
+
+
+class TestQueryComparison:
+    def test_savings_math(self):
+        c = QueryComparison(1, energy_plain_j=10.0, energy_tcm_j=9.0,
+                            time_plain_s=2.0, time_tcm_s=1.9)
+        assert c.energy_saving_pct == pytest.approx(10.0)
+        assert c.perf_improvement_pct == pytest.approx(5.0)
+
+    def test_zero_baselines(self):
+        c = QueryComparison(1, 0.0, 1.0, 0.0, 1.0)
+        assert c.energy_saving_pct == 0.0
+        assert c.perf_improvement_pct == 0.0
+
+
+class TestPeakSaving:
+    def test_near_ten_percent(self, quiet_arm):
+        assert measure_peak_saving(quiet_arm) == pytest.approx(10.0, abs=1.5)
+
+
+class TestRunPoc:
+    def test_subset_run(self):
+        result = run_poc(queries=(1, 6, 12))
+        assert len(result.comparisons) == 3
+        assert result.average_energy_saving_pct > 2.0
+        assert result.peak_saving_pct > 5.0
+        assert all(c.energy_saving_pct > -2.0 for c in result.comparisons)
+
+    def test_fraction_of_peak(self):
+        result = run_poc(queries=(1, 6))
+        expected = 100 * result.average_energy_saving_pct / result.peak_saving_pct
+        assert result.fraction_of_peak_pct == pytest.approx(expected)

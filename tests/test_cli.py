@@ -1,0 +1,47 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_profile_query_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "-q", "23"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["calibrate"])
+        assert args.scale == 16 and args.tier == "100MB"
+
+
+class TestCommands:
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+    def test_profile_one_query(self, capsys):
+        assert main(["profile", "--tier", "10MB", "-q", "6",
+                     "--engine", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "Q6" in out and "E_L1D%" in out
+
+    def test_sql(self, capsys):
+        assert main(["sql", "--tier", "10MB",
+                     "SELECT COUNT(*) FROM orders"]) == 0
+        out = capsys.readouterr().out
+        assert "E_active" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "tab01" in out and "PASS" in out

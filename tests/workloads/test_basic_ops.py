@@ -1,0 +1,55 @@
+"""Tests of the 7 basic query operations (Figure 6's workloads)."""
+
+import pytest
+
+from repro.workloads.basic_ops import (
+    BASIC_OPERATIONS,
+    basic_operation_plan,
+    run_basic_operation,
+)
+
+
+class TestPlans:
+    def test_seven_operations(self):
+        assert len(BASIC_OPERATIONS) == 7
+
+    def test_unknown_operation(self):
+        with pytest.raises(KeyError):
+            basic_operation_plan("delete")
+
+    @pytest.mark.parametrize("op", BASIC_OPERATIONS)
+    def test_all_run(self, op, sqlite_db):
+        rows = run_basic_operation(sqlite_db, op)
+        assert isinstance(rows, list)
+
+    def test_table_scan_returns_all_rows(self, postgres_db, tpch_small):
+        rows = run_basic_operation(postgres_db, "table_scan")
+        assert len(rows) == len(tpch_small.lineitem)
+
+    def test_index_scan_same_rows_different_order(self, postgres_db):
+        table = sorted(run_basic_operation(postgres_db, "table_scan"))
+        index = sorted(run_basic_operation(postgres_db, "index_scan"))
+        assert table == index
+
+    def test_index_scan_is_shipdate_ordered(self, postgres_db):
+        rows = run_basic_operation(postgres_db, "index_scan")
+        shipdates = [r[11] for r in rows]
+        assert shipdates == sorted(shipdates)
+
+    def test_select_filters(self, sqlite_db):
+        rows = run_basic_operation(sqlite_db, "select")
+        assert all(10.0 <= r[5] <= 24.0 for r in rows)
+
+    def test_sort_is_sorted(self, mysql_db):
+        rows = run_basic_operation(mysql_db, "sort")
+        prices = [r[6] for r in rows]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_groupby_groups(self, sqlite_db, tpch_small):
+        rows = run_basic_operation(sqlite_db, "groupby")
+        total = sum(r[2] for r in rows)
+        assert total == len(tpch_small.lineitem)
+
+    def test_join_cardinality(self, sqlite_db, tpch_small):
+        rows = run_basic_operation(sqlite_db, "join")
+        assert len(rows) == len(tpch_small.lineitem)

@@ -1,0 +1,53 @@
+"""Tests of the CPU2006-like kernels (Figure 10's workloads)."""
+
+import pytest
+
+from repro.workloads.cpu2006 import CPU2006_WORKLOADS, KERNELS, run_kernel
+
+
+class TestKernels:
+    def test_nine_workloads(self):
+        assert len(CPU2006_WORKLOADS) == 9
+        assert set(CPU2006_WORKLOADS) == set(KERNELS)
+
+    @pytest.mark.parametrize("name", CPU2006_WORKLOADS)
+    def test_all_run_within_budget(self, name, machine):
+        machine.reset_measurements()
+        run_kernel(machine, name, ops=5_000)
+        counters = machine.pmu.counters
+        assert counters.instructions > 0
+        assert counters.instructions == pytest.approx(5_000, rel=0.3)
+
+    def test_mcf_is_memory_bound(self, machine):
+        run_kernel(machine, "mcf", ops=20_000)
+        counters = machine.pmu.counters
+        assert counters.stall_cycles > counters.cycles * 0.5
+        assert counters.n_mem > 0
+
+    def test_gobmk_is_cache_resident(self, machine):
+        run_kernel(machine, "gobmk", ops=5_000)  # warm
+        machine.reset_measurements()
+        run_kernel(machine, "gobmk", ops=20_000)
+        counters = machine.pmu.counters
+        assert counters.l1d_miss_rate < 0.05
+
+    def test_libquantum_streams(self, machine):
+        run_kernel(machine, "libquantum", ops=30_000)
+        counters = machine.pmu.counters
+        assert counters.n_pf_l2 + counters.n_pf_l3 > 0
+
+    def test_perlbench_other_heavy(self, machine):
+        run_kernel(machine, "perlbench", ops=10_000)
+        counters = machine.pmu.counters
+        assert counters.n_other > counters.n_load_inst
+
+    def test_deterministic(self):
+        from repro import Machine, tiny_intel
+
+        def counts(seed_unused):
+            machine = Machine(tiny_intel())
+            run_kernel(machine, "sjeng", ops=10_000)
+            c = machine.pmu.counters
+            return (c.n_l1d, c.n_mem, c.cycles)
+
+        assert counts(0) == counts(1)

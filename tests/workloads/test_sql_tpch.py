@@ -1,0 +1,38 @@
+"""The SQL front-end must reproduce the plan builders' TPC-H results
+exactly — the strongest end-to-end check the SQL stack has."""
+
+import pytest
+
+from repro.workloads.tpch import run_query
+from repro.workloads.tpch.sql_queries import (
+    SQL_QUERY_NUMBERS,
+    sql_text,
+)
+
+
+def normalised(rows):
+    return [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+
+
+class TestSqlAgainstPlans:
+    @pytest.mark.parametrize("number", SQL_QUERY_NUMBERS)
+    def test_sql_matches_plan_sqlite(self, number, sqlite_db):
+        via_sql = sqlite_db.sql(sql_text(number))
+        via_plan = run_query(sqlite_db, number)
+        assert normalised(via_sql) == normalised(via_plan)
+
+    @pytest.mark.parametrize("number", SQL_QUERY_NUMBERS)
+    def test_sql_matches_plan_postgres(self, number, postgres_db):
+        via_sql = postgres_db.sql(sql_text(number))
+        via_plan = run_query(postgres_db, number)
+        assert normalised(via_sql) == normalised(via_plan)
+
+    def test_unavailable_number_raises(self):
+        with pytest.raises(ValueError):
+            sql_text(5)
+
+    def test_coverage(self):
+        assert set(SQL_QUERY_NUMBERS) == {1, 3, 6, 10, 12, 14, 19}

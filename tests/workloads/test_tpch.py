@@ -1,0 +1,172 @@
+"""Tests of the TPC-H generator and the 22 queries."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.tpch import (
+    ALL_QUERY_NUMBERS,
+    QUERIES,
+    TpchData,
+    run_query,
+    tier,
+)
+from repro.workloads.tpch.datagen import NATIONS, REGIONS, TIERS
+from repro.workloads.tpch.schema import (
+    PRIMARY_KEYS,
+    SCHEMAS,
+    d,
+    l_key,
+    ps_key,
+)
+
+
+class TestSchema:
+    def test_all_tables_defined(self):
+        assert set(SCHEMAS) == {
+            "region", "nation", "supplier", "customer", "part",
+            "partsupp", "orders", "lineitem",
+        }
+
+    def test_primary_keys_exist(self):
+        for table, pk in PRIMARY_KEYS.items():
+            assert pk in SCHEMAS[table]
+
+    def test_date_helper(self):
+        from datetime import date
+        assert d(1994, 6, 1) == date(1994, 6, 1).toordinal()
+
+    def test_synthetic_keys_unique(self):
+        assert ps_key(1, 2) != ps_key(2, 1)
+        assert l_key(1, 2) != l_key(2, 1)
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        a = TpchData("10MB", seed=1)
+        b = TpchData("10MB", seed=1)
+        assert a.lineitem == b.lineitem
+        assert a.orders == b.orders
+
+    def test_seed_changes_data(self):
+        a = TpchData("10MB", seed=1)
+        b = TpchData("10MB", seed=2)
+        assert a.lineitem != b.lineitem
+
+    def test_tier_scaling(self):
+        small = TpchData("10MB")
+        base = TpchData("100MB")
+        assert base.n_rows_total > small.n_rows_total
+
+    def test_unknown_tier(self):
+        with pytest.raises(ConfigError):
+            tier("5TB")
+
+    def test_referential_integrity(self, tpch_small):
+        data = tpch_small
+        custkeys = {c[0] for c in data.customer}
+        partkeys = {p[0] for p in data.part}
+        suppkeys = {s[0] for s in data.supplier}
+        orderkeys = {o[0] for o in data.orders}
+        assert all(o[1] in custkeys for o in data.orders)
+        assert all(l[1] in orderkeys for l in data.lineitem)
+        assert all(l[2] in partkeys for l in data.lineitem)
+        assert all(l[3] in suppkeys for l in data.lineitem)
+        assert all(ps[1] in partkeys and ps[2] in suppkeys
+                   for ps in data.partsupp)
+
+    def test_lineitem_supplier_is_a_partsupp_pair(self, tpch_small):
+        data = tpch_small
+        pairs = {(ps[1], ps[2]) for ps in data.partsupp}
+        assert all((l[2], l[3]) in pairs for l in data.lineitem)
+
+    def test_four_suppliers_per_part(self, tpch_small):
+        data = tpch_small
+        assert len(data.partsupp) == 4 * len(data.part)
+
+    def test_nation_region_fixed(self, tpch_small):
+        assert len(tpch_small.nation) == len(NATIONS)
+        assert len(tpch_small.region) == len(REGIONS)
+
+    def test_some_customers_have_no_orders(self, tpch_small):
+        ordering = {o[1] for o in tpch_small.orders}
+        all_custkeys = {c[0] for c in tpch_small.customer}
+        assert all_custkeys - ordering
+
+    def test_date_ordering_invariants(self, tpch_small):
+        for line in tpch_small.lineitem:
+            shipdate, commitdate, receiptdate = line[11], line[12], line[13]
+            orderkey = line[1]
+            assert receiptdate > shipdate
+        order_dates = {o[0]: o[4] for o in tpch_small.orders}
+        for line in tpch_small.lineitem:
+            assert line[11] > order_dates[line[1]]
+
+    def test_rows_match_schema_arity(self, tpch_small):
+        for name, rows in tpch_small.tables().items():
+            width = len(SCHEMAS[name])
+            assert all(len(r) == width for r in rows)
+
+
+class TestQueries:
+    def test_registry_complete(self):
+        assert ALL_QUERY_NUMBERS == tuple(range(1, 23))
+        assert all(QUERIES[n].number == n for n in ALL_QUERY_NUMBERS)
+
+    @pytest.mark.parametrize("number", ALL_QUERY_NUMBERS)
+    def test_runs_and_consistent_across_engines(self, number, all_dbs):
+        results = {}
+        for name, db in all_dbs.items():
+            rows = run_query(db, number)
+            results[name] = sorted(
+                tuple(round(v, 4) if isinstance(v, float) else v for v in r)
+                for r in rows
+            )
+        assert results["sqlite"] == results["postgresql"] == results["mysql"]
+
+    def test_q1_matches_reference(self, sqlite_db, tpch_small):
+        """Q1 checked against a plain-Python reference aggregation."""
+        rows = run_query(sqlite_db, 1)
+        cutoff = d(1998, 12, 1) - 90
+        expected = {}
+        for line in tpch_small.lineitem:
+            if line[11] > cutoff:
+                continue
+            key = (line[9], line[10])
+            slot = expected.setdefault(key, [0.0, 0.0, 0])
+            slot[0] += line[5]                       # qty
+            slot[1] += line[6] * (1 - line[7])       # disc price
+            slot[2] += 1
+        got = {(r[0], r[1]): r for r in rows}
+        assert set(got) == set(expected)
+        for key, (qty, disc, count) in expected.items():
+            row = got[key]
+            assert row[2] == pytest.approx(qty)          # sum_qty
+            assert row[4] == pytest.approx(disc)         # sum_disc_price
+            assert row[9] == count                       # count_order
+
+    def test_q6_matches_reference(self, postgres_db, tpch_small):
+        rows = run_query(postgres_db, 6)
+        lo, hi = d(1994, 1, 1), d(1994, 12, 31)
+        expected = sum(
+            line[6] * line[7] for line in tpch_small.lineitem
+            if lo <= line[11] <= hi and 0.05 <= line[7] <= 0.07
+            and line[5] < 24
+        )
+        assert rows[0][0] == pytest.approx(expected)
+
+    def test_q4_matches_reference(self, mysql_db, tpch_small):
+        rows = run_query(mysql_db, 4)
+        lo, hi = d(1993, 7, 1), d(1993, 10, 1) - 1
+        late_orders = {
+            line[1] for line in tpch_small.lineitem if line[12] < line[13]
+        }
+        expected = {}
+        for order in tpch_small.orders:
+            if lo <= order[4] <= hi and order[0] in late_orders:
+                expected[order[5]] = expected.get(order[5], 0) + 1
+        assert {r[0]: r[1] for r in rows} == expected
+
+    def test_q13_includes_orderless_customers(self, sqlite_db, tpch_small):
+        rows = run_query(sqlite_db, 13)
+        zero_bucket = [r for r in rows if r[0] == 0]
+        assert zero_bucket, "customers without orders must appear (c_count=0)"
