@@ -5,16 +5,22 @@ Commands:
 * ``calibrate`` — run MBS, print Tables 1-3 for the chosen machine;
 * ``profile``   — break one TPC-H query (or all) down on one engine;
 * ``sql``       — execute a SQL statement and show its energy breakdown;
+* ``trace``     — execute a SQL statement under the span tracer and
+  export the per-operator energy trace (JSONL / Chrome / flamegraph);
 * ``experiment``— regenerate one paper table/figure by id;
 * ``poc``       — run the §4 DTCM proof-of-concept (Figure 13).
 
-All commands accept ``--scale`` (cache divisor, default 16) and
-``--tier`` (data tier, default 100MB).
+All commands accept ``--scale`` (cache divisor, default 16),
+``--tier`` (data tier, default 100MB) and ``-v``/``-vv`` for
+INFO/DEBUG logging; ``calibrate`` and ``profile`` also take ``--json``
+for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro import Machine, intel_i7_4790
@@ -30,6 +36,7 @@ from repro.core import (
     verify,
 )
 from repro.db import Database, ENGINES, engine_profile
+from repro.logconfig import configure_logging
 from repro.workloads.tpch import (
     ALL_QUERY_NUMBERS,
     TpchData,
@@ -46,6 +53,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="TPC-H data tier")
     parser.add_argument("--seed", type=int, default=0,
                         help="measurement-noise seed")
+    # SUPPRESS keeps the top-level -v value when the subcommand parses
+    # without the flag (subparser defaults would otherwise reset it).
+    parser.add_argument("-v", "--verbose", action="count",
+                        default=argparse.SUPPRESS,
+                        help="-v: INFO logging, -vv: DEBUG")
 
 
 def _machine(args) -> Machine:
@@ -54,36 +66,145 @@ def _machine(args) -> Machine:
 
 def cmd_calibrate(args) -> int:
     machine = _machine(args)
-    print(f"machine: {machine.config.name}")
     cal = calibrate(machine)
+    report = verify(machine, cal.delta_e, background=cal.background)
+    if args.json:
+        print(json.dumps({
+            "machine": machine.config.name,
+            "pstate": cal.pstate,
+            "delta_e_nj": cal.delta_e.nanojoules(),
+            "verification": {
+                "rows": [
+                    {"name": row.name,
+                     "measured_j": row.measured_j,
+                     "estimated_j": row.estimated_j,
+                     "accuracy_pct": row.accuracy_pct}
+                    for row in report.rows
+                ],
+                "average_accuracy_pct": report.average_accuracy_pct,
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"machine: {machine.config.name}")
     print(render_microbench_behaviour(cal.results))
     print()
     print(render_delta_e({cal.pstate: cal.delta_e.nanojoules()}))
     print()
-    report = verify(machine, cal.delta_e, background=cal.background)
     print(render_verification(report))
     return 0
 
 
+def _export_trace(trace, out_dir: pathlib.Path, stem: str, title: str) -> list:
+    """Write the three export formats for one trace; returns the paths."""
+    from repro.obs import write_chrome_trace, write_flamegraph, write_jsonl
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = [out_dir / f"{stem}.jsonl",
+             out_dir / f"{stem}.chrome.json",
+             out_dir / f"{stem}.svg"]
+    write_jsonl(trace, paths[0])
+    write_chrome_trace(trace, paths[1])
+    write_flamegraph(trace, paths[2], title=title)
+    return paths
+
+
 def cmd_profile(args) -> int:
+    from repro.obs import Tracer
+
+    machine = _machine(args)
+    if not args.json:
+        print("calibrating ...", file=sys.stderr)
+    cal = calibrate(machine)
+    db = Database(machine, engine_profile(args.engine), name=args.engine)
+    load_into(db, TpchData(args.tier))
+    numbers = args.query or list(ALL_QUERY_NUMBERS)
+    profiles = {}
+    for number in numbers:
+        workload = lambda number=number: run_query(db, number)
+        profiles[f"Q{number}"] = profile_workload(
+            machine, f"Q{number}", workload, cal.delta_e,
+            background=cal.background, warmup=workload,
+        )
+        if args.trace_out:
+            tracer = Tracer(machine, background=cal.background,
+                            delta_e=cal.delta_e, name=f"Q{number}")
+            with tracer:
+                workload()
+            for path in _export_trace(
+                tracer.trace, pathlib.Path(args.trace_out),
+                f"q{number:02d}", f"Q{number} ({args.engine}, {args.tier})",
+            ):
+                print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "engine": args.engine,
+            "tier": args.tier,
+            "machine": machine.config.name,
+            "queries": {
+                name: {
+                    "active_energy_j": p.breakdown.active_energy_j,
+                    "busy_s": p.busy_s,
+                    "time_s": p.time_s,
+                    "domain": p.domain,
+                    "components_j": p.breakdown.components(),
+                    "shares_pct": p.breakdown.shares_pct(),
+                    "l1d_share_pct": p.breakdown.l1d_share_pct,
+                }
+                for name, p in profiles.items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+    breakdowns = {name: p.breakdown for name, p in profiles.items()}
+    print(render_breakdown_rows(
+        breakdowns, f"Active-energy breakdown ({args.engine}, {args.tier})"
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.micro.measurement import run_measured
+    from repro.obs import Tracer
+
     machine = _machine(args)
     print("calibrating ...", file=sys.stderr)
     cal = calibrate(machine)
     db = Database(machine, engine_profile(args.engine), name=args.engine)
     load_into(db, TpchData(args.tier))
-    numbers = args.query or list(ALL_QUERY_NUMBERS)
-    breakdowns = {}
-    for number in numbers:
-        workload = lambda number=number: run_query(db, number)
-        profile = profile_workload(
-            machine, f"Q{number}", workload, cal.delta_e,
-            background=cal.background, warmup=workload,
-        )
-        breakdowns[f"Q{number}"] = profile.breakdown
-    print(render_breakdown_rows(
-        breakdowns, f"Active-energy breakdown ({args.engine}, {args.tier})"
-    ))
-    return 0
+    statement = " ".join(args.statement)
+    if not args.cold:
+        db.sql(statement)  # warm the pools so the trace shows steady state
+    tracer = Tracer(machine, background=cal.background,
+                    delta_e=cal.delta_e, name="query")
+    rows: list = []
+
+    def workload() -> None:
+        with tracer:
+            rows.extend(db.sql(statement))
+
+    # Measure the window independently of the tracer: the span energies
+    # must sum back to this Active energy (the acceptance check).
+    measurement = run_measured(machine, workload, cal.background,
+                               apply_noise=False)
+    trace = tracer.trace
+    for row in rows[: args.limit]:
+        print(row)
+    if len(rows) > args.limit:
+        print(f"... ({len(rows)} rows)")
+    print()
+    print(trace.render_tree(max_depth=args.depth))
+    span_sum = sum(trace.active_energy_j(s) for s in trace.spans())
+    measured = measurement.active_energy_j
+    delta_pct = (100.0 * abs(span_sum - measured) / measured
+                 if measured else 0.0)
+    print(f"\nspan-sum {span_sum:.6e} J vs measured {measured:.6e} J "
+          f"({delta_pct:.4f}% apart)")
+    if args.metrics:
+        print()
+        print(machine.metrics.render())
+    for path in _export_trace(trace, pathlib.Path(args.out), "trace",
+                              f"{statement} ({args.engine}, {args.tier})"):
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if delta_pct <= 1.0 else 1
 
 
 def cmd_sql(args) -> int:
@@ -158,10 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Micro-op energy analysis of database systems "
                     "(EDBT 2020 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO logging, -vv: DEBUG")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("calibrate", help="run MBS/VMBS; print Tables 1-3")
     _add_common(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the dE table and verification as JSON")
     p.set_defaults(fn=cmd_calibrate)
 
     p = sub.add_parser("profile", help="break TPC-H queries down")
@@ -170,7 +295,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query", "-q", type=int, action="append",
                    choices=list(ALL_QUERY_NUMBERS), metavar="N",
                    help="query number (repeatable; default: all 22)")
+    p.add_argument("--json", action="store_true",
+                   help="emit per-query breakdowns as JSON")
+    p.add_argument("--trace-out", metavar="DIR",
+                   help="additionally trace each query and export "
+                        "JSONL/Chrome/flamegraph files into DIR")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "trace", help="trace one SQL statement with per-operator spans"
+    )
+    _add_common(p)
+    p.add_argument("--engine", default="sqlite", choices=list(ENGINES))
+    p.add_argument("--out", metavar="DIR", default="trace-out",
+                   help="directory for trace exports (default: trace-out)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="max result rows to print")
+    p.add_argument("--depth", type=int, default=None,
+                   help="truncate the printed span tree at this depth")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the warm-up run (trace cold caches/pools)")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the machine metrics registry")
+    p.add_argument("statement", nargs="+", help="the SELECT statement")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("sql", help="run a SQL statement with energy attribution")
     _add_common(p)
@@ -196,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
     return args.fn(args)
 
 

@@ -23,6 +23,7 @@ Calibration runs with the prefetcher off and a pinned P-state
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
@@ -32,6 +33,8 @@ from repro.micro.benchmarks import mbs_for, prepare
 from repro.micro.measurement import BackgroundRates, measure_background
 from repro.micro.runner import MicroResult, RuntimeConfig, run_prepared
 from repro.sim.machine import Machine
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -77,6 +80,7 @@ def calibrate(
 
     results: dict[str, MicroResult] = {}
     for name in mbs_for(machine):
+        logger.info("running micro-benchmark %s", name)
         prepared = prepare(name, machine, seed=seed)
         results[name] = run_prepared(machine, prepared, background, runtime)
 
@@ -148,6 +152,8 @@ def calibrate(
     pinned = runtime.pstate
     if pinned is None:
         pinned = machine.config.pstates.highest
+    logger.info("calibrated %s at P%d: dE_L1D=%.3e J, dE_mem=%.3e J",
+                machine.config.name, pinned, de_l1d, de_mem)
     return CalibrationResult(
         delta_e=delta_e, results=results, background=background, pstate=pinned
     )

@@ -18,6 +18,7 @@ bypass the L1D cache entirely.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
@@ -25,6 +26,8 @@ from repro.errors import DatabaseError
 from repro.sim.address_space import Region
 from repro.sim.machine import Machine
 from repro.sim.tcm import TcmAllocator
+
+logger = logging.getLogger(__name__)
 
 #: Per-node header bytes (level, count, sibling pointer, parent hint).
 NODE_HEADER_BYTES = 24
@@ -102,38 +105,42 @@ class BTree:
         if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
             raise DatabaseError("bulk_load input must be key-sorted")
         machine = self.machine
-        fill = max(2, self.leaf_capacity * 9 // 10)
-        leaves: list[_Node] = []
-        for start in range(0, len(pairs), fill):
-            node = self._new_node(leaf=True)
-            chunk = pairs[start:start + fill]
-            node.keys = [k for k, _ in chunk]
-            node.values = [v for _, v in chunk]
-            machine.store_bytes(node.region.base + NODE_HEADER_BYTES,
-                                len(chunk) * self.leaf_entry_bytes)
-            if leaves:
-                leaves[-1].next_leaf = node
-            leaves.append(node)
-        if not leaves:
-            return
-        level = leaves
-        height = 1
-        ifill = max(2, self.internal_capacity * 9 // 10)
-        while len(level) > 1:
-            parents: list[_Node] = []
-            for start in range(0, len(level), ifill):
-                node = self._new_node(leaf=False)
-                chunk = level[start:start + ifill]
-                node.keys = [c.keys[0] for c in chunk]
-                node.values = list(chunk)
+        with machine.tracer.span(f"btree.bulk_load:{self.name}",
+                                 category="index", entries=len(pairs)):
+            fill = max(2, self.leaf_capacity * 9 // 10)
+            leaves: list[_Node] = []
+            for start in range(0, len(pairs), fill):
+                node = self._new_node(leaf=True)
+                chunk = pairs[start:start + fill]
+                node.keys = [k for k, _ in chunk]
+                node.values = [v for _, v in chunk]
                 machine.store_bytes(node.region.base + NODE_HEADER_BYTES,
-                                    len(chunk) * self.internal_entry_bytes)
-                parents.append(node)
-            level = parents
-            height += 1
-        self._root = level[0]
-        self.height = height
-        self.n_entries = len(pairs)
+                                    len(chunk) * self.leaf_entry_bytes)
+                if leaves:
+                    leaves[-1].next_leaf = node
+                leaves.append(node)
+            if not leaves:
+                return
+            level = leaves
+            height = 1
+            ifill = max(2, self.internal_capacity * 9 // 10)
+            while len(level) > 1:
+                parents: list[_Node] = []
+                for start in range(0, len(level), ifill):
+                    node = self._new_node(leaf=False)
+                    chunk = level[start:start + ifill]
+                    node.keys = [c.keys[0] for c in chunk]
+                    node.values = list(chunk)
+                    machine.store_bytes(node.region.base + NODE_HEADER_BYTES,
+                                        len(chunk) * self.internal_entry_bytes)
+                    parents.append(node)
+                level = parents
+                height += 1
+            self._root = level[0]
+            self.height = height
+            self.n_entries = len(pairs)
+            logger.debug("btree %s: bulk-loaded %d entries, height %d",
+                         self.name, len(pairs), height)
 
     # ------------------------------------------------------------ lookups
 

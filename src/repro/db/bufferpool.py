@@ -18,6 +18,7 @@ PostgreSQL/MySQL-style buffer management (§3.3).
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
@@ -27,6 +28,8 @@ from repro.db.pagestore import PagedFile, PageId
 from repro.db.types import Row
 from repro.sim.address_space import LINE_SHIFT, LINE_SIZE, Region
 from repro.sim.machine import Machine
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -63,8 +66,11 @@ class BufferPool:
         self._meta = machine.address_space.alloc(
             max(LINE_SIZE, self.n_frames * 16), f"{label}/pagetable"
         )
+        self.label = label
         self.hits = 0
         self.misses = 0
+        self.recycles = 0
+        machine.metrics.add_collector(self._collect_metrics)
 
     # ------------------------------------------------------------ stats
 
@@ -78,6 +84,20 @@ class BufferPool:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.recycles = 0
+
+    def _collect_metrics(self) -> None:
+        """Export pool health into the machine's metrics registry."""
+        metrics = self.machine.metrics
+        labels = {"pool": self.label}
+        metrics.gauge("bufferpool.frames", labels).set(self.n_frames)
+        metrics.gauge("bufferpool.resident_pages", labels).set(
+            len(self._table)
+        )
+        metrics.gauge("bufferpool.hits", labels).set(self.hits)
+        metrics.gauge("bufferpool.misses", labels).set(self.misses)
+        metrics.gauge("bufferpool.recycles", labels).set(self.recycles)
+        metrics.gauge("bufferpool.hit_rate", labels).set(self.hit_rate())
 
     # ------------------------------------------------------------ fetch
 
@@ -97,16 +117,21 @@ class BufferPool:
             return self.frames[frame_index]
 
         self.misses += 1
-        if self._free:
-            frame_index = self._free.pop()
-        else:
-            _, frame_index = self._table.popitem(last=False)
-        frame = self.frames[frame_index]
-        machine.disk_read(paged_file.block_of(page_no), self.page_size)
-        self._invalidate_frame(frame)
-        frame.page_id = page_id
-        frame.rows = paged_file.page(page_no)
-        self._table[page_id] = frame_index
+        with machine.tracer.span("bufferpool.miss", category="io",
+                                 pool=self.label, page=str(page_id)):
+            if self._free:
+                frame_index = self._free.pop()
+            else:
+                evicted, frame_index = self._table.popitem(last=False)
+                self.recycles += 1
+                logger.debug("%s: recycling frame %d (page %s -> %s)",
+                             self.label, frame_index, evicted, page_id)
+            frame = self.frames[frame_index]
+            machine.disk_read(paged_file.block_of(page_no), self.page_size)
+            self._invalidate_frame(frame)
+            frame.page_id = page_id
+            frame.rows = paged_file.page(page_no)
+            self._table[page_id] = frame_index
         return frame
 
     def contains(self, paged_file: PagedFile, page_no: int) -> bool:

@@ -18,6 +18,7 @@ allocator) and streams result tuples into the output sink.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional, Sequence, Union
 
 from repro.errors import DatabaseError
@@ -30,6 +31,8 @@ from repro.db.profiles import CLUSTERED, HEAP, EngineProfile
 from repro.db.table import build_clustered, build_heap
 from repro.db.types import Row, Schema
 from repro.sim.machine import Machine
+
+logger = logging.getLogger(__name__)
 
 
 class Database:
@@ -188,15 +191,19 @@ class Database:
         from repro.db.sql.translate import _Translator, bind_dml
 
         stmt = parse_statement(text)
-        if isinstance(stmt, ast.SelectStmt):
-            return self.execute(_Translator(self.catalog, stmt).translate())
-        if isinstance(stmt, ast.InsertStmt):
-            return self.insert(stmt.table, stmt.rows)
-        if isinstance(stmt, ast.UpdateStmt):
-            assignments, predicate = bind_dml(self.catalog, stmt)
-            return self.update(stmt.table, assignments, predicate)
-        if isinstance(stmt, ast.DeleteStmt):
-            return self.delete(stmt.table, bind_dml(self.catalog, stmt))
+        with self.machine.tracer.span("sql", category="sql",
+                                      statement=text, engine=self.name):
+            if isinstance(stmt, ast.SelectStmt):
+                return self.execute(
+                    _Translator(self.catalog, stmt).translate()
+                )
+            if isinstance(stmt, ast.InsertStmt):
+                return self.insert(stmt.table, stmt.rows)
+            if isinstance(stmt, ast.UpdateStmt):
+                assignments, predicate = bind_dml(self.catalog, stmt)
+                return self.update(stmt.table, assignments, predicate)
+            if isinstance(stmt, ast.DeleteStmt):
+                return self.delete(stmt.table, bind_dml(self.catalog, stmt))
         raise DatabaseError(f"unsupported statement {type(stmt).__name__}")
 
     def sql_plan(self, text: str) -> Logical:
@@ -218,6 +225,7 @@ class Database:
         """
         physical = query if isinstance(query, PhysicalOp) else self.plan(query)
         self._temp.reset()
+        tracer = self.machine.tracer
         ctx = ExecContext(
             machine=self.machine,
             profile=self.profile,
@@ -227,13 +235,18 @@ class Database:
             state_region=self.state_region,
             state_overflow_region=self.state_overflow_region,
             cold_region=self.cold_region,
+            tracer=tracer,
         )
         row_bytes = physical.schema.row_size
         out: list[Row] = []
         emit = self._sink.emit
-        for row in physical.rows(ctx):
-            emit(row_bytes)
-            out.append(row)
+        with tracer.span("execute", category="query", engine=self.name,
+                         plan_root=physical.describe()):
+            for row in physical.traced_rows(ctx):
+                emit(row_bytes)
+                out.append(row)
+        logger.debug("%s: executed %s -> %d rows",
+                     self.name, physical.describe(), len(out))
         return out
 
     # ------------------------------------------------------------ DML

@@ -115,7 +115,7 @@ class AggOp(PhysicalOp):
         add = machine.add
         cmp_op = machine.cmp
 
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             key = tuple(fn(row) for fn in key_fns)
             mul(1)
             add(1)

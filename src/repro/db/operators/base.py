@@ -25,6 +25,7 @@ from repro.errors import PlanError
 from repro.db.catalog import Catalog
 from repro.db.profiles import EngineProfile
 from repro.db.types import Row, Schema
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.address_space import LINE_SIZE, Region
 from repro.sim.machine import Machine
 
@@ -110,6 +111,9 @@ class ExecContext:
     state_overflow_region: Optional[Region] = None
     state_tcm_fraction: float = 0.65
     cold_region: Optional[Region] = None
+    #: Span tracer for per-operator energy attribution.  The no-op
+    #: default keeps the pull pipeline exactly as cheap as untraced.
+    tracer: object = NULL_TRACER
     #: Sequential block cursor for spill files.
     spill_block: int = 1 << 24
     _state_cursor: int = 0
@@ -190,6 +194,17 @@ class PhysicalOp:
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         raise NotImplementedError
+
+    def traced_rows(self, ctx: ExecContext) -> Iterator[Row]:
+        """The row generator, wrapped in a per-operator span when a
+        tracer is active.  Parents pull children through this method so
+        every plan node gets its own energy/counter attribution; with
+        the default :class:`~repro.obs.tracer.NullTracer` it is a plain
+        delegation to :meth:`rows`."""
+        tracer = ctx.tracer
+        if tracer.enabled:
+            return tracer.wrap_rows(self, ctx)
+        return self.rows(ctx)
 
     def children(self) -> tuple["PhysicalOp", ...]:
         return ()

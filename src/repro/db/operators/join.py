@@ -118,7 +118,7 @@ class HashJoinOp(PhysicalOp):
             ctx, est_entries=1024, label=f"hashjoin/{id(self) & 0xffff:x}"
         )
         build_rows = 0
-        for row in self.right.rows(ctx):
+        for row in self.right.traced_rows(ctx):
             table.insert(build_key(row), row)
             build_rows += 1
         overflow = table.bytes_used - ctx.profile.work_mem_bytes
@@ -128,7 +128,7 @@ class HashJoinOp(PhysicalOp):
         semi = self.kind == SEMI
         anti = self.kind == ANTI
         left_outer = self.kind == LEFT
-        for row in self.left.rows(ctx):
+        for row in self.left.traced_rows(ctx):
             matches = table.probe(probe_key(row))
             if semi:
                 if matches:
@@ -229,7 +229,7 @@ class IndexNLJoinOp(PhysicalOp):
         semi = self.kind == SEMI
         anti = self.kind == ANTI
         left_outer = self.kind == LEFT
-        for row in self.outer.rows(ctx):
+        for row in self.outer.traced_rows(ctx):
             matches = self._lookup(outer_key(row))
             if inner_pred is not None:
                 matches = [m for m in matches if inner_pred(m)]

@@ -35,7 +35,7 @@ class FilterOp(PhysicalOp):
 
     def rows(self, ctx: ExecContext) -> Iterator[Row]:
         pred = self.predicate.compile(self.child.schema, ctx.machine)
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             if pred(row):
                 yield row
 
@@ -63,7 +63,7 @@ class ProjectOp(PhysicalOp):
         compiled = [expr.compile(self.child.schema, ctx.machine)
                     for _, expr in self.outputs]
         produce = ctx.produce_overhead
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             produce()
             yield tuple(fn(row) for fn in compiled)
 
@@ -88,7 +88,7 @@ class LimitOp(PhysicalOp):
         if self.n == 0:
             return
         emitted = 0
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             yield row
             emitted += 1
             if emitted >= self.n:
@@ -114,7 +114,7 @@ class DistinctOp(PhysicalOp):
         seen: set = set()
         table = ctx.temp.alloc(64 * 1024, label="distinct")
         cursor = 0
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             machine.mul(1)
             machine.add(1)
             machine.load(table.base + (hash(row) % max(1, table.n_lines)) * 64,

@@ -50,7 +50,7 @@ class SortOp(PhysicalOp):
         buffered: list[tuple[tuple, Row]] = []
         buffer_region = ctx.temp.alloc(64 * 1024, label="sort-buffer")
         cursor = 0
-        for row in self.child.rows(ctx):
+        for row in self.child.traced_rows(ctx):
             machine.store_bytes(buffer_region.base + cursor % buffer_region.size,
                                 row_size)
             cursor += row_size

@@ -37,3 +37,8 @@ class SqlError(DatabaseError):
 
 class PlanError(DatabaseError):
     """A physical plan was malformed (wrong arity, unbound column, ...)."""
+
+
+class TraceError(ReproError):
+    """The observability layer was misused (mismatched span enter/exit,
+    finishing a trace with spans still open, ...)."""

@@ -1,0 +1,43 @@
+"""One place to configure logging for the whole package.
+
+Every module in ``repro`` logs through ``logging.getLogger(__name__)``;
+nothing configures handlers at import time (library etiquette).  The CLI
+calls :func:`configure_logging` once, mapping ``-v`` flags to levels:
+
+* default — WARNING (quiet),
+* ``-v`` — INFO (progress: calibration stages, data loads, query runs),
+* ``-vv`` — DEBUG (per-event detail: governor transitions, pool
+  recycles, index builds).
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Format kept terse: the interesting part is the message, not the time.
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a :mod:`logging` level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """Install a stderr handler on the ``repro`` logger tree.
+
+    Idempotent: calling again just adjusts the level (so tests and
+    repeated CLI invocations in one process behave).  Only the
+    ``repro`` hierarchy is touched — the root logger is left alone.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(verbosity_to_level(verbosity))
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False

@@ -1,0 +1,157 @@
+"""Trace exporters: JSONL span logs and Chrome ``trace_event`` JSON.
+
+Two machine-readable formats for one :class:`~repro.obs.span.Trace`:
+
+* **JSONL** — one span per line, pre-order, with ``id``/``parent``
+  links, self/inclusive energy, timing, and the non-zero PMU counters.
+  Easy to load into pandas/duckdb/jq for analysis.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON that
+  chrome://tracing and Perfetto (https://ui.perfetto.dev) open
+  directly.  Spans become complete (``"ph": "X"``) events whose wall
+  span runs from first entry to last exit; because a pull pipeline
+  re-enters operator spans per row, the event duration is the
+  *footprint* of the operator, while the exact exclusive attribution
+  travels in ``args`` (energies are in there too — Perfetto timelines
+  have no energy axis).
+
+Timestamps are simulated microseconds (trace_event's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Union
+
+from repro.obs.span import Span, Trace
+
+PathOrFile = Union[str, "object"]
+
+
+def _span_records(trace: Trace) -> Iterator[tuple[int, int, Span]]:
+    """Yield ``(id, parent_id, span)`` in pre-order; the root has
+    parent ``-1``."""
+    counter = 0
+
+    def visit(span: Span, parent: int) -> Iterator[tuple[int, int, Span]]:
+        nonlocal counter
+        span_id = counter
+        counter += 1
+        yield span_id, parent, span
+        for child in span.children:
+            yield from visit(child, span_id)
+
+    yield from visit(trace.root, -1)
+
+
+def span_to_dict(trace: Trace, span: Span, span_id: int,
+                 parent_id: int) -> dict:
+    """One JSONL record for one span."""
+    record = {
+        "id": span_id,
+        "parent": parent_id,
+        "name": span.name,
+        "category": span.category,
+        "meta": dict(span.meta),
+        "enters": span.enters,
+        "first_ts_s": span.first_ts,
+        "last_ts_s": span.last_ts,
+        "self": {
+            "time_s": span.self_time_s,
+            "busy_s": span.self_busy_s,
+            "idle_s": span.self_idle_s,
+            "core_j": span.self_core_j,
+            "package_j": span.self_package_j,
+            "dram_j": span.self_dram_j,
+            "active_j": trace.active_energy_j(span),
+            "counters": span.self_counters.as_dict(skip_zero=True),
+        },
+        "inclusive": {
+            "time_s": span.inclusive_time_s,
+            "active_j": trace.inclusive_active_j(span),
+        },
+    }
+    if trace.delta_e is not None:
+        record["self"]["breakdown_j"] = trace.breakdown(span).components()
+    return record
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """The full trace as JSON Lines text (header line first)."""
+    lines = [json.dumps({
+        "record": "trace",
+        "domain": trace.domain,
+        "total_active_j": trace.total_active_j,
+        "n_spans": trace.root.n_spans,
+    }, sort_keys=True)]
+    for span_id, parent_id, span in _span_records(trace):
+        lines.append(json.dumps(
+            span_to_dict(trace, span, span_id, parent_id), sort_keys=True
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def trace_to_chrome(trace: Trace) -> dict:
+    """The trace as a Chrome ``trace_event`` JSON object."""
+    events: list[dict] = [
+        {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+         "args": {"name": "repro simulated machine"}},
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": f"query engine ({trace.domain})"}},
+    ]
+    for span_id, parent_id, span in _span_records(trace):
+        if span.first_ts is None or span.last_ts is None:
+            continue  # opened but never entered: no wall footprint
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.first_ts * 1e6,
+            "dur": max(0.0, (span.last_ts - span.first_ts) * 1e6),
+            "args": {
+                "id": span_id,
+                "parent": parent_id,
+                "self_active_j": trace.active_energy_j(span),
+                "inclusive_active_j": trace.inclusive_active_j(span),
+                "self_busy_s": span.self_busy_s,
+                "enters": span.enters,
+                **{k: v for k, v in span.meta.items()
+                   if isinstance(v, (str, int, float, bool))},
+            },
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "domain": trace.domain,
+            "total_active_j": trace.total_active_j,
+        },
+    }
+
+
+def _open_for_write(path_or_file: PathOrFile):
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, "w"), True
+
+
+def write_jsonl(trace: Trace, path_or_file: PathOrFile) -> None:
+    """Write the JSONL span log to a path or file object."""
+    fh, owned = _open_for_write(path_or_file)
+    try:
+        fh.write(trace_to_jsonl(trace))
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_chrome_trace(trace: Trace, path_or_file: PathOrFile) -> None:
+    """Write Chrome trace_event JSON to a path or file object."""
+    fh, owned = _open_for_write(path_or_file)
+    try:
+        json.dump(trace_to_chrome(trace), fh)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()

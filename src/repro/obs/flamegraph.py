@@ -1,0 +1,109 @@
+"""Energy flamegraph: the span tree as a standalone SVG.
+
+The classic flamegraph form, but the x-axis is **Active energy** rather
+than samples: a frame's width is its subtree's share of the traced
+window's Active energy, children are laid left-to-right inside the
+parent, and whatever width the children do not cover is the frame's own
+(exclusive) energy.  Root at the bottom, depth grows upward.
+
+Visual style (surface, ink tokens, fonts, hover tooltips) is reused
+from :mod:`repro.analysis.svg` so the trace figures look like the
+paper-reproduction figures; frame hue encodes the span *category*
+(query / operator / io / index), never identity, and every frame
+carries a native ``<title>`` tooltip with its exact energies.
+"""
+
+from __future__ import annotations
+
+from repro.obs.span import Span, Trace
+
+#: Category -> fill, drawn from the same CVD-checked palette as the
+#: stacked-bar figures (see repro.analysis.svg.PALETTE).
+CATEGORY_FILLS = {
+    "trace": "#52514e",
+    "query": "#eb6834",
+    "operator": "#2a78d6",
+    "io": "#e34948",
+    "index": "#008300",
+    "sql": "#4a3aa7",
+}
+_DEFAULT_FILL = "#1baf7a"
+
+_FRAME_H = 22
+_MIN_W = 0.8
+_WIDTH = 960
+_TITLE_H = 34
+_PAD = 12
+
+
+def _depth(span: Span) -> int:
+    if not span.children:
+        return 1
+    return 1 + max(_depth(child) for child in span.children)
+
+
+def energy_flamegraph_svg(trace: Trace, title: str = "Energy flamegraph") -> str:
+    """Render the trace as a flamegraph SVG string."""
+    from repro.analysis.svg import INK_PRIMARY, INK_SECONDARY, SURFACE, _FONT, _esc
+
+    total = trace.total_active_j
+    depth = _depth(trace.root)
+    height = _TITLE_H + depth * (_FRAME_H + 2) + _PAD
+    plot_w = _WIDTH - 2 * _PAD
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{_WIDTH}' "
+        f"height='{height}' viewBox='0 0 {_WIDTH} {height}' role='img' "
+        f"aria-label='{_esc(title)}'>",
+        f"<rect width='{_WIDTH}' height='{height}' fill='{SURFACE}'/>",
+        f"<text x='{_PAD}' y='20' {_FONT} font-size='14' font-weight='600' "
+        f"fill='{INK_PRIMARY}'>{_esc(title)}</text>",
+        f"<text x='{_WIDTH - _PAD}' y='20' {_FONT} font-size='11' "
+        f"fill='{INK_SECONDARY}' text-anchor='end'>"
+        f"{total:.4e} J Active ({trace.domain})</text>",
+    ]
+
+    def emit(span: Span, x: float, width: float, level: int) -> None:
+        if width < _MIN_W:
+            return
+        # Root frame sits at the bottom; children stack upward.
+        y = height - _PAD - (level + 1) * (_FRAME_H + 2)
+        inclusive = trace.inclusive_active_j(span)
+        self_j = trace.active_energy_j(span)
+        share = 100.0 * inclusive / total if total > 0 else 0.0
+        fill = CATEGORY_FILLS.get(span.category, _DEFAULT_FILL)
+        tooltip = (
+            f"{span.name} — {inclusive:.3e} J ({share:.1f}%), "
+            f"self {self_j:.3e} J, {span.self_busy_s:.3e} s busy"
+        )
+        parts.append(
+            f"<rect x='{x:.2f}' y='{y:.1f}' width='{max(_MIN_W, width - 0.6):.2f}' "
+            f"height='{_FRAME_H}' rx='2' fill='{fill}'>"
+            f"<title>{_esc(tooltip)}</title></rect>"
+        )
+        # Label only frames wide enough to hold legible text.
+        if width > 7.0 * min(len(span.name), 6):
+            max_chars = max(1, int(width / 6.6))
+            label = (span.name if len(span.name) <= max_chars
+                     else span.name[: max_chars - 1] + "…")
+            parts.append(
+                f"<text x='{x + 4:.2f}' y='{y + _FRAME_H - 7}' {_FONT} "
+                f"font-size='10' fill='{SURFACE}'>{_esc(label)}</text>"
+            )
+        child_x = x
+        for child in span.children:
+            child_inclusive = trace.inclusive_active_j(child)
+            child_w = (width * child_inclusive / inclusive
+                       if inclusive > 0 else 0.0)
+            emit(child, child_x, child_w, level + 1)
+            child_x += child_w
+
+    emit(trace.root, float(_PAD), float(plot_w), 0)
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_flamegraph(trace: Trace, path: str,
+                     title: str = "Energy flamegraph") -> None:
+    with open(path, "w") as fh:
+        fh.write(energy_flamegraph_svg(trace, title))
+        fh.write("\n")

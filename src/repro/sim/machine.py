@@ -19,11 +19,14 @@ was active in between and advances the wall clock by
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config -> sim)
     from repro.config import MachineConfig
@@ -41,6 +44,8 @@ from repro.sim.tcm import TcmAllocator
 #: How many micro-ops pass between EIST epoch checks (keeps the hot path
 #: branch-cheap while bounding governor latency).
 _EIST_CHECK_OPS = 256
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -104,6 +109,13 @@ class Machine:
         self.pstate = config.pstates.validate(initial)
         self._vf2 = config.pstates.vf2(self.pstate)
         self.cpu.set_frequency(config.pstates.freq_ghz(self.pstate))
+
+        #: Observability: the active span tracer (a no-op by default so
+        #: the micro-op path pays nothing) and the metrics registry fed
+        #: by component collectors at snapshot time.
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.metrics.add_collector(self._collect_metrics)
 
         # Re-export the hot-path micro-op methods: workloads call
         # machine.load(...) etc. without an extra attribute hop.
@@ -212,7 +224,62 @@ class Machine:
         self._epoch_start_time = self.time_s
         self._epoch_busy = 0.0
         if new_pstate != self.pstate:
+            direction = "up" if new_pstate > self.pstate else "down"
+            self.metrics.counter(
+                "dvfs.governor.transitions", {"direction": direction}
+            ).inc()
+            logger.debug(
+                "EIST transition P%d -> P%d (busy %.0f%%)",
+                self.pstate, new_pstate, 100.0 * busy_fraction,
+            )
             self.set_pstate(new_pstate)
+
+    # ------------------------------------------------------------ metrics
+
+    def _collect_metrics(self) -> None:
+        """Refresh the machine-level gauges from component stat fields.
+
+        Runs only at :meth:`MetricsRegistry.snapshot` time, so the hot
+        paths keep their plain-integer stats.
+        """
+        # Price any outstanding work so clock/RAPL gauges are current.
+        self.settle()
+        metrics = self.metrics
+        hierarchy = self.hierarchy
+        for level in (hierarchy.l1d, hierarchy.l2, hierarchy.l3):
+            if level is None:
+                continue
+            labels = {"level": level.name}
+            metrics.gauge("cache.hits", labels).set(level.hits)
+            metrics.gauge("cache.misses", labels).set(level.misses)
+            metrics.gauge("cache.evictions", labels).set(level.evictions)
+            metrics.gauge("cache.dirty_evictions", labels).set(
+                level.dirty_evictions
+            )
+            metrics.gauge("cache.hit_rate", labels).set(level.hit_rate())
+            metrics.gauge("cache.occupancy_lines", labels).set(
+                level.occupancy
+            )
+        pf = self.prefetcher
+        metrics.gauge("prefetcher.streams_trained").set(pf.n_trained)
+        metrics.gauge("prefetcher.l2_lines_issued").set(pf.n_pf_l2_issued)
+        metrics.gauge("prefetcher.l3_lines_issued").set(pf.n_pf_l3_issued)
+        metrics.gauge("dvfs.pstate").set(self.pstate)
+        metrics.gauge("dvfs.eist_enabled").set(1.0 if self.eist_enabled else 0.0)
+        for pstate, seconds in self.residency.seconds.items():
+            metrics.gauge(
+                "dvfs.residency_s", {"pstate": f"P{pstate}"}
+            ).set(seconds)
+        metrics.gauge("clock.time_s").set(self.time_s)
+        metrics.gauge("clock.busy_s").set(self.busy_s)
+        metrics.gauge("clock.idle_s").set(self.idle_s)
+        metrics.gauge("rapl.core_j").set(self.rapl.energy_core())
+        metrics.gauge("rapl.package_j").set(self.rapl.energy_package())
+        metrics.gauge("rapl.dram_j").set(self.rapl.energy_dram())
+        metrics.gauge("disk.reads").set(self.disk.reads)
+        metrics.gauge("disk.writes").set(self.disk.writes)
+        metrics.gauge("disk.bytes_read").set(self.disk.bytes_read)
+        metrics.gauge("disk.bytes_written").set(self.disk.bytes_written)
 
     # ------------------------------------------------------------ measurement
 

@@ -117,11 +117,26 @@ class PmuCounters:
             setattr(delta, f.name, getattr(self, f.name) - getattr(other, f.name))
         return delta
 
+    def accumulate(self, delta: "PmuCounters") -> None:
+        """In-place ``self += delta`` (spans/metrics aggregate windows)."""
+        for f in fields(PmuCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(delta, f.name))
+
     def copy(self) -> "PmuCounters":
         snap = PmuCounters()
         for f in fields(PmuCounters):
             setattr(snap, f.name, getattr(self, f.name))
         return snap
+
+    def as_dict(self, skip_zero: bool = False) -> dict:
+        """Plain-dict rendering (for JSON trace export)."""
+        out = {}
+        for f in fields(PmuCounters):
+            value = getattr(self, f.name)
+            if skip_zero and not value:
+                continue
+            out[f.name] = value
+        return out
 
 
 @dataclass

@@ -48,6 +48,10 @@ class StreamPrefetcher:
     degree: int = 4
     l3_extra: int = 8
     enabled: bool = True
+    #: Lifetime stats (read by the machine's metrics collector).
+    n_trained: int = 0
+    n_pf_l2_issued: int = 0
+    n_pf_l3_issued: int = 0
     _streams: list = field(default_factory=list, repr=False)
     _victim: int = 0
 
@@ -60,6 +64,11 @@ class StreamPrefetcher:
             stream.run_length = 0
             stream.prefetched_up_to = -1
         self._victim = 0
+
+    def reset_stats(self) -> None:
+        self.n_trained = 0
+        self.n_pf_l2_issued = 0
+        self.n_pf_l3_issued = 0
 
     def observe(self, line: int) -> tuple[range, range]:
         """Feed one L1D-miss line number to the prefetcher.
@@ -77,6 +86,8 @@ class StreamPrefetcher:
                 stream.run_length += 1
                 if stream.run_length < self.train_threshold:
                     return range(0), range(0)
+                if stream.run_length == self.train_threshold:
+                    self.n_trained += 1
                 l2_start = max(line + 1, stream.prefetched_up_to + 1)
                 l2_end = line + 1 + self.degree
                 l3_end = l2_end + self.l3_extra
@@ -85,6 +96,8 @@ class StreamPrefetcher:
                 stream.prefetched_up_to = l3_end - 1
                 l2_lines = range(l2_start, max(l2_start, l2_end))
                 l3_lines = range(max(l2_start, l2_end), l3_end)
+                self.n_pf_l2_issued += len(l2_lines)
+                self.n_pf_l3_issued += len(l3_lines)
                 return l2_lines, l3_lines
             if line == stream.last_line:
                 # Repeated miss on the same line (e.g. conflict churn):

@@ -15,12 +15,15 @@ spec-like width.  Everything derives from one seed.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from datetime import date
 
 from repro.errors import ConfigError
 from repro.workloads.tpch import schema as S
+
+logger = logging.getLogger(__name__)
 
 SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
 PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW")
@@ -254,6 +257,7 @@ class TpchData:
 def load_into(database, data: TpchData) -> None:
     """Create and populate all eight tables in ``database``."""
     for name, rows in data.tables().items():
+        logger.info("loading %s: %d rows", name, len(rows))
         database.create_table(
             name,
             S.SCHEMAS[name],

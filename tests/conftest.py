@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Machine, arm1176jzf_s, intel_i7_4790, tiny_arm, tiny_intel
+from repro import Machine, arm1176jzf_s, tiny_intel
 from repro.core.calibration import calibrate
 from repro.db import Database, mysql_like, postgres_like, sqlite_like
 from repro.workloads.tpch import TpchData, load_into

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.calibration import CalibrationResult, calibrate, calibrate_pstates
+from repro.core.calibration import calibrate, calibrate_pstates
 from repro.errors import CalibrationError
 
 

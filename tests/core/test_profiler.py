@@ -1,7 +1,5 @@
 """Tests of the one-call workload profiler."""
 
-import pytest
-
 from repro.core.profiler import profile_workload
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Machine, tiny_intel
 from repro.db import Database, postgres_like
-from repro.db.catalog import Catalog, TableDef
+from repro.db.catalog import Catalog
 from repro.db.types import Column, INT, Schema
 from repro.errors import CatalogError
 

@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro import Machine, tiny_intel
 from repro.db import Database, postgres_like
 from repro.db.exprs import Col

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine, tiny_intel
+
 from repro.db.bufferpool import BufferPool
 from repro.db.table import build_clustered, build_heap
 from repro.db.types import Column, INT, STR, Schema

@@ -1,7 +1,5 @@
 """Tests of the micro-benchmark runner (runtime configuration, repeats)."""
 
-import pytest
-
 from repro.micro.measurement import measure_background
 from repro.micro.runner import (
     RuntimeConfig,

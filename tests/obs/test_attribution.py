@@ -1,0 +1,115 @@
+"""End-to-end attribution guarantees: spans partition the measured
+window (the acceptance criterion), and the default NullTracer leaves an
+untraced run bit-identical."""
+
+import dataclasses
+
+import pytest
+
+from repro import Machine, tiny_intel
+from repro.db import Database, sqlite_like
+from repro.db.types import Column, INT, Schema
+from repro.micro.measurement import measure_background, run_measured
+from repro.obs import Tracer
+
+SCHEMA = Schema([Column("k", INT), Column("v", INT)])
+ROWS = [(i, i % 13) for i in range(800)]
+QUERY = "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v"
+
+
+def _quiet_machine() -> Machine:
+    config = dataclasses.replace(tiny_intel(), measurement_noise=0.0)
+    return Machine(config)
+
+
+def _make_db(machine: Machine) -> Database:
+    db = Database(machine, sqlite_like())
+    db.create_table("t", SCHEMA, ROWS, primary_key="k")
+    return db
+
+
+class TestSpanEnergySumsToMeasuredActive:
+    def test_operator_self_energies_sum_to_window_active(self):
+        machine = _quiet_machine()
+        db = _make_db(machine)
+        background = measure_background(machine)
+        db.sql(QUERY)  # warm caches/pools like the CLI does
+        tracer = Tracer(machine, background=background)
+
+        def workload() -> None:
+            with tracer:
+                db.sql(QUERY)
+
+        measurement = run_measured(machine, workload, background,
+                                   apply_noise=False)
+        trace = tracer.trace
+        assert trace.domain == measurement.domain
+        span_sum = sum(trace.active_energy_j(s) for s in trace.spans())
+        # Acceptance criterion is 1%; the partition is in fact exact.
+        assert span_sum == pytest.approx(measurement.active_energy_j,
+                                         rel=0.01)
+        assert span_sum == pytest.approx(measurement.active_energy_j,
+                                         rel=1e-9)
+        assert trace.total_active_j == pytest.approx(span_sum, rel=1e-12)
+
+    def test_every_plan_operator_got_a_span(self):
+        machine = _quiet_machine()
+        db = _make_db(machine)
+        tracer = Tracer(machine)
+        with tracer:
+            db.sql(QUERY)
+        ops = [s.name for s in tracer.trace.operator_spans()]
+        assert any("Scan" in name for name in ops)
+        assert any("Agg" in name for name in ops)
+        assert any("Sort" in name for name in ops)
+        rows = {s.name: s.meta.get("rows")
+                for s in tracer.trace.operator_spans()}
+        assert any(n == 13 for n in rows.values())  # 13 groups
+
+    def test_counters_partition_the_pmu_window(self):
+        machine = _quiet_machine()
+        db = _make_db(machine)
+        machine.settle()
+        before = machine.pmu.snapshot()
+        tracer = Tracer(machine)
+        with tracer:
+            db.sql(QUERY)
+        machine.settle()
+        window = machine.pmu.since(before)
+        counted = tracer.trace.root.inclusive_counters()
+        assert counted.n_l1d == window.n_l1d
+        assert counted.n_mem == window.n_mem
+        assert counted.instructions == window.instructions
+
+
+class TestNullTracerZeroDrift:
+    def test_traced_run_counters_equal_untraced(self):
+        """Tracing is observation-only: the same query on two identical
+        machines, one traced and one not, yields identical PMU counters
+        (the tracer only adds settle() calls, which price but never add
+        work)."""
+        plain = _quiet_machine()
+        traced = _quiet_machine()
+        db_plain = _make_db(plain)
+        db_traced = _make_db(traced)
+
+        rows_plain = db_plain.sql(QUERY)
+        tracer = Tracer(traced)
+        with tracer:
+            rows_traced = db_traced.sql(QUERY)
+
+        assert rows_plain == rows_traced
+        plain.settle()
+        traced.settle()
+        assert plain.pmu.snapshot() == traced.pmu.snapshot()
+        assert plain.time_s == pytest.approx(traced.time_s)
+        assert plain.rapl.energy_package() == pytest.approx(
+            traced.rapl.energy_package()
+        )
+
+    def test_default_tracer_is_shared_null(self):
+        from repro.obs import NULL_TRACER
+
+        machine = _quiet_machine()
+        assert machine.tracer is NULL_TRACER
+        assert not machine.tracer.enabled

@@ -1,0 +1,110 @@
+"""Tests of the JSONL / Chrome trace_event / flamegraph exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Tracer, trace_to_chrome, trace_to_jsonl
+from repro.obs.flamegraph import energy_flamegraph_svg, write_flamegraph
+
+
+@pytest.fixture
+def trace(quiet_machine):
+    tracer = Tracer(quiet_machine, name="query")
+    region = quiet_machine.address_space.alloc(1 << 14, "data")
+    with tracer:
+        with tracer.span("scan", category="operator"):
+            for i in range(region.n_lines):
+                quiet_machine.load(region.base + i * 64)
+            with tracer.span("io", category="io", page="p0"):
+                quiet_machine.disk_read(0, 4096)
+        never = tracer.open("never-entered")
+        assert never.enters == 0
+    return tracer.trace
+
+
+class TestJsonl:
+    def test_every_line_parses(self, trace):
+        lines = trace_to_jsonl(trace).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "trace"
+        assert records[0]["n_spans"] == len(records) - 1
+
+    def test_parent_links_consistent(self, trace):
+        records = [json.loads(line)
+                   for line in trace_to_jsonl(trace).splitlines()[1:]]
+        ids = {r["id"] for r in records}
+        assert records[0]["parent"] == -1
+        for record in records[1:]:
+            assert record["parent"] in ids
+        names = {r["name"] for r in records}
+        assert {"query", "scan", "io", "never-entered"} <= names
+
+    def test_self_energies_sum_to_total(self, trace):
+        records = [json.loads(line)
+                   for line in trace_to_jsonl(trace).splitlines()]
+        total = records[0]["total_active_j"]
+        span_sum = sum(r["self"]["active_j"] for r in records[1:])
+        assert span_sum == pytest.approx(total, rel=1e-9)
+
+    def test_write_to_file_object(self, trace):
+        from repro.obs import write_jsonl
+
+        buffer = io.StringIO()
+        write_jsonl(trace, buffer)
+        assert buffer.getvalue().endswith("\n")
+
+    def test_write_to_path(self, trace, tmp_path):
+        from repro.obs import write_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, str(path))
+        assert path.read_text().count("\n") >= 4
+
+
+class TestChrome:
+    def test_structure(self, trace):
+        doc = trace_to_chrome(trace)
+        assert isinstance(doc["traceEvents"], list)
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_x_events_have_numeric_ts_and_dur(self, trace):
+        doc = trace_to_chrome(trace)
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x_events
+        for event in x_events:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "self_active_j" in event["args"]
+
+    def test_never_entered_span_skipped(self, trace):
+        doc = trace_to_chrome(trace)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "never-entered" not in names
+        assert "scan" in names and "io" in names
+
+    def test_json_serialisable_and_writable(self, trace, tmp_path):
+        from repro.obs import write_chrome_trace
+
+        path = tmp_path / "trace.chrome.json"
+        write_chrome_trace(trace, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["domain"] == trace.domain
+
+
+class TestFlamegraph:
+    def test_svg_contains_span_names(self, trace):
+        svg = energy_flamegraph_svg(trace, title="test flame")
+        assert svg.startswith("<svg")
+        assert "test flame" in svg
+        assert "query" in svg and "scan" in svg
+
+    def test_write(self, trace, tmp_path):
+        path = tmp_path / "flame.svg"
+        write_flamegraph(trace, path, title="t")
+        assert path.read_text().startswith("<svg")
+
+    def test_tooltips_carry_energy(self, trace):
+        svg = energy_flamegraph_svg(trace)
+        assert "<title>" in svg and " J " in svg

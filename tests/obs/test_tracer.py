@@ -1,0 +1,171 @@
+"""Tests of the span tracer's partitioning semantics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.span import CATEGORY_OPERATOR
+
+
+def _work(machine, n=64):
+    base = machine.address_space.alloc(64 * 64, "work").base
+    for i in range(n):
+        machine.load(base + (i % 64) * 64)
+    machine.add(n)
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self, quiet_machine):
+        tracer = Tracer(quiet_machine, name="root")
+        with tracer:
+            with tracer.span("outer"):
+                _work(quiet_machine)
+                with tracer.span("inner"):
+                    _work(quiet_machine)
+        trace = tracer.trace
+        assert trace.root.name == "root"
+        names = [s.name for s in trace.spans()]
+        assert names == ["root", "outer", "inner"]
+        outer = trace.root.children[0]
+        assert outer.children[0].name == "inner"
+
+    def test_finish_is_idempotent(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            with tracer.span("a"):
+                _work(quiet_machine)
+        assert tracer.finish() is tracer.finish()
+
+    def test_exit_mismatch_raises(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        a = tracer.open("a")
+        b = tracer.open("b")
+        tracer.enter(a)
+        with pytest.raises(TraceError):
+            tracer.exit(b)
+
+    def test_unclosed_span_fails_finish(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        tracer.enter(tracer.open("left-open"))
+        with pytest.raises(TraceError):
+            tracer.finish()
+
+    def test_installs_itself_on_the_machine(self, quiet_machine):
+        assert quiet_machine.tracer is NULL_TRACER
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            assert quiet_machine.tracer is tracer
+        assert quiet_machine.tracer is NULL_TRACER
+
+
+class TestAttributionSemantics:
+    def test_self_excludes_children(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            with tracer.span("outer"):
+                _work(quiet_machine, 10)
+                with tracer.span("inner"):
+                    _work(quiet_machine, 1000)
+        trace = tracer.trace
+        outer, inner = list(trace.spans())[1:]
+        # The inner span's heavy work must not pollute the outer's self.
+        assert inner.self_counters.instructions > outer.self_counters.instructions
+        inclusive = outer.inclusive_counters()
+        assert inclusive.instructions == (
+            outer.self_counters.instructions + inner.self_counters.instructions
+        )
+
+    def test_partition_is_exact(self, quiet_machine):
+        machine = quiet_machine
+        before = machine.pmu.snapshot()
+        tracer = Tracer(machine)
+        with tracer:
+            with tracer.span("a"):
+                _work(machine, 100)
+            with tracer.span("b"):
+                _work(machine, 200)
+        machine.settle()
+        window = machine.pmu.since(before)
+        counted = tracer.trace.root.inclusive_counters()
+        assert counted.n_l1d == window.n_l1d
+        assert counted.instructions == window.instructions
+
+    def test_reentry_accumulates(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            span = tracer.open("op", category=CATEGORY_OPERATOR)
+            for _ in range(5):
+                tracer.enter(span)
+                _work(quiet_machine, 8)
+                tracer.exit(span)
+        assert span.enters == 5
+        assert span.self_counters.instructions > 0
+
+    def test_never_entered_span_is_empty(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            span = tracer.open("lazy-op")
+            _work(quiet_machine)
+        assert span.enters == 0
+        assert span.first_ts is None
+        assert span.self_counters.instructions == 0
+
+    def test_time_partition(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        t0 = quiet_machine.time_s
+        with tracer:
+            with tracer.span("a"):
+                _work(quiet_machine, 500)
+        elapsed = quiet_machine.time_s - t0
+        assert tracer.trace.root.inclusive_time_s == pytest.approx(elapsed)
+
+
+class TestTraceViews:
+    def test_render_tree(self, quiet_machine):
+        tracer = Tracer(quiet_machine, name="q")
+        with tracer:
+            with tracer.span("child"):
+                _work(quiet_machine)
+        text = tracer.trace.render_tree()
+        assert "q" in text and "child" in text
+        assert "domain=" in text and "J" in text
+
+    def test_render_tree_max_depth(self, quiet_machine):
+        tracer = Tracer(quiet_machine, name="q")
+        with tracer:
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    _work(quiet_machine)
+        text = tracer.trace.render_tree(max_depth=1)
+        assert "child" in text and "grandchild" not in text
+
+    def test_breakdown_requires_delta_e(self, quiet_machine):
+        tracer = Tracer(quiet_machine)
+        with tracer:
+            with tracer.span("a"):
+                _work(quiet_machine)
+        with pytest.raises(ValueError):
+            tracer.trace.breakdown(tracer.trace.root)
+
+    def test_breakdown_with_delta_e(self, quiet_machine):
+        from repro.core.calibration import calibrate
+
+        cal = calibrate(quiet_machine)
+        tracer = Tracer(quiet_machine, background=cal.background,
+                        delta_e=cal.delta_e)
+        with tracer:
+            with tracer.span("a"):
+                _work(quiet_machine, 512)
+        trace = tracer.trace
+        b = trace.breakdown(trace.root, inclusive=True)
+        assert b.total > 0
+
+
+class TestNullTracer:
+    def test_span_is_noop_context(self):
+        with NULL_TRACER.span("anything", category="io", page="p1"):
+            pass
+
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True

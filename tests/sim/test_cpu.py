@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro import Machine, tiny_intel
 from repro.errors import ConfigError
 from repro.sim.cpu import TimingConfig
-from repro.sim.hierarchy import LEVEL_L1D, LEVEL_MEM
+from repro.sim.hierarchy import LEVEL_MEM
 
 
 @pytest.fixture

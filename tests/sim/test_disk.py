@@ -1,7 +1,5 @@
 """Unit tests for the disk model."""
 
-import pytest
-
 from repro.sim.disk import DiskModel
 
 

@@ -1,13 +1,10 @@
 """Unit tests for the multi-level hierarchy (step-by-step replication)."""
 
-import pytest
-
 from repro.sim.address_space import LINE_SIZE, Region
 from repro.sim.cache import CacheLevel
 from repro.sim.hierarchy import (
     LEVEL_L1D,
     LEVEL_L2,
-    LEVEL_L3,
     LEVEL_MEM,
     LEVEL_TCM,
     MemoryHierarchy,

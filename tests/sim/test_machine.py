@@ -3,7 +3,7 @@ conservation, resets, disk, measurement noise)."""
 
 import pytest
 
-from repro import Machine, arm1176jzf_s, tiny_intel
+from repro import Machine, tiny_intel
 from repro.errors import ConfigError
 from repro.sim.energy import active_energy_joules
 

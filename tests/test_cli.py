@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,6 +23,18 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["calibrate"])
         assert args.scale == 16 and args.tier == "100MB"
+
+    def test_verbose_accepted_before_or_after_command(self):
+        args = build_parser().parse_args(["-vv", "trace", "SELECT 1"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["trace", "-v", "SELECT 1"])
+        assert args.verbose == 1
+        args = build_parser().parse_args(["trace", "SELECT 1"])
+        assert args.verbose == 0
+
+    def test_trace_statement_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
 
 
 class TestCommands:
@@ -45,3 +59,50 @@ class TestCommands:
         assert main(["experiment", "tab01"]) == 0
         out = capsys.readouterr().out
         assert "tab01" in out and "PASS" in out
+
+    def test_calibrate_json(self, capsys):
+        assert main(["calibrate", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["delta_e_nj"]["dE_L1D"] > 0
+        assert data["verification"]["average_accuracy_pct"] > 90
+        assert data["verification"]["rows"]
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "--tier", "10MB", "-q", "6", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        q6 = data["queries"]["Q6"]
+        assert q6["active_energy_j"] > 0
+        assert set(q6["components_j"]) == set(q6["shares_pct"])
+        assert sum(q6["shares_pct"].values()) == pytest.approx(100.0)
+
+
+class TestTraceCommand:
+    def test_trace_exports_and_balances(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "--tier", "10MB", "--out", str(out_dir),
+                     "--metrics", "SELECT COUNT(*) FROM region"]) == 0
+        out = capsys.readouterr().out
+        assert "SeqScan(region)" in out
+        assert "span-sum" in out
+        assert "cache.hit_rate{level=L1D}" in out
+
+        records = [json.loads(line) for line in
+                   (out_dir / "trace.jsonl").read_text().splitlines()]
+        assert records[0]["record"] == "trace"
+        span_sum = sum(r["self"]["active_j"] for r in records[1:])
+        assert span_sum == pytest.approx(records[0]["total_active_j"],
+                                         rel=0.01)
+        # Spans were priced: the dE table travelled into the export.
+        assert "breakdown_j" in records[1]["self"]
+
+        chrome = json.loads((out_dir / "trace.chrome.json").read_text())
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+        assert (out_dir / "trace.svg").read_text().startswith("<svg")
+
+    def test_profile_trace_out(self, capsys, tmp_path):
+        out_dir = tmp_path / "ptraces"
+        assert main(["profile", "--tier", "10MB", "-q", "6",
+                     "--trace-out", str(out_dir)]) == 0
+        assert (out_dir / "q06.jsonl").exists()
+        assert (out_dir / "q06.chrome.json").exists()
+        assert (out_dir / "q06.svg").exists()

@@ -140,7 +140,7 @@ class TestLsmProperties:
     """The LSM store behaves exactly like a dict, under any op sequence."""
 
     def test_random_ops_match_dict(self):
-        import random as _random
+
 
         from hypothesis import given, settings, strategies as st
         from repro import Machine, tiny_intel

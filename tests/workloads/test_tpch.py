@@ -10,7 +10,7 @@ from repro.workloads.tpch import (
     run_query,
     tier,
 )
-from repro.workloads.tpch.datagen import NATIONS, REGIONS, TIERS
+from repro.workloads.tpch.datagen import NATIONS, REGIONS
 from repro.workloads.tpch.schema import (
     PRIMARY_KEYS,
     SCHEMAS,
@@ -95,7 +95,6 @@ class TestDatagen:
     def test_date_ordering_invariants(self, tpch_small):
         for line in tpch_small.lineitem:
             shipdate, commitdate, receiptdate = line[11], line[12], line[13]
-            orderkey = line[1]
             assert receiptdate > shipdate
         order_dates = {o[0]: o[4] for o in tpch_small.orders}
         for line in tpch_small.lineitem:
