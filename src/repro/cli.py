@@ -8,12 +8,16 @@ Commands:
 * ``trace``     — execute a SQL statement under the span tracer and
   export the per-operator energy trace (JSONL / Chrome / flamegraph);
 * ``experiment``— regenerate one paper table/figure by id;
-* ``poc``       — run the §4 DTCM proof-of-concept (Figure 13).
+* ``poc``       — run the §4 DTCM proof-of-concept (Figure 13);
+* ``serve``     — run the concurrent query-serving simulation and
+  emit its JSON report (policies, admission control, tenants).
 
 All commands accept ``--scale`` (cache divisor, default 16),
-``--tier`` (data tier, default 100MB) and ``-v``/``-vv`` for
+``--tier`` (data tier, default 100MB), ``--seed`` (the one root seed
+every stochastic component derives from) and ``-v``/``-vv`` for
 INFO/DEBUG logging; ``calibrate`` and ``profile`` also take ``--json``
-for machine-readable output.
+for machine-readable output.  Errors raised by the toolkit exit with
+status 2 and a one-line message, never a traceback.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import json
 import pathlib
 import sys
 
-from repro import Machine, intel_i7_4790
+from repro import Machine, __version__, intel_i7_4790
 from repro.analysis import EXPERIMENTS, Lab, LabConfig
 from repro.core import (
     calibrate,
@@ -36,7 +40,10 @@ from repro.core import (
     verify,
 )
 from repro.db import Database, ENGINES, engine_profile
+from repro.db.profiles import SETTINGS
+from repro.errors import ReproError
 from repro.logconfig import configure_logging
+from repro.seeding import derive_seed
 from repro.workloads.tpch import (
     ALL_QUERY_NUMBERS,
     TpchData,
@@ -61,7 +68,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _machine(args) -> Machine:
-    return Machine(intel_i7_4790(scale=args.scale), seed=args.seed)
+    return Machine(intel_i7_4790(scale=args.scale),
+                   seed=derive_seed(args.seed, "machine-noise"))
+
+
+def _tpch_data(args) -> TpchData:
+    """TPC-H data with the generator seed derived from ``--seed``.
+
+    Every stochastic component reachable from the CLI hangs off the one
+    ``--seed`` flag: measurement noise, datagen, and (for ``serve``)
+    the arrival processes each get an independent derived stream.
+    """
+    return TpchData(args.tier, seed=derive_seed(args.seed, "tpch-datagen"))
 
 
 def cmd_calibrate(args) -> int:
@@ -116,7 +134,7 @@ def cmd_profile(args) -> int:
         print("calibrating ...", file=sys.stderr)
     cal = calibrate(machine)
     db = Database(machine, engine_profile(args.engine), name=args.engine)
-    load_into(db, TpchData(args.tier))
+    load_into(db, _tpch_data(args))
     numbers = args.query or list(ALL_QUERY_NUMBERS)
     profiles = {}
     for number in numbers:
@@ -169,7 +187,7 @@ def cmd_trace(args) -> int:
     print("calibrating ...", file=sys.stderr)
     cal = calibrate(machine)
     db = Database(machine, engine_profile(args.engine), name=args.engine)
-    load_into(db, TpchData(args.tier))
+    load_into(db, _tpch_data(args))
     statement = " ".join(args.statement)
     if not args.cold:
         db.sql(statement)  # warm the pools so the trace shows steady state
@@ -212,7 +230,7 @@ def cmd_sql(args) -> int:
     print("calibrating ...", file=sys.stderr)
     cal = calibrate(machine)
     db = Database(machine, engine_profile(args.engine), name=args.engine)
-    load_into(db, TpchData(args.tier))
+    load_into(db, _tpch_data(args))
     statement = " ".join(args.statement)
     workload = lambda: db.sql(statement)
     rows = workload()
@@ -273,6 +291,43 @@ def cmd_poc(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_serve
+
+    config = ServeConfig(
+        workload=args.workload,
+        policy=args.policy,
+        dvfs=args.dvfs,
+        mode=args.mode,
+        clients=args.clients,
+        queries=args.queries,
+        tenants=args.tenants,
+        cores=args.cores,
+        mpl=args.mpl,
+        quantum_rows=args.quantum_rows,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        queue_timeout_s=args.queue_timeout,
+        rate_qps=args.rate,
+        think_s=args.think,
+        seed=args.seed,
+        engine=args.engine,
+        setting=args.setting,
+        tier=args.tier,
+        scale=args.scale,
+    )
+    report = run_serve(config)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +336,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="-v: INFO logging, -vv: DEBUG")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("calibrate", help="run MBS/VMBS; print Tables 1-3")
@@ -339,13 +396,68 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("poc", help="run the §4 DTCM proof-of-concept")
     _add_common(p)
     p.set_defaults(fn=cmd_poc)
+
+    p = sub.add_parser(
+        "serve", help="serve a concurrent query mix; emit a JSON report"
+    )
+    _add_common(p)
+    from repro.serve.drivers import DRIVER_MODES
+    from repro.serve.policies import DVFS_MODES, POLICIES
+    from repro.serve.workload import MIXES
+
+    p.add_argument("--workload", default="tpch", choices=list(MIXES),
+                   help="query mix the clients draw from")
+    p.add_argument("--policy", default="fifo", choices=list(POLICIES),
+                   help="scheduling policy")
+    p.add_argument("--dvfs", default="race", choices=list(DVFS_MODES),
+                   help="frequency strategy: race-to-idle / pace / EIST")
+    p.add_argument("--mode", default="closed", choices=list(DRIVER_MODES),
+                   help="open-loop Poisson or closed-loop clients")
+    p.add_argument("--engine", default="postgresql", choices=list(ENGINES))
+    p.add_argument("--setting", default="baseline", choices=list(SETTINGS),
+                   help="engine configuration (buffer pool sizing)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client sessions")
+    p.add_argument("--queries", type=int, default=40,
+                   help="total queries to issue across all clients")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenants the clients are spread over")
+    p.add_argument("--cores", type=int, default=2,
+                   help="virtual cores to time-slice across")
+    p.add_argument("--mpl", type=int, default=2,
+                   help="multiprogramming level per core")
+    p.add_argument("--quantum-rows", type=int, default=64,
+                   help="iterator pulls per scheduling quantum")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission queue bound")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="max queued+running requests per tenant")
+    p.add_argument("--queue-timeout", type=float, default=None,
+                   help="shed requests queued longer than this (sim s)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop aggregate arrival rate (queries/s)")
+    p.add_argument("--think", type=float, default=0.0,
+                   help="closed-loop mean think time (sim s)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON report to FILE (default: stdout)")
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(getattr(args, "verbose", 0))
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

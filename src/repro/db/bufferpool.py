@@ -42,6 +42,37 @@ class Frame:
     rows: Sequence[Row] = ()
 
 
+@dataclass(frozen=True)
+class PoolStats:
+    """An immutable snapshot (or delta) of one pool's counters.
+
+    Interleaved queries share one pool, so zeroing the live counters
+    between queries (the old ``reset_stats`` idiom) destroys every other
+    in-flight query's attribution.  Instead, callers snapshot at query
+    start and diff at query end — each execution context gets its own
+    exact per-query delta without touching shared state.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    recycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def since(self, earlier: "PoolStats") -> "PoolStats":
+        """The counter delta accumulated after ``earlier`` was taken."""
+        return PoolStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            recycles=self.recycles - earlier.recycles,
+        )
+
+
 class BufferPool:
     """Fixed-capacity LRU page cache over simulated memory."""
 
@@ -81,7 +112,23 @@ class BufferPool:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def stats(self) -> PoolStats:
+        """Snapshot the live counters (see :class:`PoolStats`)."""
+        return PoolStats(hits=self.hits, misses=self.misses,
+                         recycles=self.recycles)
+
+    def stats_since(self, snapshot: PoolStats) -> PoolStats:
+        """Per-query attribution: the delta since ``snapshot``."""
+        return self.stats().since(snapshot)
+
     def reset_stats(self) -> None:
+        """Zero the live counters.
+
+        Only safe when no query is in flight: concurrent executions
+        attribute hit rates via snapshot/delta (:meth:`stats` /
+        :meth:`stats_since`), and zeroing underneath them corrupts every
+        open delta.
+        """
         self.hits = 0
         self.misses = 0
         self.recycles = 0

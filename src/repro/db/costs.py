@@ -1,0 +1,138 @@
+"""Planner cost estimates over logical trees.
+
+The serving layer's shortest-job-first policy needs a *relative* cost
+ordering before a query runs; these estimates provide it from catalog
+cardinalities alone.  The model is deliberately classical: costs are
+abstract work units proportional to rows visited, with the usual
+textbook multipliers (``n log n`` sorts, build+probe hash joins,
+per-row index descents).  No randomness enters anywhere, so estimates
+depend only on the catalog's table sizes: two datasets at the same tier
+may differ slightly in generated cardinalities, but the planner's join
+orders and the relative cost ordering of queries stay stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.db.catalog import Catalog
+from repro.db.planner import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Logical,
+    Project,
+    Scan,
+    Sort,
+)
+
+#: Default selectivity of a filter/predicate with no statistics.
+DEFAULT_SELECTIVITY = 0.33
+
+#: Relative per-row weights (scan rows are the unit of work).
+ROW_VISIT_COST = 1.0
+ROW_PRODUCE_COST = 0.25
+HASH_BUILD_COST = 1.5
+HASH_PROBE_COST = 1.0
+SORT_COST = 0.5
+AGG_UPDATE_COST = 0.75
+INDEX_DESCENT_COST = 2.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated work units and output cardinality of a logical node."""
+
+    cost: float
+    rows: float
+
+
+def tables_used(node: Logical) -> tuple[str, ...]:
+    """Base tables scanned anywhere in the tree, sorted and deduplicated.
+
+    The serving layer's locality-batching policy keys on this set: two
+    queries sharing hot tables keep the buffer pool and caches warm for
+    each other.
+    """
+    names: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Scan):
+            names.add(current.table)
+        elif isinstance(current, Join):
+            stack.append(current.left)
+            stack.append(current.right)
+        else:
+            stack.append(current.child)
+    return tuple(sorted(names))
+
+
+def estimate(catalog: Catalog, node: Logical) -> CostEstimate:
+    """Bottom-up cost and cardinality estimate for one logical tree."""
+    if isinstance(node, Scan):
+        n_rows = float(catalog.table(node.table).storage.n_rows)
+        rows = n_rows
+        cost = n_rows * ROW_VISIT_COST
+        if node.predicate is not None:
+            rows *= DEFAULT_SELECTIVITY
+        if node.access == "index_order":
+            cost += n_rows * INDEX_DESCENT_COST
+        return CostEstimate(cost, max(rows, 1.0))
+    if isinstance(node, Join):
+        left = estimate(catalog, node.left)
+        right = estimate(catalog, node.right)
+        cost = (left.cost + right.cost
+                + right.rows * HASH_BUILD_COST
+                + left.rows * HASH_PROBE_COST)
+        if node.kind in ("semi", "anti"):
+            rows = left.rows * DEFAULT_SELECTIVITY
+        else:
+            # Key-FK heuristic: the output is about as large as the
+            # bigger input, never the cross product.
+            rows = max(left.rows, right.rows)
+        return CostEstimate(cost, max(rows, 1.0))
+    if isinstance(node, Filter):
+        child = estimate(catalog, node.child)
+        return CostEstimate(
+            child.cost + child.rows * ROW_VISIT_COST,
+            max(child.rows * DEFAULT_SELECTIVITY, 1.0),
+        )
+    if isinstance(node, Project):
+        child = estimate(catalog, node.child)
+        return CostEstimate(
+            child.cost + child.rows * ROW_PRODUCE_COST, child.rows
+        )
+    if isinstance(node, Aggregate):
+        child = estimate(catalog, node.child)
+        groups = math.sqrt(child.rows) if node.group_by else 1.0
+        return CostEstimate(
+            child.cost + child.rows * AGG_UPDATE_COST, max(groups, 1.0)
+        )
+    if isinstance(node, Sort):
+        child = estimate(catalog, node.child)
+        n = max(child.rows, 2.0)
+        rows = child.rows if node.limit is None else min(child.rows,
+                                                         float(node.limit))
+        return CostEstimate(
+            child.cost + SORT_COST * n * math.log2(n), max(rows, 1.0)
+        )
+    if isinstance(node, Limit):
+        child = estimate(catalog, node.child)
+        return CostEstimate(child.cost, min(child.rows, float(node.n)))
+    if isinstance(node, Distinct):
+        child = estimate(catalog, node.child)
+        return CostEstimate(
+            child.cost + child.rows * HASH_PROBE_COST,
+            max(child.rows * 0.5, 1.0),
+        )
+    raise PlanError(f"unknown logical node {type(node).__name__}")
+
+
+def estimate_cost(catalog: Catalog, node: Logical) -> float:
+    """The scalar work-unit estimate the SJF scheduler orders by."""
+    return estimate(catalog, node).cost

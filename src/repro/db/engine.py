@@ -19,10 +19,10 @@ allocator) and streams result tuples into the output sink.
 from __future__ import annotations
 
 import logging
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.errors import DatabaseError
-from repro.db.bufferpool import BufferPool
+from repro.db.bufferpool import BufferPool, PoolStats
 from repro.db.btree import BTree
 from repro.db.catalog import Catalog, IndexDef, TableDef
 from repro.db.operators.base import ExecContext, OutputSink, PhysicalOp, TempArena
@@ -33,6 +33,69 @@ from repro.db.types import Row, Schema
 from repro.sim.machine import Machine
 
 logger = logging.getLogger(__name__)
+
+
+class ExecSession:
+    """One re-entrant execution of one physical plan.
+
+    :meth:`Database.execute` serialises queries through the database's
+    shared temp arena and output sink; interleaved (time-sliced)
+    executions would corrupt each other there.  A session owns private
+    copies of both, carved from a per-*slot* resource pool so that
+    queries scheduled into the same slot reuse warm arena addresses —
+    the same allocator-reuse behaviour the shared path models.
+
+    The session also snapshots the buffer pool's counters at creation,
+    so per-query hit rates stay exact under interleaving (the
+    ``reset_stats`` idiom is not concurrency-safe; see
+    :class:`~repro.db.bufferpool.PoolStats`).
+    """
+
+    def __init__(self, db: "Database", physical: PhysicalOp,
+                 temp: TempArena, sink: OutputSink, slot: int):
+        self.db = db
+        self.physical = physical
+        self.slot = slot
+        self.rows_emitted = 0
+        self.finished = False
+        self._temp = temp
+        self._sink = sink
+        temp.reset()
+        self._pool_base: Optional[PoolStats] = (
+            db._pool.stats() if db._pool is not None else None
+        )
+        self.ctx = ExecContext(
+            machine=db.machine,
+            profile=db.profile,
+            catalog=db.catalog,
+            temp=temp,
+            sink=sink,
+            state_region=db.state_region,
+            state_overflow_region=db.state_overflow_region,
+            cold_region=db.cold_region,
+        )
+
+    def rows(self) -> Iterator[Row]:
+        """The plan's row generator; safe to advance one row at a time
+        interleaved with other sessions."""
+        row_bytes = self.physical.schema.row_size
+        emit = self._sink.emit
+        for row in self.physical.rows(self.ctx):
+            emit(row_bytes)
+            self.rows_emitted += 1
+            yield row
+        self.finished = True
+
+    def pool_stats(self) -> PoolStats:
+        """Buffer-pool counter delta attributable to this session so far."""
+        if self._pool_base is None:
+            pool = self.db._pool
+            if pool is None:
+                return PoolStats()
+            # The pool came to life mid-session: everything it counted
+            # happened after this session's baseline.
+            return pool.stats()
+        return self.db._pool.stats_since(self._pool_base)
 
 
 class Database:
@@ -50,6 +113,8 @@ class Database:
         arena_bytes = max(1 << 20, profile.work_mem_bytes * 2)
         self._temp = TempArena(machine, arena_bytes, label=f"{name}/temp")
         self._sink = OutputSink(machine)
+        #: Per-slot (TempArena, OutputSink) pairs for re-entrant sessions.
+        self._slot_resources: dict[int, tuple[TempArena, OutputSink]] = {}
         #: Hot interpreter/executor state (the sqlite3VdbeExec() analogue);
         #: the TCM co-design swaps in a DTCM region via set_state_region.
         self.state_region = machine.address_space.alloc(
@@ -248,6 +313,29 @@ class Database:
         logger.debug("%s: executed %s -> %d rows",
                      self.name, physical.describe(), len(out))
         return out
+
+    def session(self, query: Union[Logical, PhysicalOp],
+                slot: int = 0) -> ExecSession:
+        """Open a re-entrant execution of ``query`` (see
+        :class:`ExecSession`).  Sessions with distinct slots may be
+        advanced interleaved; consecutive sessions in one slot reuse the
+        slot's (warm) temp arena and sink."""
+        physical = query if isinstance(query, PhysicalOp) else self.plan(query)
+        resources = self._slot_resources.get(slot)
+        if resources is None:
+            arena_bytes = max(1 << 20, self.profile.work_mem_bytes * 2)
+            resources = (
+                TempArena(self.machine, arena_bytes,
+                          label=f"{self.name}/temp.slot{slot}"),
+                OutputSink(self.machine),
+            )
+            self._slot_resources[slot] = resources
+        return ExecSession(self, physical, resources[0], resources[1], slot)
+
+    def execute_iter(self, query: Union[Logical, PhysicalOp],
+                     slot: int = 0) -> Iterator[Row]:
+        """Stream a query's rows (re-entrant form of :meth:`execute`)."""
+        return self.session(query, slot=slot).rows()
 
     # ------------------------------------------------------------ DML
     #

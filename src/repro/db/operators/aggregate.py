@@ -15,6 +15,7 @@ from repro.errors import PlanError
 from repro.db.exprs import Expr
 from repro.db.operators.base import ExecContext, PhysicalOp
 from repro.db.operators.misc import infer_output_column
+from repro.seeding import stable_hash
 from repro.db.types import Column, FLOAT, INT, Row, Schema
 
 SUM = "sum"
@@ -119,7 +120,7 @@ class AggOp(PhysicalOp):
             key = tuple(fn(row) for fn in key_fns)
             mul(1)
             add(1)
-            slot_addr = base + (hash(key) % n_lines) * 64
+            slot_addr = base + (stable_hash(key) % n_lines) * 64
             load(slot_addr, dependent=True)
             cmp_op(1)
             state = states.get(key)

@@ -20,6 +20,7 @@ from repro.errors import PlanError
 from repro.db.catalog import TableDef
 from repro.db.exprs import Expr, columns_used
 from repro.db.operators.base import ExecContext, PhysicalOp
+from repro.seeding import stable_hash
 from repro.db.table import ClusteredTable, HeapTable
 from repro.db.types import Row
 
@@ -52,7 +53,7 @@ class _ModeledHashTable:
         machine = self.ctx.machine
         machine.mul(1)
         machine.add(1)
-        return self.buckets_region.base + (hash(key) % self.n_buckets) * 8
+        return self.buckets_region.base + (stable_hash(key) % self.n_buckets) * 8
 
     def insert(self, key, value) -> None:
         machine = self.ctx.machine

@@ -7,6 +7,7 @@ from typing import Iterator, Sequence
 from repro.errors import PlanError
 from repro.db.exprs import Col, Expr
 from repro.db.operators.base import ExecContext, PhysicalOp
+from repro.seeding import stable_hash
 from repro.db.types import Column, FLOAT, Row, Schema
 
 
@@ -117,7 +118,7 @@ class DistinctOp(PhysicalOp):
         for row in self.child.traced_rows(ctx):
             machine.mul(1)
             machine.add(1)
-            machine.load(table.base + (hash(row) % max(1, table.n_lines)) * 64,
+            machine.load(table.base + (stable_hash(row) % max(1, table.n_lines)) * 64,
                          dependent=True)
             if row in seen:
                 continue

@@ -180,6 +180,28 @@ class Trace:
                   else self.active_energy_j(span))
         return price_counters(counters, self.delta_e, active)
 
+    def active_energy_by_meta(self, key: str) -> dict:
+        """Partition the trace's Active energy by a span-meta value.
+
+        Each span's *self* energy is credited to the value of ``key`` on
+        the nearest enclosing span that carries it (spans inherit the
+        tag downward: a buffer-pool miss inside a tenant's quantum bills
+        that tenant).  Untagged energy — idle gaps, scheduler work —
+        lands under ``None``.  Because every span is visited exactly
+        once, the group sums add up to :attr:`total_active_j` exactly,
+        the same partition invariant the span tree itself guarantees.
+        """
+        groups: dict = {}
+
+        def visit(span: Span, inherited) -> None:
+            owner = span.meta.get(key, inherited)
+            groups[owner] = groups.get(owner, 0.0) + self.active_energy_j(span)
+            for child in span.children:
+                visit(child, owner)
+
+        visit(self.root, None)
+        return groups
+
     # ------------------------------------------------------------ views
 
     def spans(self) -> Iterator[Span]:

@@ -1,0 +1,133 @@
+"""``repro.serve`` — energy-aware concurrent query serving.
+
+The serving layer runs many client sessions against one
+:class:`~repro.db.engine.Database` on one simulated
+:class:`~repro.sim.machine.Machine`, in simulated time:
+
+* workload **drivers** (open-loop Poisson, closed-loop think-time
+  clients) issue queries from a :mod:`mix <repro.serve.workload>`;
+* **admission control** bounds the queue, enforces per-tenant quotas,
+  and sheds timed-out waiters;
+* a pluggable **scheduling policy** (FIFO / SJF / energy-aware
+  locality batching) picks what runs next, under a **DVFS serving
+  mode** (race-to-idle / pace / EIST);
+* a :class:`~repro.sim.cores.CoreSet` time-slices query plans across N
+  virtual cores, charging context switches as micro-ops;
+* a span tracer attributes every joule of the run to a tenant (or to
+  the untagged system remainder), exactly.
+
+:func:`run_serve` is the one-call entry point the CLI and the
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from repro import Machine, intel_i7_4790
+from repro.db import Database, engine_profile
+from repro.micro.measurement import measure_background
+from repro.obs import Tracer
+from repro.seeding import derive_seed, require_seed
+from repro.serve.admission import AdmissionController
+from repro.serve.drivers import (
+    DRIVER_MODES,
+    ClosedLoopDriver,
+    Driver,
+    OpenLoopDriver,
+    make_driver,
+)
+from repro.serve.loop import QueryServer, ServeConfig
+from repro.serve.policies import (
+    DVFS_MODES,
+    POLICIES,
+    FifoPolicy,
+    LocalityPolicy,
+    SchedulingPolicy,
+    SjfPolicy,
+    apply_dvfs,
+    make_policy,
+)
+from repro.serve.report import build_report, latency_summary, percentile
+from repro.serve.request import JobTemplate, Request
+from repro.serve.workload import MIXES, QueryMix, build_mix
+from repro.sim.cores import ContextSwitchCost, Core, CoreSet
+from repro.workloads.tpch import TpchData, load_into
+
+__all__ = [
+    "AdmissionController",
+    "ClosedLoopDriver",
+    "ContextSwitchCost",
+    "Core",
+    "CoreSet",
+    "DRIVER_MODES",
+    "DVFS_MODES",
+    "Driver",
+    "FifoPolicy",
+    "JobTemplate",
+    "LocalityPolicy",
+    "MIXES",
+    "OpenLoopDriver",
+    "POLICIES",
+    "QueryMix",
+    "QueryServer",
+    "Request",
+    "SchedulingPolicy",
+    "ServeConfig",
+    "SjfPolicy",
+    "apply_dvfs",
+    "build_mix",
+    "build_report",
+    "latency_summary",
+    "make_driver",
+    "make_policy",
+    "percentile",
+    "run_serve",
+]
+
+
+def run_serve(config: ServeConfig) -> dict:
+    """Run one complete serve simulation and return its JSON report.
+
+    Builds the machine, loads the data, measures background power,
+    runs the event loop under a span tracer, and assembles the report.
+    Fully deterministic: the same config (seed included) produces the
+    same report, byte for byte once serialised with sorted keys.
+    """
+    config.validate()
+    seed = require_seed(config.seed, "serve")
+    machine = Machine(
+        intel_i7_4790(scale=config.scale),
+        seed=derive_seed(seed, "serve", "machine-noise"),
+    )
+    apply_dvfs(machine, config.dvfs)
+    db = Database(machine, engine_profile(config.engine, config.setting),
+                  name=config.engine)
+    if config.workload != "kv":
+        load_into(db, TpchData(
+            config.tier,
+            seed=derive_seed(seed, "serve", "tpch-datagen"),
+        ))
+    mix = build_mix(config.workload, db, config.clients, seed)
+    driver = make_driver(
+        config.mode, mix,
+        n_clients=config.clients,
+        n_queries=config.queries,
+        seed=seed,
+        tenants=config.tenants,
+        rate_qps=config.rate_qps,
+        think_s=config.think_s,
+    )
+    background = measure_background(machine)
+    core_set = CoreSet(machine, config.cores)
+    admission = AdmissionController(
+        machine.metrics,
+        max_queue=config.max_queue,
+        tenant_quota=config.tenant_quota,
+        queue_timeout_s=config.queue_timeout_s,
+    )
+    policy = make_policy(config.policy)
+    server = QueryServer(db, core_set, admission, policy, driver,
+                         mpl=config.mpl, quantum_rows=config.quantum_rows)
+    tracer = Tracer(machine, background=background, name="serve")
+    with tracer:
+        server.run()
+    return build_report(config, server, tracer.trace)

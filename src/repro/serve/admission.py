@@ -1,0 +1,137 @@
+"""Admission control: the bounded front door of the serving layer.
+
+Three mechanisms, all counted in the machine's metrics registry:
+
+* **Bounded queue** — at most ``max_queue`` requests wait; an arrival
+  past that is rejected immediately (backpressure to the client, state
+  ``rejected_queue``).
+* **Per-tenant quota** — at most ``tenant_quota`` requests per tenant
+  may be queued *or running* at once; one tenant flooding the system
+  cannot starve the others of queue slots (state ``rejected_quota``).
+* **Timeout shedding** — a request that has waited longer than
+  ``queue_timeout_s`` of simulated time is shed when the scheduler next
+  touches the queue (state ``shed_timeout``); serving it would only add
+  energy to a response the client has abandoned.
+
+Counters: ``serve.admitted``, ``serve.rejected{reason=queue|quota}``,
+``serve.shed``, and a ``serve.queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.request import (
+    QUEUED,
+    REJECTED_QUEUE,
+    REJECTED_QUOTA,
+    RUNNING,
+    SHED_TIMEOUT,
+    Request,
+)
+
+
+class AdmissionController:
+    """Bounded, quota-aware queue in front of the scheduler."""
+
+    def __init__(self, metrics: MetricsRegistry, max_queue: int = 64,
+                 tenant_quota: Optional[int] = None,
+                 queue_timeout_s: Optional[float] = None):
+        if max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1, got {max_queue}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ConfigError(
+                f"tenant_quota must be >= 1, got {tenant_quota}"
+            )
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ConfigError(
+                f"queue_timeout_s must be positive, got {queue_timeout_s}"
+            )
+        self.metrics = metrics
+        self.max_queue = max_queue
+        self.tenant_quota = tenant_quota
+        self.queue_timeout_s = queue_timeout_s
+        self.queue: list[Request] = []
+        #: Queued-or-running requests per tenant (quota denominator).
+        self._in_flight: dict[str, int] = {}
+        self.shed: list[Request] = []
+
+    # ------------------------------------------------------------ arrivals
+
+    def offer(self, request: Request, now: float) -> bool:
+        """Admit ``request`` or reject it with backpressure.
+
+        Returns True when admitted (request joins the queue); on
+        rejection the request's state records the reason and the
+        matching counter increments.
+        """
+        self._shed_expired(now)
+        if len(self.queue) >= self.max_queue:
+            request.state = REJECTED_QUEUE
+            request.finish_s = now
+            self.metrics.counter(
+                "serve.rejected", labels={"reason": "queue"}
+            ).inc()
+            return False
+        tenant_load = self._in_flight.get(request.tenant, 0)
+        if self.tenant_quota is not None and tenant_load >= self.tenant_quota:
+            request.state = REJECTED_QUOTA
+            request.finish_s = now
+            self.metrics.counter(
+                "serve.rejected", labels={"reason": "quota"}
+            ).inc()
+            return False
+        request.state = QUEUED
+        self.queue.append(request)
+        self._in_flight[request.tenant] = tenant_load + 1
+        self.metrics.counter("serve.admitted").inc()
+        self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+        return True
+
+    # ------------------------------------------------------------ dispatch
+
+    def _shed_expired(self, now: float) -> None:
+        if self.queue_timeout_s is None:
+            return
+        kept = []
+        for request in self.queue:
+            if now - request.arrival_s > self.queue_timeout_s:
+                request.state = SHED_TIMEOUT
+                request.finish_s = now
+                self._release_tenant(request.tenant)
+                self.shed.append(request)
+                self.metrics.counter("serve.shed").inc()
+            else:
+                kept.append(request)
+        if len(kept) != len(self.queue):
+            self.queue = kept
+            self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+
+    def take(self, request: Request, now: float) -> Request:
+        """Remove ``request`` from the queue for dispatch; it stays in
+        its tenant's in-flight count until :meth:`release`."""
+        self.queue.remove(request)
+        request.state = RUNNING
+        request.start_s = now
+        self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+        return request
+
+    def candidates(self, now: float) -> list[Request]:
+        """The dispatchable queue, after shedding expired waiters."""
+        self._shed_expired(now)
+        return self.queue
+
+    # ------------------------------------------------------------ completion
+
+    def release(self, request: Request) -> None:
+        """A dispatched request finished; free its quota slot."""
+        self._release_tenant(request.tenant)
+
+    def _release_tenant(self, tenant: str) -> None:
+        count = self._in_flight.get(tenant, 0)
+        if count <= 1:
+            self._in_flight.pop(tenant, None)
+        else:
+            self._in_flight[tenant] = count - 1

@@ -1,0 +1,247 @@
+"""The serving event loop: admission, scheduling, and time-slicing.
+
+:class:`QueryServer` is a deterministic discrete-event simulator over
+one :class:`~repro.db.engine.Database` and one
+:class:`~repro.sim.cores.CoreSet`:
+
+* Arrivals live in a heap keyed on ``(time, sequence)``; the sequence
+  number makes ties deterministic.
+* The loop alternates between the two event kinds: if the next arrival
+  is no later than the earliest busy core's clock, the arrival is
+  processed (admission, then dispatch); otherwise that core runs one
+  *quantum* — up to ``quantum_rows`` pulls on the request's work
+  iterator, preceded by a context switch charged on the machine.
+* Multiprogramming: each core round-robins a run list of up to ``mpl``
+  requests, each bound to a distinct execution slot (its own temp
+  arena), so interleaved plans never trample each other's state.
+* When every core is idle and the queue is empty, the gap to the next
+  arrival is charged as package idle time — exactly the §2.6 notion of
+  background energy the Active-energy subtraction removes.
+
+Every quantum runs inside a tracer span tagged with the request's
+tenant, so a :class:`~repro.obs.tracer.Tracer` installed over the run
+partitions the whole run's Active energy across tenants exactly (see
+:meth:`~repro.obs.span.Trace.active_energy_by_meta`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.engine import Database
+from repro.errors import ConfigError
+from repro.serve.admission import AdmissionController
+from repro.serve.drivers import Driver
+from repro.serve.policies import SchedulingPolicy
+from repro.serve.request import COMPLETED, JobTemplate, Request
+from repro.sim.cores import Core, CoreSet
+
+#: Span category carried by every quantum span.
+CATEGORY_QUANTUM = "serve.quantum"
+
+
+@dataclass
+class ServeConfig:
+    """Everything that parameterises one serve run."""
+
+    workload: str = "tpch"
+    policy: str = "fifo"
+    dvfs: str = "race"
+    mode: str = "closed"
+    clients: int = 4
+    queries: int = 40
+    tenants: int = 2
+    cores: int = 2
+    #: Multiprogramming level: run-list depth per core.
+    mpl: int = 2
+    #: Iterator pulls per scheduling quantum.
+    quantum_rows: int = 64
+    max_queue: int = 64
+    tenant_quota: Optional[int] = None
+    queue_timeout_s: Optional[float] = None
+    #: Open-loop aggregate arrival rate (queries per simulated second).
+    rate_qps: float = 50.0
+    #: Closed-loop mean think time (simulated seconds).
+    think_s: float = 0.0
+    seed: int = 0
+    engine: str = "postgresql"
+    #: Engine configuration setting (buffer pool / work_mem sizing).
+    setting: str = "baseline"
+    tier: str = "10MB"
+    #: Cache scale divisor, as the rest of the CLI uses it.
+    scale: int = 16
+
+    def validate(self) -> "ServeConfig":
+        if self.clients < 1:
+            raise ConfigError(f"clients must be >= 1, got {self.clients}")
+        if self.queries < 1:
+            raise ConfigError(f"queries must be >= 1, got {self.queries}")
+        if self.tenants < 1:
+            raise ConfigError(f"tenants must be >= 1, got {self.tenants}")
+        if self.cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {self.cores}")
+        if self.mpl < 1:
+            raise ConfigError(f"mpl must be >= 1, got {self.mpl}")
+        if self.quantum_rows < 1:
+            raise ConfigError(
+                f"quantum_rows must be >= 1, got {self.quantum_rows}"
+            )
+        return self
+
+
+class QueryServer:
+    """Deterministic discrete-event serving loop (see module docstring)."""
+
+    def __init__(self, db: Database, core_set: CoreSet,
+                 admission: AdmissionController, policy: SchedulingPolicy,
+                 driver: Driver, mpl: int = 2, quantum_rows: int = 64):
+        self.db = db
+        self.machine = db.machine
+        self.core_set = core_set
+        self.admission = admission
+        self.policy = policy
+        self.driver = driver
+        self.mpl = mpl
+        self.quantum_rows = quantum_rows
+        #: Every request ever created, in arrival order (the report's input).
+        self.requests: list[Request] = []
+        #: Tables of the most recently dispatched request (locality key).
+        self.hot_tables: frozenset[str] = frozenset()
+        self._heap: list[tuple[float, int, int, JobTemplate]] = []
+        self._seq = 0
+        self._free_slots = {
+            core.index: list(range(mpl)) for core in core_set.cores
+        }
+
+    # ------------------------------------------------------------ arrivals
+
+    def _push_arrival(self, t: float, client: int, job: JobTemplate) -> None:
+        heapq.heappush(self._heap, (t, self._seq, client, job))
+        self._seq += 1
+
+    def _client_terminal(self, request: Request, now: float) -> None:
+        nxt = self.driver.on_terminal(request.client, now)
+        if nxt is not None:
+            self._push_arrival(nxt[0], request.client, nxt[1])
+
+    def _drain_shed(self) -> None:
+        while self.admission.shed:
+            request = self.admission.shed.pop(0)
+            self._client_terminal(request, request.finish_s)
+
+    def _process_arrival(self) -> None:
+        t, _seq, client, job = heapq.heappop(self._heap)
+        if not self.admission.queue and not any(
+            core.run_list for core in self.core_set.cores
+        ):
+            self.core_set.quiesce_until(t)
+        request = Request(
+            request_id=len(self.requests),
+            tenant=self.driver.tenant_of(client),
+            client=client,
+            job=job,
+            arrival_s=t,
+        )
+        self.requests.append(request)
+        admitted = self.admission.offer(request, t)
+        self._drain_shed()
+        if not admitted:
+            self._client_terminal(request, t)
+        self._assign(t)
+
+    # ------------------------------------------------------------ dispatch
+
+    def _assign(self, now: float) -> None:
+        """Fill core run lists from the queue via the policy."""
+        self.admission.candidates(now)  # sheds expired waiters
+        self._drain_shed()
+        while self.admission.queue:
+            open_cores = [core for core in self.core_set.cores
+                          if len(core.run_list) < self.mpl]
+            if not open_cores:
+                return
+            core = min(open_cores,
+                       key=lambda c: (len(c.run_list), c.clock_s, c.index))
+            request = self.policy.select(self.admission.queue,
+                                         self.hot_tables)
+            if request is None:
+                return
+            self.admission.take(request, now)
+            offset = self._free_slots[core.index].pop(0)
+            request.slot = core.index * self.mpl + offset
+            if not core.run_list:
+                # The core sat idle until this dispatch; its next quantum
+                # cannot begin before the request exists.
+                core.clock_s = max(core.clock_s, now)
+            core.run_list.append(request)
+            self.hot_tables = frozenset(request.job.tables)
+
+    # ------------------------------------------------------------ quanta
+
+    def _run_quantum(self, core: Core) -> None:
+        request = core.run_list.pop(0)
+        finished = False
+
+        def work() -> None:
+            nonlocal finished
+            self.core_set.context_switch(core, request)
+            it = request.work_iter(request.slot)
+            for _ in range(self.quantum_rows):
+                try:
+                    next(it)
+                except StopIteration:
+                    finished = True
+                    return
+                request.rows += 1
+
+        with self.machine.tracer.span(
+            f"req{request.request_id}.q{request.quanta}",
+            category=CATEGORY_QUANTUM,
+            tenant=request.tenant,
+            request=request.request_id,
+            job=request.job.name,
+        ):
+            self.core_set.run_on(core, work)
+        request.quanta += 1
+        if finished:
+            request.state = COMPLETED
+            request.finish_s = core.clock_s
+            self._free_slots[core.index].append(
+                request.slot - core.index * self.mpl
+            )
+            self._free_slots[core.index].sort()
+            if core.resident is request:
+                core.resident = None
+            self.admission.release(request)
+            self._client_terminal(request, core.clock_s)
+        else:
+            core.run_list.append(request)
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self) -> list[Request]:
+        for t, client, job in self.driver.initial_arrivals():
+            self._push_arrival(t, client, job)
+        while True:
+            busy = [core for core in self.core_set.cores if core.run_list]
+            next_busy = (min(busy, key=lambda c: (c.clock_s, c.index))
+                         if busy else None)
+            if self._heap and (
+                next_busy is None or self._heap[0][0] <= next_busy.clock_s
+            ):
+                self._process_arrival()
+            elif next_busy is not None:
+                self._run_quantum(next_busy)
+                self._assign(next_busy.clock_s)
+            elif self.admission.queue:
+                # Cores drained while requests still waited (e.g. the
+                # policy declined); force-dispatch at the latest clock.
+                self._assign(max(c.clock_s for c in self.core_set.cores))
+                if not any(c.run_list for c in self.core_set.cores):
+                    break
+            else:
+                break
+        self.machine.settle()
+        return self.requests

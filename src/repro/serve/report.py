@@ -1,0 +1,158 @@
+"""Serve-run accounting: latency percentiles, energy, and the report.
+
+The report is a plain JSON-serialisable dict.  Two properties matter:
+
+* **Determinism** — every value is a pure function of the run, so two
+  runs with the same config and seed produce byte-identical JSON.
+* **Exact attribution** — per-tenant Active energy comes from the span
+  tree's partition (see
+  :meth:`~repro.obs.span.Trace.active_energy_by_meta`), so the tenant
+  shares plus the untagged system share sum to the run's measured
+  Active energy to float precision.  ``energy.check_sum_j`` carries the
+  recomputed sum so consumers can verify without re-walking spans.
+
+Percentiles use the nearest-rank definition (no interpolation): the
+p-th percentile of n sorted samples is the ``ceil(p/100 * n)``-th.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.obs.span import Trace
+from repro.serve.loop import QueryServer, ServeConfig
+from repro.serve.request import (
+    COMPLETED,
+    REJECTED_QUEUE,
+    REJECTED_QUOTA,
+    SHED_TIMEOUT,
+    Request,
+)
+
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(samples: Sequence[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile; None on an empty sample set."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def latency_summary(latencies: Sequence[float]) -> dict:
+    out: dict = {"n": len(latencies)}
+    out["mean_s"] = (sum(latencies) / len(latencies)) if latencies else None
+    for p in PERCENTILES:
+        out[f"p{p}_s"] = percentile(latencies, p)
+    return out
+
+
+def _state_counts(requests: Sequence[Request]) -> dict:
+    counts = {
+        "issued": len(requests),
+        "completed": 0,
+        "rejected_queue": 0,
+        "rejected_quota": 0,
+        "shed_timeout": 0,
+    }
+    for request in requests:
+        if request.state == COMPLETED:
+            counts["completed"] += 1
+        elif request.state == REJECTED_QUEUE:
+            counts["rejected_queue"] += 1
+        elif request.state == REJECTED_QUOTA:
+            counts["rejected_quota"] += 1
+        elif request.state == SHED_TIMEOUT:
+            counts["shed_timeout"] += 1
+    return counts
+
+
+def build_report(config: ServeConfig, server: QueryServer,
+                 trace: Trace) -> dict:
+    """Assemble the serve run's JSON report."""
+    requests = server.requests
+    machine = server.machine
+    completed = [r for r in requests if r.state == COMPLETED]
+    latencies = [r.latency_s for r in completed]
+
+    by_meta = trace.active_energy_by_meta("tenant")
+    system_j = by_meta.pop(None, 0.0)
+    tenant_j = dict(sorted(by_meta.items()))
+    total_active_j = trace.total_active_j
+    n_completed = len(completed)
+    energy_per_query_j = (total_active_j / n_completed
+                          if n_completed else None)
+    mean_latency = (sum(latencies) / len(latencies)) if latencies else None
+    edp = (energy_per_query_j * mean_latency
+           if energy_per_query_j is not None and mean_latency is not None
+           else None)
+
+    tenants: dict = {}
+    tenant_names = sorted({r.tenant for r in requests} | set(tenant_j))
+    for tenant in tenant_names:
+        t_requests = [r for r in requests if r.tenant == tenant]
+        t_completed = [r for r in t_requests if r.state == COMPLETED]
+        t_latencies = [r.latency_s for r in t_completed]
+        active_j = tenant_j.get(tenant, 0.0)
+        tenants[tenant] = {
+            "counts": _state_counts(t_requests),
+            "latency_s": latency_summary(t_latencies),
+            "active_j": active_j,
+            "energy_per_query_j": (active_j / len(t_completed)
+                                   if t_completed else None),
+            "rows": sum(r.rows for r in t_completed),
+        }
+
+    snapshot = machine.metrics.snapshot()
+    serve_counters = {
+        name: value for name, value in sorted(snapshot.items())
+        if name.startswith(("serve.", "cores."))
+        and isinstance(value, (int, float))
+    }
+
+    return {
+        "config": {
+            "workload": config.workload,
+            "policy": config.policy,
+            "dvfs": config.dvfs,
+            "mode": config.mode,
+            "clients": config.clients,
+            "queries": config.queries,
+            "tenants": config.tenants,
+            "cores": config.cores,
+            "mpl": config.mpl,
+            "quantum_rows": config.quantum_rows,
+            "max_queue": config.max_queue,
+            "tenant_quota": config.tenant_quota,
+            "queue_timeout_s": config.queue_timeout_s,
+            "rate_qps": config.rate_qps,
+            "think_s": config.think_s,
+            "seed": config.seed,
+            "engine": config.engine,
+            "setting": config.setting,
+            "tier": config.tier,
+            "scale": config.scale,
+        },
+        "counts": _state_counts(requests),
+        "latency_s": latency_summary(latencies),
+        "tenants": tenants,
+        "energy": {
+            "domain": trace.domain,
+            "total_active_j": total_active_j,
+            "system_active_j": system_j,
+            "tenant_active_j": tenant_j,
+            "check_sum_j": system_j + sum(tenant_j.values()),
+            "energy_per_query_j": energy_per_query_j,
+            "edp_js": edp,
+        },
+        "clock": {
+            "wall_s": machine.time_s,
+            "busy_s": machine.busy_s,
+            "idle_s": machine.idle_s,
+            "context_switches": server.core_set.context_switches,
+        },
+        "counters": serve_counters,
+    }

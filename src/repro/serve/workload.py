@@ -1,0 +1,172 @@
+"""Query mixes the serving layer's clients draw from.
+
+Each mix assigns every client a deterministic *cycle* of
+:class:`~repro.serve.request.JobTemplate`\\ s (clients loop over their
+cycle).  Four mixes ship:
+
+* ``basic`` — the seven Figure 6 basic operations, phase-shifted per
+  client so concurrent clients exercise different operators;
+* ``tpch`` — a light plan-backed TPC-H subset (Q1/Q3/Q6/Q12/Q14),
+  phase-shifted the same way;
+* ``thrash`` — the cache-thrashing mix: each client repeatedly scans
+  one of three different large tables.  Interleaving clients (FIFO)
+  alternates the tables and recycles the buffer pool and caches every
+  query; batching same-table queries (the locality policy) keeps them
+  warm.  This is the benchmark mix for the policy comparison;
+* ``kv`` — YCSB-style operation batches against one shared LSM store
+  (the §7 NoSQL follow-up), read-heavy to write-heavy per client.
+
+All randomness (YCSB key choices) derives from the root seed via
+:mod:`repro.seeding`; SQL mixes draw nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.db.costs import estimate_cost, tables_used
+from repro.db.engine import Database
+from repro.db.exprs import Col
+from repro.db.operators import AggSpec
+from repro.db.planner import Aggregate, Logical, Scan
+from repro.errors import ConfigError
+from repro.seeding import derive_seed, seeded_rng
+from repro.serve.request import JobTemplate
+from repro.sim.machine import Machine
+from repro.workloads.basic_ops import BASIC_OPERATIONS, basic_operation_plan
+from repro.workloads.kvstore import LsmStore, build_store
+from repro.workloads.tpch.queries import QUERIES
+
+MIXES = ("basic", "tpch", "thrash", "kv")
+
+#: Plan-backed TPC-H subset used by the ``tpch`` mix (scan-, join-,
+#: and index-heavy shapes, all light enough to serve many times).
+TPCH_SERVE_QUERIES = (1, 3, 6, 12, 14)
+
+#: The three tables the ``thrash`` mix alternates over, with a numeric
+#: column each so the scan touches real data bytes.
+THRASH_TABLES = (
+    ("lineitem", "l_extendedprice"),
+    ("orders", "o_totalprice"),
+    ("partsupp", "ps_supplycost"),
+)
+
+#: Operations per key-value job (one ``next()`` each).
+KV_OPS_PER_JOB = 64
+
+
+class QueryMix:
+    """Deterministic per-client job cycles."""
+
+    def __init__(self, name: str, client_cycles: Sequence[Sequence[JobTemplate]]):
+        if not client_cycles or any(not cycle for cycle in client_cycles):
+            raise ConfigError(f"mix {name!r} has an empty client cycle")
+        self.name = name
+        self._cycles = [tuple(cycle) for cycle in client_cycles]
+
+    def jobs_for_client(self, client_index: int) -> tuple[JobTemplate, ...]:
+        return self._cycles[client_index % len(self._cycles)]
+
+
+def _sql_job(db: Database, name: str, plan: Logical) -> JobTemplate:
+    return JobTemplate(
+        name=name,
+        tables=tables_used(plan),
+        cost=estimate_cost(db.catalog, plan),
+        make=lambda slot, plan=plan: db.execute_iter(plan, slot=slot),
+    )
+
+
+def _rotated(jobs: Sequence[JobTemplate], n_clients: int):
+    """Phase-shift one job cycle so client i starts at job i."""
+    jobs = tuple(jobs)
+    return [jobs[i % len(jobs):] + jobs[: i % len(jobs)]
+            for i in range(max(1, n_clients))]
+
+
+def _basic_mix(db: Database, n_clients: int) -> QueryMix:
+    jobs = [_sql_job(db, name, basic_operation_plan(name))
+            for name in BASIC_OPERATIONS]
+    return QueryMix("basic", _rotated(jobs, n_clients))
+
+
+def _tpch_mix(db: Database, n_clients: int) -> QueryMix:
+    jobs = []
+    for number in TPCH_SERVE_QUERIES:
+        query = QUERIES[number]
+        if query.plan is None:  # pragma: no cover - subset is plan-backed
+            continue
+        jobs.append(_sql_job(db, f"Q{number}", query.plan))
+    return QueryMix("tpch", _rotated(jobs, n_clients))
+
+
+def _thrash_plan(table: str, column: str) -> Logical:
+    return Aggregate(
+        Scan(table, access="seq"),
+        (),
+        (AggSpec("n", "count"), AggSpec("total", "sum", Col(column))),
+    )
+
+
+def _thrash_mix(db: Database, n_clients: int) -> QueryMix:
+    cycles = []
+    for i in range(max(1, n_clients)):
+        table, column = THRASH_TABLES[i % len(THRASH_TABLES)]
+        cycles.append([_sql_job(db, f"scan-{table}",
+                                _thrash_plan(table, column))])
+    return QueryMix("thrash", cycles)
+
+
+def _kv_ops(store: LsmStore, flavor: str, rng, n_keys: int) -> Iterator[int]:
+    """One job's operation stream: one ``next()`` per operation."""
+    for op_index in range(KV_OPS_PER_JOB):
+        roll = rng.random()
+        if flavor == "c" or (flavor == "b" and roll < 0.95) or (
+            flavor == "a" and roll < 0.5
+        ):
+            store.get(rng.randrange(n_keys))
+        else:
+            store.put(rng.randrange(n_keys), "u")
+        yield op_index
+
+
+def _kv_mix(machine: Machine, seed: int, n_clients: int) -> QueryMix:
+    n_keys = 1024
+    store = build_store(machine, n_keys=n_keys,
+                        seed=derive_seed(seed, "serve", "kv-load"))
+    flavors = ("c", "b", "a")  # read-only, read-heavy, update-heavy
+    issue_counts = [0] * max(1, n_clients)
+    cycles = []
+    for i in range(max(1, n_clients)):
+        flavor = flavors[i % len(flavors)]
+
+        def make(slot, client=i, flavor=flavor):
+            issue = issue_counts[client]
+            issue_counts[client] += 1
+            rng = seeded_rng(
+                derive_seed(seed, "serve", "kv", f"c{client}", str(issue)),
+                "kv job",
+            )
+            return _kv_ops(store, flavor, rng, n_keys)
+
+        weight = {"c": 1.0, "b": 1.2, "a": 1.5}[flavor]
+        cycles.append([JobTemplate(
+            name=f"ycsb-{flavor}",
+            tables=("kv",),
+            cost=KV_OPS_PER_JOB * weight,
+            make=make,
+        )])
+    return QueryMix("kv", cycles)
+
+
+def build_mix(name: str, db: Database, n_clients: int, seed: int) -> QueryMix:
+    """Build one named mix bound to a loaded database."""
+    if name == "basic":
+        return _basic_mix(db, n_clients)
+    if name == "tpch":
+        return _tpch_mix(db, n_clients)
+    if name == "thrash":
+        return _thrash_mix(db, n_clients)
+    if name == "kv":
+        return _kv_mix(db.machine, seed, n_clients)
+    raise ConfigError(f"unknown workload mix {name!r}; known: {MIXES}")

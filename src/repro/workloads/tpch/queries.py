@@ -63,6 +63,10 @@ class TpchQuery:
     number: int
     title: str
     run: Callable[[Database], list]
+    #: The single logical plan, when the query is expressible as one
+    #: (None for the multi-pass rewrites Q2/Q11/Q15/Q22).  The serving
+    #: layer schedules and costs plan-backed queries directly.
+    plan: "Logical | None" = None
 
 
 def _revenue():
@@ -819,7 +823,7 @@ def _q22(db: Database) -> list[Row]:
 
 
 def _plan_query(number: int, title: str, plan: Logical) -> TpchQuery:
-    return TpchQuery(number, title, lambda db: db.execute(plan))
+    return TpchQuery(number, title, lambda db: db.execute(plan), plan=plan)
 
 
 QUERIES: dict[int, TpchQuery] = {

@@ -92,3 +92,85 @@ class TestFetch:
     def test_invalid_geometry(self, machine):
         with pytest.raises(ConfigError):
             BufferPool(machine, 100, 1024)
+
+
+class TestPoolStats:
+    def test_snapshot_matches_live_counters(self, machine):
+        pool = BufferPool(machine, 2 * 1024, 1024)
+        f = make_file(machine)
+        pool.fetch(f, 0)
+        pool.fetch(f, 0)
+        pool.fetch(f, 1)
+        pool.fetch(f, 2)  # recycles a frame
+        snap = pool.stats()
+        assert snap.hits == pool.hits == 1
+        assert snap.misses == pool.misses == 3
+        assert snap.recycles == pool.recycles == 1
+        assert snap.accesses == 4
+
+    def test_snapshot_does_not_reset_counters(self, machine):
+        pool = BufferPool(machine, 8 * 1024, 1024)
+        f = make_file(machine)
+        pool.fetch(f, 0)
+        pool.stats()
+        assert pool.misses == 1  # unlike reset_stats, stats() is pure
+
+    def test_delta_since_snapshot(self, machine):
+        pool = BufferPool(machine, 8 * 1024, 1024)
+        f = make_file(machine)
+        pool.fetch(f, 0)
+        base = pool.stats()
+        pool.fetch(f, 0)
+        pool.fetch(f, 1)
+        delta = pool.stats_since(base)
+        assert (delta.hits, delta.misses) == (1, 1)
+        assert delta.hit_rate() == pytest.approx(0.5)
+
+    def test_snapshot_is_immutable(self, machine):
+        pool = BufferPool(machine, 8 * 1024, 1024)
+        snap = pool.stats()
+        with pytest.raises(AttributeError):
+            snap.hits = 99
+
+    def test_empty_delta_hit_rate(self, machine):
+        pool = BufferPool(machine, 8 * 1024, 1024)
+        assert pool.stats().hit_rate() == 0.0
+
+
+class TestInterleavedScans:
+    """Regression: eviction order with two scans sharing a 2-frame pool.
+
+    Scan A walks pages 0,1,2; scan B walks pages 3,4,5; the pulls
+    alternate A,B,A,B,...  Every fetch must recycle the other scan's
+    frame (pure LRU), so all six accesses miss and the final residents
+    are the last two pages touched.  A pool that pinned per-scan frames
+    or evicted MRU would break these counts.
+    """
+
+    def test_alternating_scans_thrash_lru(self, machine):
+        pool = BufferPool(machine, 2 * 1024, 1024)
+        f = make_file(machine, n_rows=2000)
+        order = []
+        for a_page, b_page in zip((0, 1, 2), (3, 4, 5)):
+            pool.fetch(f, a_page)
+            pool.fetch(f, b_page)
+            order.append((a_page, b_page))
+        assert pool.misses == 6 and pool.hits == 0
+        assert pool.recycles == 4  # first two fetches fill empty frames
+        assert pool.contains(f, 2) and pool.contains(f, 5)
+        assert not any(pool.contains(f, p) for p in (0, 1, 3, 4))
+
+    def test_interleaved_deltas_attribute_the_window(self, machine):
+        pool = BufferPool(machine, 2 * 1024, 1024)
+        f = make_file(machine, n_rows=2000)
+        base_a = pool.stats()
+        pool.fetch(f, 0)          # A
+        base_b = pool.stats()
+        pool.fetch(f, 3)          # B
+        pool.fetch(f, 1)          # A
+        delta_b = pool.stats_since(base_b)
+        delta_a = pool.stats_since(base_a)
+        assert delta_a.accesses == 3
+        assert delta_b.accesses == 2
+        # Snapshots taken at different times never interfere.
+        assert delta_a.since(delta_b).accesses == 1

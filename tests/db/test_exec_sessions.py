@@ -1,0 +1,83 @@
+"""Interleaved execution sessions (``Database.session`` /
+``execute_iter``) — the primitive the serving loop's time-slicing is
+built on."""
+
+import itertools
+
+from repro.db.planner import Scan
+
+
+def plan(db, table="orders"):
+    return db.plan(Scan(table, access="seq"))
+
+
+class TestInterleavedResults:
+    def test_two_interleaved_scans_match_serial(self, postgres_db):
+        serial = list(postgres_db.execute(plan(postgres_db)))
+        a = postgres_db.execute_iter(plan(postgres_db), slot=0)
+        b = postgres_db.execute_iter(plan(postgres_db), slot=1)
+        rows_a, rows_b = [], []
+        for ra, rb in itertools.zip_longest(a, b):
+            if ra is not None:
+                rows_a.append(ra)
+            if rb is not None:
+                rows_b.append(rb)
+        assert rows_a == serial
+        assert rows_b == serial
+
+    def test_interleaving_different_tables(self, postgres_db):
+        serial_o = list(postgres_db.execute(plan(postgres_db, "orders")))
+        serial_c = list(postgres_db.execute(plan(postgres_db, "customer")))
+        a = postgres_db.execute_iter(plan(postgres_db, "orders"), slot=0)
+        b = postgres_db.execute_iter(plan(postgres_db, "customer"), slot=1)
+        rows_a = [next(a) for _ in range(3)]  # partially drain A first
+        rows_b = list(b)
+        rows_a += list(a)
+        assert rows_a == serial_o
+        assert rows_b == serial_c
+
+
+class TestSessionAccounting:
+    def test_pool_stats_delta_counts_only_the_window(self, postgres_db):
+        warm = postgres_db.session(plan(postgres_db), slot=0)
+        list(warm.rows())
+        session = postgres_db.session(plan(postgres_db), slot=0)
+        assert session.pool_stats().accesses == 0  # nothing pulled yet
+        list(session.rows())
+        delta = session.pool_stats()
+        assert delta.accesses > 0
+        assert delta.hits == delta.accesses  # second pass is all-hit
+
+    def test_sessions_never_reset_shared_counters(self, postgres_db):
+        pool = postgres_db._pool
+        before = pool.stats()
+        session = postgres_db.session(plan(postgres_db), slot=0)
+        list(session.rows())
+        after = pool.stats()
+        # The live counters only ever grow; snapshotting is read-only.
+        assert after.accesses >= before.accesses + session.pool_stats().accesses
+
+    def test_same_slot_reuses_warm_arena(self, postgres_db):
+        first = postgres_db.session(plan(postgres_db), slot=3)
+        list(first.rows())
+        second = postgres_db.session(plan(postgres_db), slot=3)
+        assert second._temp is first._temp
+
+    def test_distinct_slots_use_distinct_arenas(self, postgres_db):
+        a = postgres_db.session(plan(postgres_db), slot=0)
+        b = postgres_db.session(plan(postgres_db), slot=1)
+        assert a._temp is not b._temp
+
+
+class TestFinishSemantics:
+    def test_session_marks_finished(self, postgres_db):
+        session = postgres_db.session(plan(postgres_db), slot=0)
+        assert not session.finished
+        list(session.rows())
+        assert session.finished
+
+    def test_partial_drain_not_finished(self, postgres_db):
+        session = postgres_db.session(plan(postgres_db), slot=0)
+        iterator = session.rows()
+        next(iterator)
+        assert not session.finished

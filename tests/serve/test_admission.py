@@ -1,0 +1,121 @@
+"""Unit tests of admission control: queue bound, quotas, shedding."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.request import (
+    QUEUED,
+    REJECTED_QUEUE,
+    REJECTED_QUOTA,
+    RUNNING,
+    SHED_TIMEOUT,
+    JobTemplate,
+    Request,
+)
+
+
+def job(name="j", cost=1.0, tables=("t",)):
+    return JobTemplate(name=name, tables=tuple(tables), cost=cost,
+                       make=lambda slot: iter(()))
+
+
+def request(i, tenant="tenant0", arrival=0.0):
+    return Request(request_id=i, tenant=tenant, client=i, job=job(),
+                   arrival_s=arrival)
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+class TestQueueBound:
+    def test_admits_until_full(self, metrics):
+        ac = AdmissionController(metrics, max_queue=2)
+        assert ac.offer(request(0), 0.0)
+        assert ac.offer(request(1), 0.0)
+        assert len(ac.queue) == 2
+
+    def test_rejects_past_bound(self, metrics):
+        ac = AdmissionController(metrics, max_queue=1)
+        assert ac.offer(request(0), 0.0)
+        r = request(1)
+        assert not ac.offer(r, 0.0)
+        assert r.state == REJECTED_QUEUE
+        assert r.finish_s == 0.0
+        snap = metrics.snapshot()
+        assert snap["serve.rejected{reason=queue}"] == 1
+        assert snap["serve.admitted"] == 1
+
+    def test_take_frees_a_slot(self, metrics):
+        ac = AdmissionController(metrics, max_queue=1)
+        r0 = request(0)
+        ac.offer(r0, 0.0)
+        ac.take(r0, 0.1)
+        assert r0.state == RUNNING and r0.start_s == 0.1
+        assert ac.offer(request(1), 0.2)
+
+    def test_invalid_bounds_rejected(self, metrics):
+        with pytest.raises(ConfigError):
+            AdmissionController(metrics, max_queue=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(metrics, tenant_quota=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(metrics, queue_timeout_s=0.0)
+
+
+class TestTenantQuota:
+    def test_quota_counts_queued_and_running(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10, tenant_quota=2)
+        r0, r1 = request(0), request(1)
+        ac.offer(r0, 0.0)
+        ac.offer(r1, 0.0)
+        ac.take(r0, 0.0)  # running still occupies the quota slot
+        r2 = request(2)
+        assert not ac.offer(r2, 0.0)
+        assert r2.state == REJECTED_QUOTA
+        assert metrics.snapshot()["serve.rejected{reason=quota}"] == 1
+
+    def test_release_frees_quota(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10, tenant_quota=1)
+        r0 = request(0)
+        ac.offer(r0, 0.0)
+        ac.take(r0, 0.0)
+        ac.release(r0)
+        assert ac.offer(request(1), 0.1)
+
+    def test_quota_is_per_tenant(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10, tenant_quota=1)
+        assert ac.offer(request(0, tenant="tenant0"), 0.0)
+        assert ac.offer(request(1, tenant="tenant1"), 0.0)
+        assert not ac.offer(request(2, tenant="tenant0"), 0.0)
+
+
+class TestTimeoutShedding:
+    def test_expired_waiters_are_shed(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10, queue_timeout_s=1.0)
+        stale = request(0, arrival=0.0)
+        fresh = request(1, arrival=1.5)
+        ac.offer(stale, 0.0)
+        ac.offer(fresh, 1.5)  # touching the queue sheds the stale waiter
+        survivors = ac.candidates(2.0)
+        assert survivors == [fresh]
+        assert stale.state == SHED_TIMEOUT and stale.finish_s == 1.5
+        assert ac.shed == [stale]
+        assert metrics.snapshot()["serve.shed"] == 1
+
+    def test_shedding_frees_quota(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10, tenant_quota=1,
+                                 queue_timeout_s=0.5)
+        ac.offer(request(0, arrival=0.0), 0.0)
+        late = request(1, arrival=2.0)
+        assert ac.offer(late, 2.0)  # the stale one was shed at offer time
+        assert late.state == QUEUED
+
+    def test_no_timeout_means_no_shedding(self, metrics):
+        ac = AdmissionController(metrics, max_queue=10)
+        r = request(0, arrival=0.0)
+        ac.offer(r, 0.0)
+        assert ac.candidates(1e9) == [r]

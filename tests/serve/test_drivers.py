@@ -1,0 +1,118 @@
+"""Unit tests of the open- and closed-loop workload drivers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.drivers import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    make_driver,
+    split_queries,
+)
+from repro.serve.request import JobTemplate
+from repro.serve.workload import QueryMix
+
+
+def mix(n_jobs=2):
+    jobs = [JobTemplate(name=f"j{i}", tables=(f"t{i}",), cost=float(i + 1),
+                        make=lambda slot: iter(()))
+            for i in range(n_jobs)]
+    return QueryMix("test", [jobs])
+
+
+class TestSplitQueries:
+    def test_even(self):
+        assert split_queries(8, 4) == [2, 2, 2, 2]
+
+    def test_remainder_goes_to_early_clients(self):
+        assert split_queries(7, 3) == [3, 2, 2]
+
+    def test_fewer_queries_than_clients(self):
+        assert split_queries(2, 4) == [1, 1, 0, 0]
+
+
+class TestOpenLoop:
+    def test_arrivals_deterministic(self):
+        a = OpenLoopDriver(mix(), 3, 9, seed=5, tenants=2, rate_qps=100.0)
+        b = OpenLoopDriver(mix(), 3, 9, seed=5, tenants=2, rate_qps=100.0)
+        arr_a = [(t, c, j.name) for t, c, j in a.initial_arrivals()]
+        arr_b = [(t, c, j.name) for t, c, j in b.initial_arrivals()]
+        assert arr_a == arr_b
+
+    def test_seed_changes_arrivals(self):
+        a = OpenLoopDriver(mix(), 3, 9, seed=5, tenants=2, rate_qps=100.0)
+        b = OpenLoopDriver(mix(), 3, 9, seed=6, tenants=2, rate_qps=100.0)
+        assert ([t for t, _, _ in a.initial_arrivals()]
+                != [t for t, _, _ in b.initial_arrivals()])
+
+    def test_all_queries_issued_sorted(self):
+        driver = OpenLoopDriver(mix(), 4, 10, seed=1, tenants=2,
+                                rate_qps=50.0)
+        arrivals = driver.initial_arrivals()
+        assert len(arrivals) == 10
+        times = [t for t, _, _ in arrivals]
+        assert times == sorted(times)
+
+    def test_no_reissue_on_terminal(self):
+        driver = OpenLoopDriver(mix(), 2, 4, seed=1, tenants=2,
+                                rate_qps=50.0)
+        driver.initial_arrivals()
+        assert driver.on_terminal(0, 1.0) is None
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            OpenLoopDriver(mix(), 2, 4, seed=1, tenants=2, rate_qps=0.0)
+
+
+class TestClosedLoop:
+    def test_one_initial_arrival_per_client(self):
+        driver = ClosedLoopDriver(mix(), 3, 9, seed=2, tenants=2,
+                                  think_s=0.0)
+        arrivals = driver.initial_arrivals()
+        assert [c for _, c, _ in arrivals] == [0, 1, 2]
+        assert all(t == 0.0 for t, _, _ in arrivals)
+
+    def test_reissue_until_budget_exhausted(self):
+        driver = ClosedLoopDriver(mix(), 1, 3, seed=2, tenants=1,
+                                  think_s=0.0)
+        driver.initial_arrivals()  # issue 1
+        nxt = driver.on_terminal(0, 1.0)  # issue 2
+        assert nxt is not None and nxt[0] == 1.0
+        assert driver.on_terminal(0, 2.0) is not None  # issue 3
+        assert driver.on_terminal(0, 3.0) is None  # budget spent
+
+    def test_think_time_is_seeded(self):
+        a = ClosedLoopDriver(mix(), 1, 5, seed=3, tenants=1, think_s=0.5)
+        b = ClosedLoopDriver(mix(), 1, 5, seed=3, tenants=1, think_s=0.5)
+        a.initial_arrivals(), b.initial_arrivals()
+        t_a, job_a = a.on_terminal(0, 0.0)
+        t_b, job_b = b.on_terminal(0, 0.0)
+        assert t_a == t_b and job_a.name == job_b.name
+        assert a.on_terminal(0, 0.0)[0] > 0.0
+
+    def test_jobs_cycle(self):
+        driver = ClosedLoopDriver(mix(2), 1, 4, seed=2, tenants=1,
+                                  think_s=0.0)
+        (_, _, first), = driver.initial_arrivals()
+        _, second = driver.on_terminal(0, 0.0)
+        _, third = driver.on_terminal(0, 0.0)
+        assert [first.name, second.name, third.name] == ["j0", "j1", "j0"]
+
+
+class TestTenants:
+    def test_round_robin_assignment(self):
+        driver = ClosedLoopDriver(mix(), 4, 8, seed=1, tenants=2,
+                                  think_s=0.0)
+        assert [driver.tenant_of(i) for i in range(4)] == [
+            "tenant0", "tenant1", "tenant0", "tenant1"
+        ]
+
+
+class TestFactory:
+    def test_modes(self):
+        kwargs = dict(n_clients=2, n_queries=4, seed=1, tenants=2,
+                      rate_qps=10.0, think_s=0.0)
+        assert make_driver("open", mix(), **kwargs).mode == "open"
+        assert make_driver("closed", mix(), **kwargs).mode == "closed"
+        with pytest.raises(ConfigError):
+            make_driver("batch", mix(), **kwargs)

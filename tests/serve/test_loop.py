@@ -1,0 +1,134 @@
+"""End-to-end tests of the serving loop: determinism, attribution,
+admission pressure, and multiprogramming."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, run_serve
+
+
+def small_config(**overrides) -> ServeConfig:
+    base = dict(
+        workload="basic",
+        policy="fifo",
+        clients=4,
+        queries=8,
+        tenants=2,
+        cores=2,
+        mpl=2,
+        quantum_rows=8,
+        seed=42,
+        tier="10MB",
+        mode="closed",
+        think_s=0.0,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_json(self):
+        """Hard requirement: N>=4 clients, two runs, identical reports."""
+        config = small_config(clients=4)
+        a = json.dumps(run_serve(config), sort_keys=True)
+        b = json.dumps(run_serve(small_config(clients=4)), sort_keys=True)
+        assert a == b
+
+    def test_seed_changes_open_loop_run(self):
+        a = run_serve(small_config(mode="open", rate_qps=500.0, seed=1))
+        b = run_serve(small_config(mode="open", rate_qps=500.0, seed=2))
+        assert (a["latency_s"]["mean_s"] != b["latency_s"]["mean_s"]
+                or a["energy"]["total_active_j"]
+                != b["energy"]["total_active_j"])
+
+
+class TestEnergyAttribution:
+    def test_tenant_energies_sum_to_total(self):
+        report = run_serve(small_config())
+        energy = report["energy"]
+        total = energy["total_active_j"]
+        regrouped = (energy["system_active_j"]
+                     + sum(energy["tenant_active_j"].values()))
+        assert regrouped == pytest.approx(total, rel=1e-12, abs=1e-15)
+        assert energy["check_sum_j"] == pytest.approx(total, rel=1e-12,
+                                                      abs=1e-15)
+
+    def test_every_tenant_credited(self):
+        report = run_serve(small_config())
+        assert set(report["energy"]["tenant_active_j"]) == {
+            "tenant0", "tenant1"
+        }
+        for joules in report["energy"]["tenant_active_j"].values():
+            assert joules > 0
+
+    def test_idle_gaps_bill_the_system_not_tenants(self):
+        # Long think times leave the machine idle between queries; that
+        # idle energy must not be attributed to any tenant.
+        report = run_serve(small_config(clients=2, queries=4,
+                                        think_s=0.05))
+        assert report["clock"]["idle_s"] > 0
+        total_tenant = sum(report["energy"]["tenant_active_j"].values())
+        assert total_tenant < report["energy"]["total_active_j"] * 1.5
+
+
+class TestCompletion:
+    def test_all_queries_reach_a_terminal_state(self):
+        report = run_serve(small_config())
+        counts = report["counts"]
+        assert counts["issued"] == 8
+        assert (counts["completed"] + counts["rejected_queue"]
+                + counts["rejected_quota"]
+                + counts["shed_timeout"]) == counts["issued"]
+        assert counts["completed"] == 8
+
+    def test_latency_percentiles_ordered(self):
+        lat = run_serve(small_config())["latency_s"]
+        assert lat["p50_s"] <= lat["p95_s"] <= lat["p99_s"]
+        assert lat["n"] == 8
+
+
+class TestAdmissionPressure:
+    def test_queue_bound_rejects(self):
+        report = run_serve(small_config(
+            mode="open", rate_qps=100000.0, queries=12, max_queue=2,
+            cores=1, mpl=1,
+        ))
+        assert report["counts"]["rejected_queue"] > 0
+
+    def test_tenant_quota_rejects(self):
+        report = run_serve(small_config(
+            mode="open", rate_qps=100000.0, queries=12, tenant_quota=1,
+            cores=1, mpl=1,
+        ))
+        assert report["counts"]["rejected_quota"] > 0
+
+    def test_timeout_sheds(self):
+        report = run_serve(small_config(
+            mode="open", rate_qps=100000.0, queries=12,
+            queue_timeout_s=1e-6, cores=1, mpl=1,
+        ))
+        assert report["counts"]["shed_timeout"] > 0
+        # Shed or rejected requests never execute, but they are still
+        # accounted as terminal.
+        counts = report["counts"]
+        assert (counts["completed"] + counts["rejected_queue"]
+                + counts["rejected_quota"]
+                + counts["shed_timeout"]) == counts["issued"]
+
+
+class TestMultiprogramming:
+    def test_queries_are_time_sliced(self):
+        report = run_serve(small_config(workload="basic", queries=6,
+                                        quantum_rows=8))
+        # With an 8-row quantum, the scan-shaped basic operations need
+        # several quanta, so switches outnumber completed queries.
+        assert (report["clock"]["context_switches"]
+                > report["counts"]["completed"])
+
+    def test_dvfs_modes_change_energy(self):
+        race = run_serve(small_config(dvfs="race"))
+        pace = run_serve(small_config(dvfs="pace"))
+        assert (race["energy"]["total_active_j"]
+                != pace["energy"]["total_active_j"])
+        assert race["clock"]["busy_s"] < pace["clock"]["busy_s"]

@@ -106,3 +106,59 @@ class TestTraceCommand:
         assert (out_dir / "q06.jsonl").exists()
         assert (out_dir / "q06.chrome.json").exists()
         assert (out_dir / "q06.svg").exists()
+
+
+class TestVersionAndErrors:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_repro_error_is_one_line_exit_2(self, capsys):
+        assert main(["sql", "--tier", "10MB",
+                     "SELECT * FROM nowhere"]) == 2
+        err = capsys.readouterr().err
+        last = err.strip().splitlines()[-1]  # progress notes may precede
+        assert last.startswith("repro sql: error:")
+        assert "nowhere" in last
+        assert "Traceback" not in err
+
+    def test_invalid_choice_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--workload", "oltp-9000"])
+        assert exc.value.code != 0
+
+    def test_serve_config_error_exit_2(self, capsys):
+        assert main(["serve", "--clients", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: error:")
+        assert "client" in err
+
+
+class TestServeCommand:
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workload == "tpch" and args.policy == "fifo"
+        assert args.clients == 4 and args.mode == "closed"
+        assert args.dvfs == "race" and args.seed == 0
+
+    def test_serve_emits_report(self, capsys):
+        assert main(["serve", "--workload", "basic", "--tier", "10MB",
+                     "--clients", "2", "--queries", "4",
+                     "--cores", "1", "--seed", "11"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["completed"] == 4
+        assert report["energy"]["check_sum_j"] == pytest.approx(
+            report["energy"]["total_active_j"], rel=1e-12)
+
+    def test_serve_out_file_deterministic(self, tmp_path, capsys):
+        argv = ["serve", "--workload", "basic", "--tier", "10MB",
+                "--clients", "4", "--queries", "8", "--seed", "5"]
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(argv + ["--out", str(out_a)]) == 0
+        assert main(argv + ["--out", str(out_b)]) == 0
+        capsys.readouterr()
+        assert out_a.read_text() == out_b.read_text()

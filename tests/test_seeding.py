@@ -1,0 +1,42 @@
+"""Tests of the root-seed derivation helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.seeding import derive_seed, require_seed, seeded_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_path_separates_streams(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a", "b") != derive_seed(7, "ab")
+
+    def test_root_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(0, "x") < 2**64
+
+
+class TestRequireSeed:
+    def test_passes_through(self):
+        assert require_seed(5, "component") == 5
+        assert require_seed(0, "component") == 0
+
+    def test_fails_loudly_on_none(self):
+        with pytest.raises(ConfigError, match="component"):
+            require_seed(None, "component")
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = seeded_rng(11, "x")
+        b = seeded_rng(11, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_requires_seed(self):
+        with pytest.raises(ConfigError):
+            seeded_rng(None, "arrivals")
