@@ -1,0 +1,72 @@
+"""Simulator-throughput benchmarks (``repro bench`` primitives).
+
+Unlike the figure benchmarks one directory up — which time how long it
+takes to *regenerate a paper artefact* — these time the simulator
+itself: micro-ops simulated per wall-clock second in each execution
+mode.  They wrap the same primitives ``repro bench`` uses
+(repro.bench), so numbers here line up with ``BENCH_simperf.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Every comparison benchmark also asserts the batched executor's
+equivalence contract: identical PMU counters against the reference
+path for the measured workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    _cold_scan_mops,
+    _compare,
+    _row_load_run_mops,
+    _warm_scan_mops,
+)
+
+WARM_REPS = 60
+COLD_REPS = 1
+ROWS = 20_000
+
+
+@pytest.mark.parametrize("mode", ("reference", "batched"))
+def test_warm_scan_throughput(benchmark, mode):
+    """Steady-state L1D-resident sequential scan (the fig07/fig08 hot loop)."""
+    rate, _ = benchmark.pedantic(
+        lambda: _warm_scan_mops(mode, WARM_REPS), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mops_per_s"] = round(rate / 1e6, 2)
+    assert rate > 0
+
+
+@pytest.mark.parametrize("mode", ("reference", "batched"))
+def test_cold_stream_throughput(benchmark, mode):
+    """DRAM-streaming scan: every line misses all levels (worst case)."""
+    rate, _ = benchmark.pedantic(
+        lambda: _cold_scan_mops(mode, COLD_REPS), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mops_per_s"] = round(rate / 1e6, 2)
+    assert rate > 0
+
+
+@pytest.mark.parametrize("mode", ("reference", "batched"))
+def test_row_load_run_throughput(benchmark, mode):
+    """The repro.db seq_scan row shape: one short load_run per row."""
+    rate, _ = benchmark.pedantic(
+        lambda: _row_load_run_mops(mode, ROWS), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mops_per_s"] = round(rate / 1e6, 2)
+    assert rate > 0
+
+
+def test_batched_scan_is_faster_and_exact(benchmark):
+    """The acceptance property: the batched scan path is dramatically
+    faster than reference with bit-identical counters."""
+    result = benchmark.pedantic(
+        lambda: _compare(_warm_scan_mops, WARM_REPS), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["counters_identical"]
+    assert result["speedup"] >= 5.0

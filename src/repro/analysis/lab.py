@@ -45,6 +45,7 @@ class LabConfig:
     tier: str = "100MB"
     setting: str = BASELINE
     seed: int = 0
+    exec_mode: str = "batched"
 
 
 class Lab:
@@ -63,7 +64,8 @@ class Lab:
     def machine(self) -> Machine:
         if self._machine is None:
             self._machine = Machine(
-                intel_i7_4790(scale=self.config.scale), seed=self.config.seed
+                intel_i7_4790(scale=self.config.scale), seed=self.config.seed,
+                exec_mode=self.config.exec_mode,
             )
         return self._machine
 

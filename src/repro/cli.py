@@ -60,6 +60,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="TPC-H data tier")
     parser.add_argument("--seed", type=int, default=0,
                         help="measurement-noise seed")
+    parser.add_argument("--exec-mode", default="batched",
+                        choices=["reference", "batched"],
+                        help="simulator execution engine (batched is "
+                             "bit-identical to the per-op reference path)")
     # SUPPRESS keeps the top-level -v value when the subcommand parses
     # without the flag (subparser defaults would otherwise reset it).
     parser.add_argument("-v", "--verbose", action="count",
@@ -69,7 +73,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _machine(args) -> Machine:
     return Machine(intel_i7_4790(scale=args.scale),
-                   seed=derive_seed(args.seed, "machine-noise"))
+                   seed=derive_seed(args.seed, "machine-noise"),
+                   exec_mode=getattr(args, "exec_mode", "batched"))
 
 
 def _tpch_data(args) -> TpchData:
@@ -291,6 +296,34 @@ def cmd_poc(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import check_regression, run_bench, write_report
+
+    results = run_bench(quick=args.quick)
+    write_report(results, args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    scan = results["scan_path"]["fig07_tpch_scan"]
+    print(f"scan path (fig07 shape): reference {scan['reference_mops']:.2f} "
+          f"Mops/s, batched {scan['batched_mops']:.2f} Mops/s "
+          f"({scan['speedup']:.1f}x)")
+    for name, entry in results["tpch"].items():
+        print(f"tpch {name}: reference {entry['reference_s']:.3f}s, "
+              f"batched {entry['batched_s']:.3f}s ({entry['speedup']:.2f}x)")
+    serve = results["serve"]
+    print(f"serve: {serve['batched']['requests_per_s']:.1f} req/s batched "
+          f"({serve['speedup']:.2f}x vs reference)")
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regression(results, baseline, args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("no throughput regression vs baseline", file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve import ServeConfig, run_serve
 
@@ -315,6 +348,7 @@ def cmd_serve(args) -> int:
         setting=args.setting,
         tier=args.tier,
         scale=args.scale,
+        exec_mode=getattr(args, "exec_mode", "batched"),
     )
     report = run_serve(config)
     text = json.dumps(report, indent=2, sort_keys=True)
@@ -441,6 +475,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON report to FILE (default: stdout)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure simulator throughput; write BENCH_simperf.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller rep counts (the CI smoke configuration)")
+    p.add_argument("--out", metavar="FILE", default="BENCH_simperf.json",
+                   help="output report path (default: BENCH_simperf.json)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="fail if batched throughput regresses vs BASELINE")
+    p.add_argument("--max-regression", type=float, default=0.30,
+                   help="allowed fractional throughput drop (default 0.30)")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="-v for INFO, -vv for DEBUG")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -195,6 +195,7 @@ class BufferPool:
     def _invalidate_frame(self, frame: Frame) -> None:
         """DMA overwrote the frame: its lines must not hit in any cache."""
         hierarchy = self.machine.hierarchy
+        hierarchy.mut_epoch += 1
         first_line = frame.region.base >> LINE_SHIFT
         for line in range(first_line, first_line + frame.region.n_lines):
             hierarchy.l1d.invalidate(line)

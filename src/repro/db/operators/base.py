@@ -131,13 +131,16 @@ class ExecContext:
         region = self.cold_region
         if region is None or n <= 0:
             return
-        load = self.machine.load
+        base = region.base
         lines = region.n_lines
         cursor = self._cold_cursor
+        addrs = []
+        append = addrs.append
         for _ in range(n):
             cursor = (cursor + 97) % lines  # coprime stride: spread probes
-            load(region.base + cursor * LINE_SIZE)
+            append(base + cursor * LINE_SIZE)
         self._cold_cursor = cursor
+        self.machine.exec.load_list(addrs)
 
     def _hot_state(self, loads: int, stores: int) -> None:
         machine = self.machine

@@ -35,6 +35,33 @@ from repro.sim.machine import Machine
 RowRef = tuple  # (page_no, slot)
 
 
+def _word_offsets(schema: Schema, needed: Sequence[int],
+                  skip: Optional[int] = None) -> tuple[int, ...]:
+    """Ascending byte offsets of every word the needed columns span.
+
+    Wide (string) columns contribute one offset per 8 bytes.  The result
+    is memoised on the schema — it is recomputed once per (needed, skip)
+    combination, then reused for every row of every scan.
+    """
+    cache = schema.__dict__.setdefault("_word_offset_cache", {})
+    key = (tuple(needed), skip)
+    offs = cache.get(key)
+    if offs is None:
+        out = []
+        for index in needed:
+            if index == skip:
+                continue
+            width = schema.columns[index].width
+            off = schema.offsets[index]
+            out.append(off)
+            for extra in range(1, (width + 7) // 8):
+                out.append(off + 8 * extra)
+        out.sort()
+        offs = tuple(out)
+        cache[key] = offs
+    return offs
+
+
 def _load_fields(machine: Machine, row_base: int, schema: Schema,
                  needed: Sequence[int], dependent: bool = False) -> None:
     """Charge the loads for the needed columns of one row.
@@ -43,18 +70,7 @@ def _load_fields(machine: Machine, row_base: int, schema: Schema,
     row fetches (index scans, key lookups) cannot issue the row's loads
     until the index entry that names the row has returned, so the first
     access exposes its full latency (§3.2's index-scan stall)."""
-    load = machine.load
-    offsets = schema.offsets
-    columns = schema.columns
-    first = dependent
-    for index in needed:
-        width = columns[index].width
-        addr = row_base + offsets[index]
-        load(addr, first)
-        first = False
-        # Wide (string) columns span several words.
-        for extra in range(1, (width + 7) // 8):
-            load(addr + 8 * extra)
+    machine.exec.load_run(row_base, _word_offsets(schema, needed), dependent)
 
 
 class HeapTable:
@@ -80,6 +96,8 @@ class HeapTable:
         row_size = schema.row_size
         is_deleted = self.file.is_deleted
         has_tombstones = self.file.n_deleted > 0
+        offs = _word_offsets(schema, needed)
+        load_run = machine.exec.load_run
         for page_no in range(self.file.n_pages):
             frame = self.pool.fetch(self.file, page_no)
             base = frame.region.base
@@ -87,7 +105,7 @@ class HeapTable:
                 if has_tombstones and is_deleted(page_no, slot):
                     machine.load(base + slot * row_size)  # header check
                     continue
-                _load_fields(machine, base + slot * row_size, schema, needed)
+                load_run(base + slot * row_size, offs)
                 yield row, (page_no, slot)
 
     def fetch_row(self, rowref: RowRef,
@@ -165,6 +183,7 @@ class _LeafPager:
         self.machine.disk_read(block, self.node_bytes)
         first_line = node.region.base >> LINE_SHIFT
         hierarchy = self.machine.hierarchy
+        hierarchy.mut_epoch += 1
         for line in range(first_line, first_line + node.region.n_lines):
             hierarchy.l1d.invalidate(line)
             if hierarchy.l2 is not None:
@@ -202,23 +221,18 @@ class ClusteredTable:
 
     def _field_loads_at(self, entry_addr: int, needed: Sequence[int]) -> None:
         # The key load was already issued by the tree; charge the other
-        # touched columns relative to the entry's payload base.
-        machine = self.machine
-        payload_base = entry_addr + 8  # key precedes the stored row
-        load = machine.load
-        for index in needed:
-            if index == self.key_column:
-                continue  # already read as the B-tree key
-            width = self.schema.columns[index].width
-            addr = payload_base + self.schema.offsets[index]
-            load(addr)
-            for extra in range(1, (width + 7) // 8):
-                load(addr + 8 * extra)
+        # touched columns relative to the entry's payload base (the key
+        # precedes the stored row, hence the +8).
+        self.machine.exec.load_run(
+            entry_addr + 8, _word_offsets(self.schema, needed, self.key_column)
+        )
 
     def seq_scan(self, needed: Sequence[int]) -> Iterator[tuple[Row, RowRef]]:
         """Key-order scan over the leaves (what SQLite's table scan is)."""
+        offs = _word_offsets(self.schema, needed, self.key_column)
+        load_run = self.machine.exec.load_run
         for key, row, addr in self.tree.scan_all(on_leaf=self._on_leaf):
-            self._field_loads_at(addr, needed)
+            load_run(addr + 8, offs)
             yield row, (0, key)
 
     def key_lookup(self, key, needed: Sequence[int]) -> Optional[Row]:
@@ -234,8 +248,10 @@ class ClusteredTable:
         return row
 
     def key_range(self, lo, hi, needed: Sequence[int]) -> Iterator[tuple[Row, RowRef]]:
+        offs = _word_offsets(self.schema, needed, self.key_column)
+        load_run = self.machine.exec.load_run
         for key, row, addr in self.tree.range_scan(lo, hi, on_leaf=self._on_leaf):
-            self._field_loads_at(addr, needed)
+            load_run(addr + 8, offs)
             yield row, (0, key)
 
     # ------------------------------------------------------------- DML

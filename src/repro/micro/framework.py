@@ -95,6 +95,14 @@ def list_traverse(
     benchmarks (B_L1D_list_nop etc., §2.5.5) from the base ones.
     """
     addrs = [region.line(i) for i in order]
+    if not add_per_item and not nop_per_item:
+        # Pure pointer chase: hand the whole chain to the execution
+        # engine per round (one call instead of one per hop).
+        load_list = machine.exec.load_list
+        for _ in range(rounds):
+            load_list(addrs, True)
+            _loop_overhead(machine, len(addrs))
+        return
     load = machine.load
     add = machine.add
     nop = machine.nop
@@ -117,10 +125,18 @@ def array_traverse(
     nop_per_item: int = 0,
 ) -> None:
     """Sequentially read the array ``rounds`` times (independent loads)."""
+    base = region.base
+    if not add_per_item and not nop_per_item:
+        # ITEM_BYTES == LINE_SIZE: one independent load per line is
+        # exactly a line scan.
+        scan_lines = machine.scan_lines
+        for _ in range(rounds):
+            scan_lines(base, n_items)
+            _loop_overhead(machine, n_items)
+        return
     load = machine.load
     add = machine.add
     nop = machine.nop
-    base = region.base
     for _ in range(rounds):
         for i in range(n_items):
             load(base + i * ITEM_BYTES)
@@ -143,10 +159,9 @@ def store_loop(
     L1D, and after the first write-allocate every store hits.
     """
     addr = region.base
-    store = machine.store
+    store_repeat = machine.exec.store_repeat
     for _ in range(rounds):
-        for _ in range(unroll):
-            store(addr)
+        store_repeat(addr, unroll)
         _loop_overhead(machine, unroll)
 
 
@@ -176,9 +191,8 @@ def interleaved_list_traverse(
     chains = [
         [region.line(i) for i in order] for region, order in regions_and_orders
     ]
-    load = machine.load
+    load_list = machine.exec.load_list
     for _ in range(rounds):
         for addrs in chains:
-            for addr in addrs:
-                load(addr, True)
+            load_list(addrs, True)
             _loop_overhead(machine, len(addrs))

@@ -97,6 +97,7 @@ def run_serve(config: ServeConfig) -> dict:
     machine = Machine(
         intel_i7_4790(scale=config.scale),
         seed=derive_seed(seed, "serve", "machine-noise"),
+        exec_mode=config.exec_mode,
     )
     apply_dvfs(machine, config.dvfs)
     db = Database(machine, engine_profile(config.engine, config.setting),

@@ -72,6 +72,9 @@ class ServeConfig:
     tier: str = "10MB"
     #: Cache scale divisor, as the rest of the CLI uses it.
     scale: int = 16
+    #: Simulator execution engine ("batched" is bit-identical to
+    #: "reference"; see repro.sim.batch).
+    exec_mode: str = "batched"
 
     def validate(self) -> "ServeConfig":
         if self.clients < 1:

@@ -135,6 +135,7 @@ def build_report(config: ServeConfig, server: QueryServer,
             "setting": config.setting,
             "tier": config.tier,
             "scale": config.scale,
+            "exec_mode": config.exec_mode,
         },
         "counts": _state_counts(requests),
         "latency_s": latency_summary(latencies),

@@ -1,0 +1,791 @@
+"""Batched micro-op execution engine.
+
+Every simulated micro-op normally pays three Python call frames
+(``Cpu.load`` → ``MemoryHierarchy.load`` → ``CacheLevel.lookup``), so
+scan-heavy workloads — exactly the access patterns the paper's
+micro-analysis decomposes — are bounded by interpreter overhead rather
+than by the model.  This module provides two interchangeable executors:
+
+* :class:`ReferenceExecutor` — the per-op path.  Every access takes the
+  full ``Cpu``/``MemoryHierarchy`` call chain; this *is* the model.
+* :class:`BatchExecutor` — executes whole runs of line accesses in one
+  call, with the hierarchy walk, fill/evict cascade, and prefetcher
+  update inlined into a single loop over local variables.
+
+The batched path is **bit-identical** to the reference path: it performs
+the same set/LRU mutations in the same order and applies the same cycle
+and stall additions in the same order, so PMU counters, cache state,
+energy, and wall-clock agree exactly (see
+``tests/sim/test_batch_equivalence.py``).  The only accounting shortcut
+it takes — folding a run of guaranteed L1D hits into one bulk update —
+adds the same dyadic issue widths the reference path adds one at a
+time; for issue widths that are multiples of 0.25 cycles (both machine
+presets) those additions are exact in IEEE-754 doubles at any realistic
+cycle count, so even the floating-point results are identical.
+
+Executors are swapped via ``Machine.set_exec_mode("reference" |
+"batched")``; the run-level entry points (``load_run``, ``load_list``,
+``store_repeat``) share one signature across both so callers never
+branch on the mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sim.address_space import LINE_SHIFT, LINE_SIZE
+from repro.sim.cpu import Cpu
+from repro.sim.hierarchy import (
+    LEVEL_L1D,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MEM,
+    LEVEL_TCM,
+)
+
+EXEC_MODES = ("reference", "batched")
+
+
+class ReferenceExecutor:
+    """Per-op execution: every access takes the full model call chain."""
+
+    mode = "reference"
+
+    def __init__(self, cpu: Cpu):
+        self.cpu = cpu
+
+    def scan_lines(self, base_addr: int, n_lines: int, loads_per_line: int = 1) -> None:
+        self.cpu.scan_lines(base_addr, n_lines, loads_per_line)
+
+    def load_bytes(self, addr: int, nbytes: int, dependent: bool = False) -> None:
+        self.cpu.load_bytes(addr, nbytes, dependent)
+
+    def store_bytes(self, addr: int, nbytes: int) -> None:
+        self.cpu.store_bytes(addr, nbytes)
+
+    def load_run(self, base: int, offsets: Sequence[int], dependent: bool = False) -> None:
+        """Loads at ``base + off`` for ascending word ``offsets``; only
+        the first load is dependent (when requested)."""
+        load = self.cpu.load
+        for off in offsets:
+            load(base + off, dependent)
+            dependent = False
+
+    def load_list(self, addrs: Iterable[int], dependent: bool = False) -> None:
+        """One load per address, each with the given dependence."""
+        load = self.cpu.load
+        for addr in addrs:
+            load(addr, dependent)
+
+    def store_repeat(self, addr: int, n: int) -> None:
+        """``n`` stores to the same address."""
+        store = self.cpu.store
+        for _ in range(n):
+            store(addr)
+
+
+class BatchExecutor:
+    """Run-level execution with the hierarchy walk inlined.
+
+    The workhorses are :meth:`_load_addrs` and :meth:`_store_addrs`:
+    one Python loop over an address iterable, with cache sets, masks,
+    latencies, and counters bound to locals, and the fill/evict cascade
+    of ``MemoryHierarchy._fetch_from_below`` written out inline.  Dirty
+    victim cascades (the rare path) fall back to the hierarchy's own
+    ``_fill_l2``/``_fill_l3`` so the write-back logic lives in exactly
+    one place.
+    """
+
+    mode = "batched"
+
+    def __init__(self, cpu: Cpu):
+        self.cpu = cpu
+        #: ``(base, n_lines, mut_epoch)`` of the last ``scan_lines`` call
+        #: that hit L1D on every line, or None.  See :meth:`scan_lines`.
+        self._scan_memo = None
+
+    # ------------------------------------------------------------ public API
+
+    def scan_lines(self, base_addr: int, n_lines: int, loads_per_line: int = 1) -> None:
+        if n_lines <= 0:
+            return
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        memo = self._scan_memo
+        if (memo is not None and memo[0] == base_addr and memo[1] == n_lines
+                and memo[2] == hier.mut_epoch):
+            # The previous scan_lines call covered this exact range, hit
+            # L1D on every line, and nothing has touched cache state
+            # since.  Replaying it re-orders each set into the ascending
+            # order the previous scan already left it in — a no-op on
+            # cache state — so the whole scan folds into one bulk hit
+            # update.  (All-hit loads add only `issue` cycles, which is
+            # dyadic, so the bulk add is bit-identical to n single adds.)
+            c = cpu.counters
+            n = n_lines * loads_per_line
+            hier.l1d.hits += n_lines
+            c.n_load_inst += n
+            c.n_l1d += n
+            c.l1d_hits += n
+            c.cycles += n * cpu.timing.load_issue
+            return
+        hier.mut_epoch += 1
+        impure = self._load_addrs(
+            range(base_addr, base_addr + n_lines * LINE_SIZE, LINE_SIZE)
+        )
+        self._scan_memo = (
+            (base_addr, n_lines, hier.mut_epoch) if impure == 0 else None
+        )
+        extra = loads_per_line - 1
+        if extra > 0:
+            c = cpu.counters
+            bulk = n_lines * extra
+            c.n_load_inst += bulk
+            c.n_l1d += bulk
+            c.l1d_hits += bulk
+            c.cycles += bulk * cpu.timing.load_issue
+
+    def load_bytes(self, addr: int, nbytes: int, dependent: bool = False) -> None:
+        n_words = max(1, (nbytes + 7) // 8)
+        last = addr + 8 * (n_words - 1)
+        cpu = self.cpu
+        cpu.hierarchy.mut_epoch += 1
+        tcm = cpu.hierarchy.tcm_region
+        if tcm is not None and addr < tcm.end and last >= tcm.base:
+            # TCM bulk / boundary-straddle handling is identical in both
+            # modes; reuse the reference implementation.
+            cpu.load_bytes(addr, nbytes, dependent)
+            return
+        first_line = addr >> LINE_SHIFT
+        extra_lines = (last >> LINE_SHIFT) - first_line
+        if extra_lines == 0:
+            addrs = (addr,)
+        else:
+            word0 = addr & 7
+            addrs = [addr]
+            for i in range(1, extra_lines + 1):
+                addrs.append(((first_line + i) << LINE_SHIFT) | word0)
+        self._load_addrs(addrs, dependent, first_only=True)
+        bulk = n_words - 1 - extra_lines
+        if bulk > 0:
+            c = cpu.counters
+            c.n_load_inst += bulk
+            c.n_l1d += bulk
+            c.l1d_hits += bulk
+            c.cycles += bulk * cpu.timing.load_issue
+
+    def store_bytes(self, addr: int, nbytes: int) -> None:
+        n_words = max(1, (nbytes + 7) // 8)
+        last = addr + 8 * (n_words - 1)
+        cpu = self.cpu
+        cpu.hierarchy.mut_epoch += 1
+        tcm = cpu.hierarchy.tcm_region
+        if tcm is not None and addr < tcm.end and last >= tcm.base:
+            cpu.store_bytes(addr, nbytes)
+            return
+        first_line = addr >> LINE_SHIFT
+        extra_lines = (last >> LINE_SHIFT) - first_line
+        if extra_lines == 0:
+            addrs = (addr,)
+        else:
+            word0 = addr & 7
+            addrs = [addr]
+            for i in range(1, extra_lines + 1):
+                addrs.append(((first_line + i) << LINE_SHIFT) | word0)
+        self._store_addrs(addrs)
+        bulk = n_words - 1 - extra_lines
+        if bulk > 0:
+            c = cpu.counters
+            c.n_store_inst += bulk
+            c.n_store += bulk
+            c.n_store_l1d_hit += bulk
+            c.cycles += bulk * cpu.timing.store_issue
+
+    def load_run(self, base: int, offsets: Sequence[int], dependent: bool = False) -> None:
+        if not offsets:
+            return
+        cpu = self.cpu
+        cpu.hierarchy.mut_epoch += 1
+        tcm = cpu.hierarchy.tcm_region
+        if tcm is not None:
+            first = base + offsets[0]
+            last = base + offsets[-1]
+            if first < tcm.end and last >= tcm.base:
+                if tcm.base <= first and last < tcm.end:
+                    # Whole run in TCM: bulk accounting.
+                    c = cpu.counters
+                    n = len(offsets)
+                    c.n_tcm_load += n
+                    c.n_load_inst += n
+                    if dependent:
+                        latency = cpu._latency[LEVEL_TCM]
+                        c.cycles += latency
+                        c.stall_cycles += latency - 1.0
+                        c.cycles += (n - 1) * cpu.timing.load_issue
+                    else:
+                        c.cycles += n * cpu.timing.load_issue
+                else:
+                    # Straddles the TCM boundary: exact per-op fallback.
+                    load = cpu.load
+                    for off in offsets:
+                        load(base + off, dependent)
+                        dependent = False
+                return
+        # The first word of each touched line takes the full path; the
+        # trailing same-line words are guaranteed L1D hits (ascending
+        # offsets keep the line MRU) — the reference path probes them
+        # one by one, so the bulk update mirrors a probe: it counts
+        # CacheLevel hits as well as the PMU counters.
+        #
+        # Optimistic pass: probe line-first words in order while they
+        # hit L1D (the warm-database common case), bailing to the full
+        # inlined walk at the first miss.  The probes before the miss
+        # happen in reference order; everything from the miss on is
+        # handed to _load_addrs, which also runs in order.
+        l1 = cpu.hierarchy.l1d
+        s1 = l1._sets
+        m1 = l1._set_mask
+        c = cpu.counters
+        issue = cpu.timing.load_issue
+        n = 0
+        n_first = 0
+        hits = 0
+        prev_line = -1
+        rest = None
+        for off in offsets:
+            a = base + off
+            line = a >> LINE_SHIFT
+            n += 1
+            if line == prev_line:
+                continue
+            prev_line = line
+            n_first += 1
+            if rest is not None:
+                rest.append(a)
+                continue
+            set1 = s1[line & m1]
+            if line in set1:
+                set1.move_to_end(line)
+                hits += 1
+            else:
+                rest = [a]
+        if hits:
+            l1.hits += hits
+            c.n_l1d += hits
+            c.l1d_hits += hits
+            c.n_load_inst += hits
+            if dependent:
+                # The run's first word hit; it alone carries the
+                # dependent-load latency.
+                lat_l1 = cpu._latency[LEVEL_L1D]
+                c.cycles += lat_l1
+                c.stall_cycles += lat_l1 - 1.0
+                if hits > 1:
+                    c.cycles += (hits - 1) * issue
+                dependent = False
+            else:
+                c.cycles += hits * issue
+        if rest is not None:
+            self._load_addrs(rest, dependent, first_only=True)
+        bulk = n - n_first
+        if bulk > 0:
+            l1.hits += bulk
+            c.n_l1d += bulk
+            c.l1d_hits += bulk
+            c.n_load_inst += bulk
+            c.cycles += bulk * issue
+
+    def load_list(self, addrs: Iterable[int], dependent: bool = False) -> None:
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        hier.mut_epoch += 1
+        # Optimistic pass, as in load_run: L1D hits (the resident-list
+        # pointer-chase case) are applied inline and in order; the first
+        # miss — or any TCM address — hands the remainder to the full
+        # walk.  ``dependent`` applies to every load here, so the hit
+        # bulk prices each hit at the dependent L1 latency.
+        l1 = hier.l1d
+        s1 = l1._sets
+        m1 = l1._set_mask
+        tcm = hier.tcm_region
+        if tcm is not None:
+            tbase = tcm.base
+            tend = tcm.base + tcm.size
+        else:
+            tbase = 1
+            tend = 0
+        hits = 0
+        rest = None
+        for a in addrs:
+            if rest is not None:
+                rest.append(a)
+                continue
+            line = a >> LINE_SHIFT
+            if tbase <= a < tend:
+                rest = [a]
+                continue
+            set1 = s1[line & m1]
+            if line in set1:
+                set1.move_to_end(line)
+                hits += 1
+            else:
+                rest = [a]
+        if hits:
+            c = cpu.counters
+            l1.hits += hits
+            c.n_l1d += hits
+            c.l1d_hits += hits
+            c.n_load_inst += hits
+            if dependent:
+                lat_l1 = cpu._latency[LEVEL_L1D]
+                c.cycles += hits * lat_l1
+                c.stall_cycles += hits * (lat_l1 - 1.0)
+            else:
+                c.cycles += hits * cpu.timing.load_issue
+        if rest is not None:
+            self._load_addrs(rest, dependent)
+
+    def store_repeat(self, addr: int, n: int) -> None:
+        if n <= 0:
+            return
+        cpu = self.cpu
+        cpu.hierarchy.mut_epoch += 1
+        c = cpu.counters
+        tcm = cpu.hierarchy.tcm_region
+        if tcm is not None and tcm.base <= addr < tcm.end:
+            c.n_tcm_store += n
+            c.n_store_inst += n
+            c.cycles += n * cpu.timing.store_issue
+            return
+        self._store_addrs((addr,))
+        if n > 1:
+            # Repeat stores to one address hit the (now dirty, MRU) L1D
+            # line; the reference path probes each one.
+            bulk = n - 1
+            cpu.hierarchy.l1d.hits += bulk
+            c.n_store += bulk
+            c.n_store_l1d_hit += bulk
+            c.n_store_inst += bulk
+            c.cycles += bulk * cpu.timing.store_issue
+
+    # ------------------------------------------------------------ workhorses
+
+    def _load_addrs(self, addrs: Iterable[int], dependent: bool = False,
+                    first_only: bool = False) -> int:
+        """Demand loads for every address in ``addrs``, inlined.
+
+        ``dependent`` applies to all loads, or — with ``first_only`` —
+        to just the first one (the ``load_run`` contract).  Returns the
+        number of "impure" accesses (L1D misses + TCM hits); a zero
+        return means the run was pure L1D hits, which is what the
+        ``scan_lines`` replay memo needs to know.
+        """
+        cpu = self.cpu
+        c = cpu.counters
+        hier = cpu.hierarchy
+        l1 = hier.l1d
+        l2 = hier.l2
+        l3 = hier.l3
+        s1 = l1._sets
+        m1 = l1._set_mask
+        a1 = l1.assoc
+        if l2 is not None:
+            s2 = l2._sets
+            m2 = l2._set_mask
+            a2 = l2.assoc
+            fill_l2 = hier._fill_l2
+        if l3 is not None:
+            s3 = l3._sets
+            m3 = l3._set_mask
+            a3 = l3.assoc
+            fill_l3 = hier._fill_l3
+        tcm = hier.tcm_region
+        if tcm is not None:
+            tbase = tcm.base
+            tend = tcm.base + tcm.size
+        else:
+            tbase = 1
+            tend = 0
+        observe = hier.prefetcher.observe
+        lat = cpu._latency
+        lat_tcm = lat[LEVEL_TCM]
+        lat_l1 = lat[LEVEL_L1D]
+        lat_l2 = lat[LEVEL_L2]
+        lat_l3 = lat[LEVEL_L3]
+        lat_mem = lat[LEVEL_MEM]
+        timing = cpu.timing
+        issue = timing.load_issue
+        mlp = timing.mlp
+        # Same expression the reference path evaluates per op.
+        exp_l2 = lat_l2 / mlp - issue
+        exp_l3 = lat_l3 / mlp - issue
+        exp_mem = lat_mem / mlp - issue
+
+        n_inst = 0
+        n_l1d = 0
+        l1d_hits = 0
+        n_l2 = 0
+        l2_hits = 0
+        n_l3 = 0
+        l3_hits = 0
+        n_mem = 0
+        n_tcm = 0
+        n_wb = 0
+        n_pf_l2 = 0
+        n_pf_l3 = 0
+        h1 = mis1 = f1 = ev1 = dev1 = occ1 = 0
+        h2 = mis2 = f2 = ev2 = dev2 = occ2 = 0
+        h3 = mis3 = f3 = ev3 = dev3 = occ3 = 0
+        cyc = c.cycles
+        stall = c.stall_cycles
+        dep = dependent
+
+        for addr in addrs:
+            n_inst += 1
+            if tbase <= addr < tend:
+                n_tcm += 1
+                if dep:
+                    cyc += lat_tcm
+                    stall += lat_tcm - 1.0
+                    if first_only:
+                        dep = False
+                else:
+                    cyc += issue
+                continue
+            line = addr >> LINE_SHIFT
+            set1 = s1[line & m1]
+            if line in set1:
+                set1.move_to_end(line)
+                h1 += 1
+                n_l1d += 1
+                l1d_hits += 1
+                if dep:
+                    cyc += lat_l1
+                    stall += lat_l1 - 1.0
+                    if first_only:
+                        dep = False
+                else:
+                    cyc += issue
+                continue
+            # ---------------- L1D miss: walk down, fill on the way back
+            n_l1d += 1
+            mis1 += 1
+            if l2 is None:
+                n_mem += 1
+                lvl_lat = lat_mem
+                exp = exp_mem
+            else:
+                n_l2 += 1
+                set2 = s2[line & m2]
+                if line in set2:
+                    set2.move_to_end(line)
+                    h2 += 1
+                    l2_hits += 1
+                    lvl_lat = lat_l2
+                    exp = exp_l2
+                else:
+                    mis2 += 1
+                    if l3 is None:
+                        n_mem += 1
+                        lvl_lat = lat_mem
+                        exp = exp_mem
+                    else:
+                        n_l3 += 1
+                        set3 = s3[line & m3]
+                        if line in set3:
+                            set3.move_to_end(line)
+                            h3 += 1
+                            l3_hits += 1
+                            lvl_lat = lat_l3
+                            exp = exp_l3
+                        else:
+                            mis3 += 1
+                            n_mem += 1
+                            lvl_lat = lat_mem
+                            exp = exp_mem
+                            # fill L3 (line known absent)
+                            f3 += 1
+                            if len(set3) >= a3:
+                                v, vd = set3.popitem(last=False)
+                                ev3 += 1
+                                if vd:
+                                    dev3 += 1
+                                    n_wb += 1
+                            else:
+                                occ3 += 1
+                            set3[line] = False
+                    # fill L2 (line known absent)
+                    f2 += 1
+                    if len(set2) >= a2:
+                        v, vd = set2.popitem(last=False)
+                        ev2 += 1
+                        if vd:
+                            dev2 += 1
+                            n_wb += 1
+                            if l3 is not None:
+                                fill_l3(v, True)
+                    else:
+                        occ2 += 1
+                    set2[line] = False
+            # fill L1 (line known absent)
+            f1 += 1
+            if len(set1) >= a1:
+                v, vd = set1.popitem(last=False)
+                ev1 += 1
+                if vd:
+                    dev1 += 1
+                    n_wb += 1
+                    if l2 is not None:
+                        fill_l2(v, True)
+                    elif l3 is not None:
+                        fill_l3(v, True)
+            else:
+                occ1 += 1
+            set1[line] = False
+            # prefetcher (demand loads only, after the fills — same
+            # order as MemoryHierarchy.load)
+            pf2, pf3 = observe(line)
+            for pline in pf2:
+                if l2 is not None and pline not in s2[pline & m2]:
+                    if l3 is not None and pline in s3[pline & m3]:
+                        n_pf_l2 += 1
+                        pset = s2[pline & m2]
+                        f2 += 1
+                        if len(pset) >= a2:
+                            v, vd = pset.popitem(last=False)
+                            ev2 += 1
+                            if vd:
+                                dev2 += 1
+                                n_wb += 1
+                                fill_l3(v, True)
+                        else:
+                            occ2 += 1
+                        pset[pline] = False
+                    else:
+                        n_pf_l3 += 1
+                        if l3 is not None:
+                            pset = s3[pline & m3]
+                            f3 += 1
+                            if len(pset) >= a3:
+                                v, vd = pset.popitem(last=False)
+                                ev3 += 1
+                                if vd:
+                                    dev3 += 1
+                                    n_wb += 1
+                            else:
+                                occ3 += 1
+                            pset[pline] = False
+            for pline in pf3:
+                if l3 is not None and pline not in s3[pline & m3]:
+                    n_pf_l3 += 1
+                    pset = s3[pline & m3]
+                    f3 += 1
+                    if len(pset) >= a3:
+                        v, vd = pset.popitem(last=False)
+                        ev3 += 1
+                        if vd:
+                            dev3 += 1
+                            n_wb += 1
+                    else:
+                        occ3 += 1
+                    pset[pline] = False
+            if dep:
+                cyc += lvl_lat
+                stall += lvl_lat - 1.0
+                if first_only:
+                    dep = False
+            else:
+                cyc += issue
+                if exp > 0.0:
+                    cyc += exp
+                    stall += exp
+
+        c.cycles = cyc
+        c.stall_cycles = stall
+        c.n_load_inst += n_inst
+        c.n_l1d += n_l1d
+        c.l1d_hits += l1d_hits
+        l1.hits += h1
+        if mis1:
+            c.n_l2 += n_l2
+            c.l2_hits += l2_hits
+            c.n_l3 += n_l3
+            c.l3_hits += l3_hits
+            c.n_mem += n_mem
+            c.n_writeback += n_wb
+            c.n_pf_l2 += n_pf_l2
+            c.n_pf_l3 += n_pf_l3
+            l1.misses += mis1
+            l1.fills += f1
+            l1.evictions += ev1
+            l1.dirty_evictions += dev1
+            l1._occupancy += occ1
+            if l2 is not None:
+                l2.hits += h2
+                l2.misses += mis2
+                l2.fills += f2
+                l2.evictions += ev2
+                l2.dirty_evictions += dev2
+                l2._occupancy += occ2
+            if l3 is not None:
+                l3.hits += h3
+                l3.misses += mis3
+                l3.fills += f3
+                l3.evictions += ev3
+                l3.dirty_evictions += dev3
+                l3._occupancy += occ3
+        if n_tcm:
+            c.n_tcm_load += n_tcm
+        return mis1 + n_tcm
+
+    def _store_addrs(self, addrs: Iterable[int]) -> None:
+        """Stores for every address in ``addrs``, inlined (write-back +
+        write-allocate; stores cost one issue slot, never stall)."""
+        cpu = self.cpu
+        c = cpu.counters
+        hier = cpu.hierarchy
+        l1 = hier.l1d
+        l2 = hier.l2
+        l3 = hier.l3
+        s1 = l1._sets
+        m1 = l1._set_mask
+        a1 = l1.assoc
+        if l2 is not None:
+            s2 = l2._sets
+            m2 = l2._set_mask
+            a2 = l2.assoc
+            fill_l2 = hier._fill_l2
+        if l3 is not None:
+            s3 = l3._sets
+            m3 = l3._set_mask
+            a3 = l3.assoc
+            fill_l3 = hier._fill_l3
+        tcm = hier.tcm_region
+        if tcm is not None:
+            tbase = tcm.base
+            tend = tcm.base + tcm.size
+        else:
+            tbase = 1
+            tend = 0
+
+        n_inst = 0
+        n_store = 0
+        n_store_hit = 0
+        n_l2 = 0
+        l2_hits = 0
+        n_l3 = 0
+        l3_hits = 0
+        n_mem = 0
+        n_tcm = 0
+        n_wb = 0
+        h1 = mis1 = f1 = ev1 = dev1 = occ1 = 0
+        h2 = mis2 = f2 = ev2 = dev2 = occ2 = 0
+        h3 = mis3 = f3 = ev3 = dev3 = occ3 = 0
+
+        for addr in addrs:
+            n_inst += 1
+            if tbase <= addr < tend:
+                n_tcm += 1
+                continue
+            n_store += 1
+            line = addr >> LINE_SHIFT
+            set1 = s1[line & m1]
+            if line in set1:
+                set1.move_to_end(line)
+                set1[line] = True
+                h1 += 1
+                n_store_hit += 1
+                continue
+            # ------------- store miss: write-allocate (RFO), then dirty
+            mis1 += 1
+            if l2 is not None:
+                n_l2 += 1
+                set2 = s2[line & m2]
+                if line in set2:
+                    set2.move_to_end(line)
+                    h2 += 1
+                    l2_hits += 1
+                else:
+                    mis2 += 1
+                    if l3 is None:
+                        n_mem += 1
+                    else:
+                        n_l3 += 1
+                        set3 = s3[line & m3]
+                        if line in set3:
+                            set3.move_to_end(line)
+                            h3 += 1
+                            l3_hits += 1
+                        else:
+                            mis3 += 1
+                            n_mem += 1
+                            f3 += 1
+                            if len(set3) >= a3:
+                                v, vd = set3.popitem(last=False)
+                                ev3 += 1
+                                if vd:
+                                    dev3 += 1
+                                    n_wb += 1
+                            else:
+                                occ3 += 1
+                            set3[line] = False
+                    f2 += 1
+                    if len(set2) >= a2:
+                        v, vd = set2.popitem(last=False)
+                        ev2 += 1
+                        if vd:
+                            dev2 += 1
+                            n_wb += 1
+                            if l3 is not None:
+                                fill_l3(v, True)
+                    else:
+                        occ2 += 1
+                    set2[line] = False
+            else:
+                n_mem += 1
+            f1 += 1
+            if len(set1) >= a1:
+                v, vd = set1.popitem(last=False)
+                ev1 += 1
+                if vd:
+                    dev1 += 1
+                    n_wb += 1
+                    if l2 is not None:
+                        fill_l2(v, True)
+                    elif l3 is not None:
+                        fill_l3(v, True)
+            else:
+                occ1 += 1
+            set1[line] = True
+
+        c.cycles += n_inst * cpu.timing.store_issue
+        c.n_store_inst += n_inst
+        c.n_store += n_store
+        c.n_store_l1d_hit += n_store_hit
+        c.n_l2 += n_l2
+        c.l2_hits += l2_hits
+        c.n_l3 += n_l3
+        c.l3_hits += l3_hits
+        c.n_mem += n_mem
+        c.n_tcm_store += n_tcm
+        c.n_writeback += n_wb
+        l1.hits += h1
+        l1.misses += mis1
+        l1.fills += f1
+        l1.evictions += ev1
+        l1.dirty_evictions += dev1
+        l1._occupancy += occ1
+        if l2 is not None:
+            l2.hits += h2
+            l2.misses += mis2
+            l2.fills += f2
+            l2.evictions += ev2
+            l2.dirty_evictions += dev2
+            l2._occupancy += occ2
+        if l3 is not None:
+            l3.hits += h3
+            l3.misses += mis3
+            l3.fills += f3
+            l3.evictions += ev3
+            l3.dirty_evictions += dev3
+            l3._occupancy += occ3

@@ -38,7 +38,8 @@ class CacheLevel:
     """
 
     __slots__ = ("name", "size", "assoc", "n_sets", "_set_mask", "_sets",
-                 "hits", "misses", "fills", "evictions", "dirty_evictions")
+                 "hits", "misses", "fills", "evictions", "dirty_evictions",
+                 "_occupancy")
 
     def __init__(self, name: str, size: int, assoc: int):
         if size <= 0 or assoc <= 0:
@@ -64,6 +65,7 @@ class CacheLevel:
         self.fills = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        self._occupancy = 0
 
     # ------------------------------------------------------------------ hot path
 
@@ -105,6 +107,8 @@ class CacheLevel:
             if victim_dirty:
                 self.dirty_evictions += 1
             victim = (victim_line, victim_dirty)
+        else:
+            self._occupancy += 1
         cache_set[line] = dirty
         return victim
 
@@ -117,12 +121,16 @@ class CacheLevel:
     def invalidate(self, line: int) -> bool:
         """Drop a line if present; returns whether it was present."""
         cache_set = self._sets[line & self._set_mask]
-        return cache_set.pop(line, None) is not None
+        if cache_set.pop(line, None) is not None:
+            self._occupancy -= 1
+            return True
+        return False
 
     def flush(self) -> None:
         """Empty the cache and keep the statistics."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._occupancy = 0
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -137,8 +145,8 @@ class CacheLevel:
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently resident."""
-        return sum(len(s) for s in self._sets)
+        """Number of valid lines currently resident (tracked incrementally)."""
+        return self._occupancy
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

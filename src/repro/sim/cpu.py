@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.sim.address_space import LINE_SIZE
+from repro.sim.address_space import LINE_SHIFT, LINE_SIZE
 from repro.sim.hierarchy import (
     LEVEL_L1D,
     LEVEL_L2,
@@ -122,12 +122,53 @@ class Cpu:
         return level
 
     def load_bytes(self, addr: int, nbytes: int, dependent: bool = False) -> None:
-        """A multi-word read: one load per 8 bytes, first one dependent
-        if requested, the rest independent (they share the address)."""
+        """A multi-word read: one load instruction per 8 bytes, first one
+        dependent if requested, the rest independent.
+
+        Only the first word of each touched cache line goes through the
+        hierarchy; trailing same-line words are guaranteed L1D hits (the
+        first access filled the line and made it MRU, and the words are
+        consecutive) so they are accounted in bulk — ``scan_lines``'
+        trick, applied to every multi-word access.
+        """
         n_words = max(1, (nbytes + 7) // 8)
+        last = addr + 8 * (n_words - 1)
+        tcm = self.hierarchy.tcm_region
+        if tcm is not None and addr < tcm.end and last >= tcm.base:
+            if tcm.base <= addr and last < tcm.end:
+                # Whole run inside the TCM region: bulk TCM accounting.
+                c = self.counters
+                c.n_tcm_load += n_words
+                c.n_load_inst += n_words
+                if dependent:
+                    latency = self._latency[LEVEL_TCM]
+                    c.cycles += latency
+                    c.stall_cycles += latency - 1.0
+                    c.cycles += (n_words - 1) * self.timing.load_issue
+                else:
+                    c.cycles += n_words * self.timing.load_issue
+                return
+            # Run straddles the TCM boundary: rare — take the exact
+            # per-word path.
+            self.load(addr, dependent=dependent)
+            for i in range(1, n_words):
+                self.load(addr + 8 * i)
+            return
         self.load(addr, dependent=dependent)
-        for i in range(1, n_words):
-            self.load(addr + 8 * i)
+        if n_words == 1:
+            return
+        first_line = addr >> LINE_SHIFT
+        extra_lines = (last >> LINE_SHIFT) - first_line
+        word0 = addr & 7
+        for i in range(1, extra_lines + 1):
+            self.load(((first_line + i) << LINE_SHIFT) | word0)
+        bulk = n_words - 1 - extra_lines
+        if bulk > 0:
+            c = self.counters
+            c.n_load_inst += bulk
+            c.n_l1d += bulk
+            c.l1d_hits += bulk
+            c.cycles += bulk * self.timing.load_issue
 
     def scan_lines(self, base_addr: int, n_lines: int, loads_per_line: int = 1) -> None:
         """Sequentially read ``n_lines`` cache lines starting at ``base_addr``.
@@ -201,9 +242,38 @@ class Cpu:
         c.cycles += self.timing.store_issue
 
     def store_bytes(self, addr: int, nbytes: int) -> None:
+        """A multi-word write; same bulk trailing-word treatment as
+        :meth:`load_bytes` (the first store write-allocates and dirties
+        the line, so trailing same-line stores are guaranteed L1D hits).
+        """
         n_words = max(1, (nbytes + 7) // 8)
-        for i in range(n_words):
-            self.store(addr + 8 * i)
+        last = addr + 8 * (n_words - 1)
+        tcm = self.hierarchy.tcm_region
+        if tcm is not None and addr < tcm.end and last >= tcm.base:
+            if tcm.base <= addr and last < tcm.end:
+                c = self.counters
+                c.n_tcm_store += n_words
+                c.n_store_inst += n_words
+                c.cycles += n_words * self.timing.store_issue
+                return
+            for i in range(n_words):
+                self.store(addr + 8 * i)
+            return
+        self.store(addr)
+        if n_words == 1:
+            return
+        first_line = addr >> LINE_SHIFT
+        extra_lines = (last >> LINE_SHIFT) - first_line
+        word0 = addr & 7
+        for i in range(1, extra_lines + 1):
+            self.store(((first_line + i) << LINE_SHIFT) | word0)
+        bulk = n_words - 1 - extra_lines
+        if bulk > 0:
+            c = self.counters
+            c.n_store_inst += bulk
+            c.n_store += bulk
+            c.n_store_l1d_hit += bulk
+            c.cycles += bulk * self.timing.store_issue
 
     # ------------------------------------------------------------ compute ops
 

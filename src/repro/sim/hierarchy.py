@@ -61,6 +61,10 @@ class MemoryHierarchy:
         self.prefetcher = prefetcher
         self.counters = counters
         self.tcm_region = tcm_region
+        #: Bumped by every entry point that can mutate cache/LRU state;
+        #: the batched executor's scan-replay memo keys on it (see
+        #: repro.sim.batch.BatchExecutor.scan_lines).
+        self.mut_epoch = 0
 
     # ------------------------------------------------------------ helpers
 
@@ -74,6 +78,7 @@ class MemoryHierarchy:
 
     def flush(self) -> None:
         """Drop all cached lines (a cold start between measurements)."""
+        self.mut_epoch += 1
         self.l1d.flush()
         if self.l2 is not None:
             self.l2.flush()
@@ -85,11 +90,12 @@ class MemoryHierarchy:
 
     def load(self, addr: int) -> int:
         """Perform one demand load; returns the service LEVEL_* constant."""
-        if self.tcm_region is not None and self.tcm_region.contains(addr):
-            self.counters.n_tcm_load += 1
+        c = self.counters
+        tcm = self.tcm_region
+        if tcm is not None and tcm.base <= addr < tcm.base + tcm.size:
+            c.n_tcm_load += 1
             return LEVEL_TCM
         line = addr >> LINE_SHIFT
-        c = self.counters
         c.n_l1d += 1
         if self.l1d.lookup(line):
             c.l1d_hits += 1
@@ -100,11 +106,12 @@ class MemoryHierarchy:
 
     def store(self, addr: int) -> bool:
         """Perform one store; returns True when it hit in L1D (or TCM)."""
-        if self.tcm_region is not None and self.tcm_region.contains(addr):
-            self.counters.n_tcm_store += 1
+        c = self.counters
+        tcm = self.tcm_region
+        if tcm is not None and tcm.base <= addr < tcm.base + tcm.size:
+            c.n_tcm_store += 1
             return True
         line = addr >> LINE_SHIFT
-        c = self.counters
         c.n_store += 1
         if self.l1d.lookup(line, write=True):
             c.n_store_l1d_hit += 1

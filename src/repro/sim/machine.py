@@ -31,6 +31,7 @@ from repro.obs.tracer import NULL_TRACER
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config -> sim)
     from repro.config import MachineConfig
 from repro.sim.address_space import AddressSpace
+from repro.sim.batch import EXEC_MODES, BatchExecutor, ReferenceExecutor
 from repro.sim.cache import CacheLevel
 from repro.sim.cpu import Cpu
 from repro.sim.disk import DiskModel
@@ -65,7 +66,7 @@ class Machine:
     """A complete simulated platform built from a :class:`MachineConfig`."""
 
     def __init__(self, config: "MachineConfig", pstate: Optional[int] = None,
-                 seed: int = 0):
+                 seed: int = 0, exec_mode: str = "batched"):
         self.config = config
         self.address_space = AddressSpace()
         self.pmu = Pmu()
@@ -119,19 +120,65 @@ class Machine:
 
         # Re-export the hot-path micro-op methods: workloads call
         # machine.load(...) etc. without an extra attribute hop.
-        self.load = self.cpu.load
-        self.load_bytes = self.cpu.load_bytes
+        # (load/store themselves are bound by set_exec_mode: in batched
+        # mode they go through a thin wrapper that invalidates the
+        # executor's scan-replay memo.)
         self.hot_loads = self.cpu.hot_loads
         self.hot_stores = self.cpu.hot_stores
-        self.scan_lines = self.cpu.scan_lines
-        self.store = self.cpu.store
-        self.store_bytes = self.cpu.store_bytes
         self.add = self.cpu.add
         self.nop = self.cpu.nop
         self.mul = self.cpu.mul
         self.cmp = self.cpu.cmp
         self.branch = self.cpu.branch
         self.other = self.cpu.other
+
+        # Run-level execution engine: "batched" inlines whole runs of
+        # line accesses (bit-identical counters/energy/clock, see
+        # repro.sim.batch); "reference" keeps the per-op model path.
+        # scan_lines/load_bytes/store_bytes re-exports follow the mode.
+        self._executors = {
+            "reference": ReferenceExecutor(self.cpu),
+            "batched": BatchExecutor(self.cpu),
+        }
+        self.set_exec_mode(exec_mode)
+
+    # ------------------------------------------------------------ exec engine
+
+    def set_exec_mode(self, mode: str) -> None:
+        """Select the execution engine: ``reference`` or ``batched``."""
+        if mode not in EXEC_MODES:
+            raise ConfigError(
+                f"unknown exec mode {mode!r}; expected one of {EXEC_MODES}"
+            )
+        self.exec_mode = mode
+        ex = self._executors[mode]
+        self.exec = ex
+        self.scan_lines = ex.scan_lines
+        self.load_bytes = ex.load_bytes
+        self.store_bytes = ex.store_bytes
+        # Direct per-op load/store mutate cache state behind the batched
+        # executor's back, so in batched mode they bump the hierarchy's
+        # mutation epoch (which invalidates the scan-replay memo).  The
+        # reference path stays raw — zero added overhead.
+        self._executors["batched"]._scan_memo = None
+        if mode == "batched":
+            hier = self.hierarchy
+            cpu_load = self.cpu.load
+            cpu_store = self.cpu.store
+
+            def load(addr: int, dependent: bool = False) -> int:
+                hier.mut_epoch += 1
+                return cpu_load(addr, dependent)
+
+            def store(addr: int) -> None:
+                hier.mut_epoch += 1
+                cpu_store(addr)
+
+            self.load = load
+            self.store = store
+        else:
+            self.load = self.cpu.load
+            self.store = self.cpu.store
 
     # ------------------------------------------------------------ knobs
 

@@ -1,0 +1,206 @@
+"""Property-style equivalence: ``batched`` must match ``reference`` exactly.
+
+The batched executor's contract (repro.sim.batch) is bit-identical
+PMU counters, RAPL joules, wall-clock, and cache/LRU state.  These
+tests run randomly generated workload mixes — sequential scans
+(including exact rescans, which exercise the scan-replay memo),
+cache-thrashing scans, multi-word accesses, strided runs, pointer
+chases, stores, TCM accesses and boundary straddles, prefetcher
+on/off, and EIST on — through both executors and require exact
+equality, floats included.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import tiny_arm, tiny_intel
+from repro.sim.machine import Machine
+
+PRESETS = {"intel": tiny_intel, "arm": tiny_arm}
+
+
+def _random_program(rng: random.Random, tcm_base, tcm_size) -> list:
+    """A list of (op, *args) tuples over two regions: a small buffer
+    that fits in L1 and a large one that thrashes every level."""
+    ops = []
+    last_scan = None
+    for _ in range(rng.randrange(150, 250)):
+        kind = rng.randrange(14)
+        if kind == 0 and last_scan is not None and rng.random() < 0.8:
+            ops.append(last_scan)  # exact rescan: the memo path
+        elif kind <= 2:
+            region = rng.choice(("small", "big"))
+            start = rng.randrange(8)
+            n = rng.randrange(1, 12 if region == "small" else 600)
+            last_scan = ("scan", region, start, n, rng.choice((1, 1, 3)))
+            ops.append(last_scan)
+        elif kind == 3:
+            ops.append(("load", rng.choice(("small", "big")),
+                        rng.randrange(4096), rng.random() < 0.5))
+        elif kind == 4:
+            ops.append(("store", rng.choice(("small", "big")),
+                        rng.randrange(4096)))
+        elif kind == 5:
+            ops.append(("load_bytes", rng.choice(("small", "big")),
+                        rng.randrange(512), rng.randrange(1, 300),
+                        rng.random() < 0.5))
+        elif kind == 6:
+            ops.append(("store_bytes", rng.choice(("small", "big")),
+                        rng.randrange(512), rng.randrange(1, 200)))
+        elif kind == 7:
+            offs = sorted(rng.sample(range(0, 4096, 8),
+                                     rng.randrange(1, 10)))
+            ops.append(("load_run", rng.choice(("small", "big")),
+                        tuple(offs), rng.random() < 0.5))
+        elif kind == 8:
+            addrs = [rng.randrange(0, 1 << 16) & ~7 for _ in
+                     range(rng.randrange(1, 12))]
+            ops.append(("load_list", "big", tuple(addrs),
+                        rng.random() < 0.5))
+        elif kind == 9:
+            ops.append(("store_repeat", rng.choice(("small", "big")),
+                        rng.randrange(256) & ~7, rng.randrange(1, 40)))
+        elif kind == 10:
+            ops.append(("hot", rng.randrange(256), rng.randrange(1, 50)))
+        elif kind == 11:
+            ops.append(("pf", rng.random() < 0.5))
+        elif kind == 12:
+            ops.append(("settle",))
+        elif kind == 13 and tcm_base is not None:
+            # TCM interior plus boundary-straddling runs.
+            if rng.random() < 0.5:
+                ops.append(("tcm_run",
+                            rng.randrange(0, max(8, tcm_size - 64), 8),
+                            rng.randrange(1, 8), rng.random() < 0.5))
+            else:
+                ops.append(("straddle", rng.randrange(1, 6),
+                            rng.random() < 0.5))
+    return ops
+
+
+def _execute(preset: str, mode: str, program: list, eist: bool):
+    machine = Machine(PRESETS[preset](), exec_mode=mode)
+    small = machine.address_space.alloc_lines(16, "small")
+    big = machine.address_space.alloc_lines(4096, "big")
+    base = {"small": small.base, "big": big.base}
+    tcm = machine.hierarchy.tcm_region
+    if eist:
+        machine.enable_eist()
+    ex = machine.exec
+    for op in program:
+        kind = op[0]
+        if kind == "scan":
+            _, region, start, n, lpl = op
+            machine.scan_lines(base[region] + start * 64, n, lpl)
+        elif kind == "load":
+            machine.load(base[op[1]] + op[2], op[3])
+        elif kind == "store":
+            machine.store(base[op[1]] + op[2])
+        elif kind == "load_bytes":
+            machine.load_bytes(base[op[1]] + op[2], op[3], op[4])
+        elif kind == "store_bytes":
+            machine.store_bytes(base[op[1]] + op[2], op[3])
+        elif kind == "load_run":
+            ex.load_run(base[op[1]], op[2], op[3])
+        elif kind == "load_list":
+            ex.load_list([base[op[1]] + a for a in op[2]], op[3])
+        elif kind == "store_repeat":
+            ex.store_repeat(base[op[1]] + op[2], op[3])
+        elif kind == "hot":
+            machine.hot_loads(small.base + op[1], op[2])
+            machine.hot_stores(small.base + op[1], op[2])
+        elif kind == "pf":
+            machine.set_prefetcher(op[1])
+        elif kind == "settle":
+            machine.settle()
+            machine.governor_tick()
+        elif kind == "tcm_run":
+            ex.load_run(tcm.base + op[1], tuple(range(0, op[2] * 8, 8)),
+                        op[3])
+        elif kind == "straddle":
+            # A run crossing the TCM lower boundary: per-op fallback.
+            n_words = op[1]
+            ex.load_run(tcm.base - 8 * 2,
+                        tuple(range(0, (n_words + 2) * 8, 8)), op[2])
+    machine.settle()
+    return machine
+
+
+def _state(machine: Machine) -> dict:
+    rapl = machine.rapl
+    state = {
+        "counters": machine.cpu.counters.as_dict(),
+        "core_j": rapl.energy_core(),
+        "package_j": rapl.energy_package(),
+        "dram_j": rapl.energy_dram(),
+        "time_s": machine.time_s,
+        "busy_s": machine.busy_s,
+        "pstate": machine.pstate,
+    }
+    for level in (machine.hierarchy.l1d, machine.hierarchy.l2,
+                  machine.hierarchy.l3):
+        if level is None:
+            continue
+        state[level.name] = (
+            level.hits, level.misses, level.fills, level.evictions,
+            level.dirty_evictions, level.occupancy,
+            tuple(tuple(s.items()) for s in level._sets),
+        )
+    return state
+
+
+@pytest.mark.parametrize("preset", ("intel", "arm"))
+@pytest.mark.parametrize("seed", range(5))
+def test_random_mix_equivalence(preset, seed):
+    machine = Machine(PRESETS[preset]())
+    tcm = machine.hierarchy.tcm_region
+    rng = random.Random((hash(preset) ^ seed) & 0xFFFFFFFF)
+    program = _random_program(
+        rng,
+        tcm.base if tcm is not None else None,
+        tcm.size if tcm is not None else 0,
+    )
+    ref = _state(_execute(preset, "reference", program, eist=False))
+    bat = _state(_execute(preset, "batched", program, eist=False))
+    assert ref == bat
+
+
+@pytest.mark.parametrize("preset", ("intel", "arm"))
+def test_random_mix_equivalence_with_eist(preset):
+    machine = Machine(PRESETS[preset]())
+    tcm = machine.hierarchy.tcm_region
+    rng = random.Random(99)
+    program = _random_program(
+        rng,
+        tcm.base if tcm is not None else None,
+        tcm.size if tcm is not None else 0,
+    )
+    ref = _state(_execute(preset, "reference", program, eist=True))
+    bat = _state(_execute(preset, "batched", program, eist=True))
+    assert ref == bat
+
+
+def test_scan_memo_invalidated_by_per_op_access():
+    """A direct machine.load between identical scans must not let the
+    replay memo serve stale hits."""
+    program = [("scan", "small", 0, 8, 1)] * 3 + [
+        ("store", "small", 64),
+        ("scan", "small", 0, 8, 1),
+        ("load", "small", 256, True),
+        ("scan", "small", 0, 8, 1),
+    ]
+    ref = _state(_execute("intel", "reference", program, eist=False))
+    bat = _state(_execute("intel", "batched", program, eist=False))
+    assert ref == bat
+
+
+def test_exec_mode_knob():
+    machine = Machine(tiny_intel(), exec_mode="reference")
+    assert machine.exec_mode == "reference"
+    machine.set_exec_mode("batched")
+    assert machine.exec.mode == "batched"
+    with pytest.raises(Exception):
+        machine.set_exec_mode("warp")

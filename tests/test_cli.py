@@ -36,6 +36,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_simperf.json"
+        assert args.quick is False and args.check is None
+        assert args.max_regression == 0.30
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--check", "base.json",
+             "--max-regression", "0.5"]
+        )
+        assert args.quick and args.check == "base.json"
+        assert args.max_regression == 0.5
+
 
 class TestCommands:
     def test_calibrate(self, capsys):
