@@ -10,7 +10,10 @@ Commands:
 * ``experiment``— regenerate one paper table/figure by id;
 * ``poc``       — run the §4 DTCM proof-of-concept (Figure 13);
 * ``serve``     — run the concurrent query-serving simulation and
-  emit its JSON report (policies, admission control, tenants).
+  emit its JSON report (policies, admission control, tenants);
+* ``chaos``     — a serve run under deterministic fault injection,
+  with retries/deadlines/circuit-breaker resilience and a report that
+  splits Active energy into useful vs wasted joules.
 
 All commands accept ``--scale`` (cache divisor, default 16),
 ``--tier`` (data tier, default 100MB), ``--seed`` (the one root seed
@@ -324,10 +327,10 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    from repro.serve import ServeConfig, run_serve
+def _serve_config(args, **extra):
+    from repro.serve import ServeConfig
 
-    config = ServeConfig(
+    return ServeConfig(
         workload=args.workload,
         policy=args.policy,
         dvfs=args.dvfs,
@@ -349,17 +352,158 @@ def cmd_serve(args) -> int:
         tier=args.tier,
         scale=args.scale,
         exec_mode=getattr(args, "exec_mode", "batched"),
+        **extra,
     )
-    report = run_serve(config)
+
+
+def _emit_report(report: dict, out) -> None:
     text = json.dumps(report, indent=2, sort_keys=True)
-    if args.out:
-        path = pathlib.Path(args.out)
+    if out:
+        path = pathlib.Path(out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n")
         print(f"wrote {path}", file=sys.stderr)
     else:
         print(text)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import run_serve
+
+    report = run_serve(_serve_config(args))
+    _emit_report(report, args.out)
     return 0
+
+
+#: Fault-plan presets for ``repro chaos --scenario``; explicit fault
+#: flags override the preset field-by-field.
+CHAOS_SCENARIOS = {
+    "none": {},
+    "disk": {"disk_error_p": 0.05, "disk_slow_p": 0.05},
+    "corrupt": {"page_corrupt_p": 0.05},
+    "cpu": {"core_stall_p": 0.05, "dvfs_stuck_p": 0.02},
+    "flaky": {"request_error_p": 0.03},
+    "mixed": {
+        "disk_error_p": 0.02,
+        "disk_slow_p": 0.02,
+        "page_corrupt_p": 0.02,
+        "core_stall_p": 0.02,
+        "dvfs_stuck_p": 0.01,
+        "request_error_p": 0.02,
+    },
+}
+
+#: (CLI dest, FaultPlan field) pairs for the explicit fault flags.
+_CHAOS_FLAG_FIELDS = (
+    ("disk_error_p", "disk_error_p"),
+    ("disk_retries", "disk_error_max_retries"),
+    ("disk_slow_p", "disk_slow_p"),
+    ("disk_slow_factor", "disk_slow_factor"),
+    ("corrupt_p", "page_corrupt_p"),
+    ("stall_p", "core_stall_p"),
+    ("stall_s", "core_stall_s"),
+    ("dvfs_stuck_p", "dvfs_stuck_p"),
+    ("dvfs_stuck_epochs", "dvfs_stuck_epochs"),
+    ("request_error_p", "request_error_p"),
+)
+
+
+def cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.serve import run_serve
+
+    plan_kwargs = dict(CHAOS_SCENARIOS[args.scenario])
+    for dest, field in _CHAOS_FLAG_FIELDS:
+        value = getattr(args, dest)
+        if value is not None:
+            plan_kwargs[field] = value
+    config = _serve_config(
+        args,
+        faults=FaultPlan(**plan_kwargs),
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
+        retry_jitter=args.retry_jitter,
+        retry_budget=args.retry_budget,
+        deadline_s=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_cooloff_s=args.breaker_cooloff,
+        degrade_keep_tenants=args.keep_tenants,
+    )
+    report = run_serve(config)
+    if args.json or args.out:
+        _emit_report(report, args.out)
+    if not args.json:
+        counts = report["counts"]
+        resilience = report["resilience"]
+        energy = report["energy"]
+        print(f"chaos run: scenario={args.scenario} seed={args.seed}")
+        print(f"  requests: {counts['issued']} issued, "
+              f"{counts['completed']} completed, {counts['failed']} failed, "
+              f"{counts['deadline_exceeded']} past deadline, "
+              f"{counts['shed_degraded']} shed degraded")
+        injected = resilience["faults_injected"]
+        fault_text = (", ".join(f"{site}={n}"
+                                for site, n in injected.items())
+                      or "none")
+        print(f"  faults injected: {fault_text}")
+        print(f"  retries spent: {resilience['retries_spent']}, "
+              f"breaker trips: {resilience['breaker_trips']}, "
+              f"core stalls: {resilience['core_stalls']}, "
+              f"disk read retries: {resilience['disk_read_retries']}")
+        active = energy["active_energy_j"]
+        wasted = energy["wasted_energy_j"]
+        share = 100.0 * wasted / active if active > 0 else 0.0
+        print(f"  energy: {energy['useful_energy_j']:.4e} J useful + "
+              f"{wasted:.4e} J wasted = {active:.4e} J active "
+              f"({share:.1f}% wasted)")
+        for reason, joules in energy["wasted_by_reason_j"].items():
+            print(f"    wasted[{reason}]: {joules:.4e} J")
+    return 0
+
+
+def _add_serve_options(p: argparse.ArgumentParser) -> None:
+    """Options shared by every serve-shaped subcommand (serve, chaos)."""
+    _add_common(p)
+    from repro.serve.drivers import DRIVER_MODES
+    from repro.serve.policies import DVFS_MODES, POLICIES
+    from repro.serve.workload import MIXES
+
+    p.add_argument("--workload", default="tpch", choices=list(MIXES),
+                   help="query mix the clients draw from")
+    p.add_argument("--policy", default="fifo", choices=list(POLICIES),
+                   help="scheduling policy")
+    p.add_argument("--dvfs", default="race", choices=list(DVFS_MODES),
+                   help="frequency strategy: race-to-idle / pace / EIST")
+    p.add_argument("--mode", default="closed", choices=list(DRIVER_MODES),
+                   help="open-loop Poisson or closed-loop clients")
+    p.add_argument("--engine", default="postgresql", choices=list(ENGINES))
+    p.add_argument("--setting", default="baseline", choices=list(SETTINGS),
+                   help="engine configuration (buffer pool sizing)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client sessions")
+    p.add_argument("--queries", type=int, default=40,
+                   help="total queries to issue across all clients")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenants the clients are spread over")
+    p.add_argument("--cores", type=int, default=2,
+                   help="virtual cores to time-slice across")
+    p.add_argument("--mpl", type=int, default=2,
+                   help="multiprogramming level per core")
+    p.add_argument("--quantum-rows", type=int, default=64,
+                   help="iterator pulls per scheduling quantum")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission queue bound")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="max queued+running requests per tenant")
+    p.add_argument("--queue-timeout", type=float, default=None,
+                   help="shed requests queued longer than this (sim s)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop aggregate arrival rate (queries/s)")
+    p.add_argument("--think", type=float, default=0.0,
+                   help="closed-loop mean think time (sim s)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON report to FILE (default: stdout)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,47 +578,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="serve a concurrent query mix; emit a JSON report"
     )
-    _add_common(p)
-    from repro.serve.drivers import DRIVER_MODES
-    from repro.serve.policies import DVFS_MODES, POLICIES
-    from repro.serve.workload import MIXES
-
-    p.add_argument("--workload", default="tpch", choices=list(MIXES),
-                   help="query mix the clients draw from")
-    p.add_argument("--policy", default="fifo", choices=list(POLICIES),
-                   help="scheduling policy")
-    p.add_argument("--dvfs", default="race", choices=list(DVFS_MODES),
-                   help="frequency strategy: race-to-idle / pace / EIST")
-    p.add_argument("--mode", default="closed", choices=list(DRIVER_MODES),
-                   help="open-loop Poisson or closed-loop clients")
-    p.add_argument("--engine", default="postgresql", choices=list(ENGINES))
-    p.add_argument("--setting", default="baseline", choices=list(SETTINGS),
-                   help="engine configuration (buffer pool sizing)")
-    p.add_argument("--clients", type=int, default=4,
-                   help="concurrent client sessions")
-    p.add_argument("--queries", type=int, default=40,
-                   help="total queries to issue across all clients")
-    p.add_argument("--tenants", type=int, default=2,
-                   help="tenants the clients are spread over")
-    p.add_argument("--cores", type=int, default=2,
-                   help="virtual cores to time-slice across")
-    p.add_argument("--mpl", type=int, default=2,
-                   help="multiprogramming level per core")
-    p.add_argument("--quantum-rows", type=int, default=64,
-                   help="iterator pulls per scheduling quantum")
-    p.add_argument("--max-queue", type=int, default=64,
-                   help="admission queue bound")
-    p.add_argument("--tenant-quota", type=int, default=None,
-                   help="max queued+running requests per tenant")
-    p.add_argument("--queue-timeout", type=float, default=None,
-                   help="shed requests queued longer than this (sim s)")
-    p.add_argument("--rate", type=float, default=50.0,
-                   help="open-loop aggregate arrival rate (queries/s)")
-    p.add_argument("--think", type=float, default=0.0,
-                   help="closed-loop mean think time (sim s)")
-    p.add_argument("--out", metavar="FILE", default=None,
-                   help="write the JSON report to FILE (default: stdout)")
+    _add_serve_options(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="serve under deterministic fault injection; report the "
+             "useful/wasted energy split",
+    )
+    _add_serve_options(p)
+    p.add_argument("--scenario", default="mixed",
+                   choices=sorted(CHAOS_SCENARIOS),
+                   help="fault-plan preset (explicit flags override)")
+    p.add_argument("--disk-error-p", type=float, default=None,
+                   help="transient disk read error probability per read")
+    p.add_argument("--disk-retries", type=int, default=None,
+                   help="IO retries before a read error surfaces")
+    p.add_argument("--disk-slow-p", type=float, default=None,
+                   help="disk latency spike probability per read")
+    p.add_argument("--disk-slow-factor", type=float, default=None,
+                   help="access-latency multiplier of a spike")
+    p.add_argument("--corrupt-p", type=float, default=None,
+                   help="page corruption probability per page fill")
+    p.add_argument("--stall-p", type=float, default=None,
+                   help="core stall probability per quantum")
+    p.add_argument("--stall-s", type=float, default=None,
+                   help="stall duration (sim s)")
+    p.add_argument("--dvfs-stuck-p", type=float, default=None,
+                   help="stuck-DVFS probability per governor epoch")
+    p.add_argument("--dvfs-stuck-epochs", type=int, default=None,
+                   help="epochs a stuck episode lasts")
+    p.add_argument("--request-error-p", type=float, default=None,
+                   help="injected request failure probability per quantum")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries per failed request (0 = fail fast)")
+    p.add_argument("--retry-backoff", type=float, default=0.005,
+                   help="base retry backoff (sim s; doubles per failure)")
+    p.add_argument("--retry-jitter", type=float, default=0.1,
+                   help="seeded jitter fraction on each backoff")
+    p.add_argument("--retry-budget", type=int, default=None,
+                   help="global cap on retries across the run")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request execution deadline (sim s)")
+    p.add_argument("--breaker-threshold", type=float, default=None,
+                   help="windowed failure rate that trips the breaker")
+    p.add_argument("--breaker-window", type=int, default=16,
+                   help="attempt outcomes in the breaker's window")
+    p.add_argument("--breaker-cooloff", type=float, default=0.1,
+                   help="sim seconds the breaker stays open")
+    p.add_argument("--keep-tenants", type=int, default=1,
+                   help="tenants still served in degraded mode")
+    p.add_argument("--json", action="store_true",
+                   help="print the full JSON report instead of the summary")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "bench",
@@ -502,7 +658,7 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
-    except OSError as exc:
+    except (OSError, json.JSONDecodeError) as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

@@ -23,8 +23,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import ConfigError
-from repro.db.pagestore import PagedFile, PageId
+from repro.errors import ConfigError, FaultError, PageCorruptionError, \
+    TransientDiskError
+from repro.db.pagestore import PagedFile, PageId, compute_page_checksum
 from repro.db.types import Row
 from repro.sim.address_space import LINE_SHIFT, LINE_SIZE, Region
 from repro.sim.machine import Machine
@@ -174,12 +175,89 @@ class BufferPool:
                 logger.debug("%s: recycling frame %d (page %s -> %s)",
                              self.label, frame_index, evicted, page_id)
             frame = self.frames[frame_index]
-            machine.disk_read(paged_file.block_of(page_no), self.page_size)
-            self._invalidate_frame(frame)
-            frame.page_id = page_id
-            frame.rows = paged_file.page(page_no)
+            injector = machine.fault_injector
+            try:
+                if injector is None:
+                    machine.disk_read(paged_file.block_of(page_no),
+                                      self.page_size)
+                else:
+                    self._read_with_retries(paged_file, page_no, injector)
+                self._invalidate_frame(frame)
+                frame.page_id = page_id
+                frame.rows = paged_file.page(page_no)
+                if injector is not None and injector.plan.page_corrupt_p > 0:
+                    self._verify_page(frame, paged_file, page_no, injector)
+            except FaultError:
+                # The frame holds no valid page; return it to the free
+                # list so the pool stays consistent for the next fetch.
+                frame.page_id = None
+                frame.rows = ()
+                self._free.append(frame.index)
+                raise
             self._table[page_id] = frame_index
         return frame
+
+    def _read_with_retries(self, paged_file: PagedFile, page_no: int,
+                           injector) -> None:
+        """Disk read that retries transient errors up to the plan's limit.
+
+        Every failed attempt's device time has already been charged (the
+        machine idles through it before re-raising), so retried reads show
+        up as wasted joules without any extra bookkeeping here.
+        """
+        machine = self.machine
+        block = paged_file.block_of(page_no)
+        retries_left = injector.plan.disk_error_max_retries
+        while True:
+            try:
+                machine.disk_read(block, self.page_size)
+                return
+            except TransientDiskError:
+                if retries_left <= 0:
+                    raise
+                retries_left -= 1
+                machine.metrics.counter(
+                    "bufferpool.disk_retries", {"pool": self.label}
+                ).inc()
+
+    def _verify_page(self, frame: Frame, paged_file: PagedFile,
+                     page_no: int, injector) -> None:
+        """Checksum the freshly-read frame; repair corrupt pages by
+        re-reading from disk (the repair is charged its real energy).
+
+        Verification walks the page once (loads) plus the arithmetic of
+        the checksum itself.  The injector decides whether the in-flight
+        copy was corrupted; the stored checksum from the page header is
+        the reference either way.
+        """
+        machine = self.machine
+        expected = paged_file.page_checksum(page_no)
+
+        def verify() -> bool:
+            machine.load_bytes(frame.region.base, self.page_size)
+            machine.other(max(1, self.page_size // LINE_SIZE))
+            actual = compute_page_checksum(frame.rows)
+            return actual == expected and not injector.page_corrupt()
+
+        if verify():
+            return
+        # Each repair re-read *and* its re-verification are wasted work:
+        # both live inside the wasted="page_repair" span so the energy
+        # split charges the full cost of corruption to the fault.
+        for _ in range(injector.plan.page_repair_max):
+            with machine.tracer.span("bufferpool.repair", category="fault",
+                                     fault="page.corrupt",
+                                     wasted="page_repair",
+                                     page=str(frame.page_id)):
+                self._read_with_retries(paged_file, page_no, injector)
+                self._invalidate_frame(frame)
+                frame.rows = paged_file.page(page_no)
+                if verify():
+                    return
+        raise PageCorruptionError(
+            f"page {frame.page_id} failed checksum after "
+            f"{injector.plan.page_repair_max} repair re-reads"
+        )
 
     def contains(self, paged_file: PagedFile, page_no: int) -> bool:
         return PageId(paged_file.file_id, page_no) in self._table

@@ -10,6 +10,7 @@ the executor touches them.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -18,6 +19,17 @@ from repro.db.types import Row, Schema
 
 #: Bytes of page header (LSN, checksum, slot count, free-space pointer).
 PAGE_HEADER_BYTES = 64
+
+
+def compute_page_checksum(rows: Sequence[Row]) -> int:
+    """CRC32 of a page's row content — the header-checksum analogue.
+
+    Process-independent (no builtin ``hash``), so two runs of the same
+    workload compute identical checksums; the buffer pool compares the
+    file's stored checksum against the in-frame copy to detect pages
+    corrupted in transit (see :mod:`repro.faults`).
+    """
+    return zlib.crc32(repr(tuple(rows)).encode("utf-8", "surrogatepass"))
 
 
 @dataclass(frozen=True)
@@ -50,11 +62,17 @@ class PagedFile:
         self.first_block = first_block
         self._pages: list[list[Row]] = []
         self._deleted: set[tuple[int, int]] = set()
+        #: Cached per-page checksums (host-side bookkeeping; the buffer
+        #: pool charges the simulated cost of verification itself).
+        self._checksums: dict[int, int] = {}
 
     # ------------------------------------------------------------ writing
 
     def append_rows(self, rows: Iterable[Row]) -> None:
         """Bulk-load rows (the initial data load path)."""
+        if self._pages:
+            # The tail page may gain rows; its cached checksum is stale.
+            self._checksums.pop(len(self._pages) - 1, None)
         width = len(self.schema)
         for row in rows:
             if len(row) != width:
@@ -82,6 +100,7 @@ class PagedFile:
         if (page_no, slot) in self._deleted:
             raise DatabaseError(f"row at page {page_no} slot {slot} is deleted")
         page[slot] = tuple(row)
+        self._checksums.pop(page_no, None)
 
     def delete_row(self, page_no: int, slot: int) -> None:
         """Tombstone a row (slots are never reused; rowrefs stay stable)."""
@@ -121,6 +140,14 @@ class PagedFile:
 
     def block_of(self, page_no: int) -> int:
         return self.first_block + page_no
+
+    def page_checksum(self, page_no: int) -> int:
+        """Stored checksum of a page (what the header on disk would say)."""
+        checksum = self._checksums.get(page_no)
+        if checksum is None:
+            checksum = compute_page_checksum(self.page(page_no))
+            self._checksums[page_no] = checksum
+        return checksum
 
     def page_ids(self) -> Iterator[PageId]:
         for page_no in range(self.n_pages):

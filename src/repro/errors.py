@@ -42,3 +42,38 @@ class PlanError(DatabaseError):
 class TraceError(ReproError):
     """The observability layer was misused (mismatched span enter/exit,
     finishing a trace with spans still open, ...)."""
+
+
+class ServeError(ReproError):
+    """The serving layer was misused at runtime (dispatching a request
+    that is not queued, releasing a slot twice, ...)."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request ran past its execution deadline; the work it consumed
+    is accounted as wasted energy."""
+
+
+class FaultError(ReproError):
+    """An injected fault surfaced to the execution layer.  Raised only
+    when a :class:`~repro.faults.FaultInjector` is installed; a plain
+    run can never see one."""
+
+
+class TransientDiskError(FaultError):
+    """A simulated disk read failed transiently.  The failed attempt
+    still cost real device time, carried in :attr:`elapsed_s` so the
+    caller charges it before retrying."""
+
+    def __init__(self, block: int, elapsed_s: float):
+        super().__init__(
+            f"transient read error at block {block} "
+            f"(after {elapsed_s:.3e}s of device time)"
+        )
+        self.block = block
+        self.elapsed_s = elapsed_s
+
+
+class PageCorruptionError(FaultError):
+    """A page failed its checksum repeatedly and could not be repaired
+    by re-reading it from disk."""

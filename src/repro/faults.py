@@ -1,0 +1,194 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's micro-accounting prices *successful* work; a production
+serving system also burns joules on work that fails — retried reads,
+corrupted pages repaired by a re-read, requests abandoned past their
+deadline.  This module is the chaos source that makes those failures
+reproducible: a :class:`FaultInjector` owns one private RNG stream per
+injection *site* (derived via :func:`repro.seeding.derive_seed`), so
+
+* the same root seed replays the exact same fault sequence, and
+* a draw at one site never perturbs another site's stream (adding a
+  new site, or firing one more often, leaves the others untouched).
+
+Sites and the components that consult them:
+
+========================  ====================================================
+``disk.error``            :class:`~repro.sim.disk.DiskModel` — transient read
+                          errors (:class:`~repro.errors.TransientDiskError`)
+``disk.slow``             :class:`~repro.sim.disk.DiskModel` — latency spikes
+``page.corrupt``          :class:`~repro.db.bufferpool.BufferPool` — page
+                          arrives corrupted; detected by checksum, repaired
+                          by a charged re-read
+``core.stall``            :class:`~repro.sim.cores.CoreSet` — a quantum ends
+                          in a core stall (charged as idle time)
+``dvfs.stuck``            :class:`~repro.sim.dvfs.EistGovernor` — the
+                          governor refuses to change P-state for N epochs
+``request.error``         :class:`~repro.serve.loop.QueryServer` — a query
+                          attempt aborts mid-quantum
+========================  ====================================================
+
+Everything is pay-as-you-go: a site whose probability is zero draws
+nothing (its RNG is never even created), so a plan with all
+probabilities at zero is bit-identical to running with no injector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.seeding import derive_seed
+
+#: Every injection site, in documentation order.
+FAULT_SITES = (
+    "disk.error",
+    "disk.slow",
+    "page.corrupt",
+    "core.stall",
+    "dvfs.stuck",
+    "request.error",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities and shapes of every injectable fault.
+
+    All ``*_p`` fields are per-event probabilities in ``[0, 1]`` (per
+    disk read, per buffer-pool page fill, per quantum, per governor
+    epoch).  A probability of zero disables the site entirely.
+    """
+
+    #: Transient disk read errors (the failed attempt's device time is
+    #: still charged, as wasted idle).
+    disk_error_p: float = 0.0
+    #: IO-level retries the buffer pool attempts before giving up and
+    #: surfacing the fault to the execution layer.
+    disk_error_max_retries: int = 3
+    #: Disk latency spikes: the access-latency term is multiplied.
+    disk_slow_p: float = 0.0
+    disk_slow_factor: float = 20.0
+    #: Page corruption in transit (detected by the per-page checksum).
+    page_corrupt_p: float = 0.0
+    #: Repair re-reads attempted before declaring the page unreadable.
+    page_repair_max: int = 3
+    #: Core stalls: a quantum ends in a stall of ``core_stall_s``.
+    core_stall_p: float = 0.0
+    core_stall_s: float = 2e-3
+    #: Stuck DVFS: the EIST governor freezes at its current P-state for
+    #: ``dvfs_stuck_epochs`` epochs.
+    dvfs_stuck_p: float = 0.0
+    dvfs_stuck_epochs: int = 50
+    #: Request-level execution faults (one draw per quantum).
+    request_error_p: float = 0.0
+
+    def validate(self) -> "FaultPlan":
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name.endswith("_p") and not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"{field.name} must be a probability in [0, 1], "
+                    f"got {value}"
+                )
+        if self.disk_error_max_retries < 0:
+            raise ConfigError("disk_error_max_retries must be >= 0")
+        if self.disk_slow_factor < 1.0:
+            raise ConfigError(
+                f"disk_slow_factor must be >= 1, got {self.disk_slow_factor}"
+            )
+        if self.page_repair_max < 1:
+            raise ConfigError("page_repair_max must be >= 1")
+        if self.core_stall_s < 0:
+            raise ConfigError("core_stall_s must be >= 0")
+        if self.dvfs_stuck_epochs < 1:
+            raise ConfigError("dvfs_stuck_epochs must be >= 1")
+        return self
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, field.name) > 0.0
+            for field in fields(self) if field.name.endswith("_p")
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view, field order (stable for reports)."""
+        return {field.name: getattr(self, field.name)
+                for field in fields(self)}
+
+
+class FaultInjector:
+    """Seeded chaos source shared by every instrumented component.
+
+    One injector serves a whole run; components hold a reference and
+    ask it yes/no questions (``disk_error()``, ``core_stall()``, ...).
+    Each site's decisions come from a private RNG stream, and every
+    *fired* fault increments the ``faults.injected{site=...}`` counter
+    family in the metrics registry (injection is a cold event; the
+    counter cost is off the hot path by construction).
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.plan = plan.validate()
+        self.seed = seed
+        self.metrics = metrics
+        self._rngs: dict[str, random.Random] = {}
+        #: Fired-fault counts per site (plain ints; the report reads them).
+        self.injected: dict[str, int] = {}
+
+    # ------------------------------------------------------------ core draw
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = random.Random(derive_seed(self.seed, "faults", site))
+            self._rngs[site] = rng
+        return rng
+
+    def fire(self, site: str, probability: float) -> bool:
+        """One seeded decision at ``site``; records the fault if it fires.
+
+        Zero-probability sites return False without drawing, so an
+        all-zero plan consumes no randomness at all.
+        """
+        if probability <= 0.0:
+            return False
+        if self._rng(site).random() >= probability:
+            return False
+        self.injected[site] = self.injected.get(site, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "faults.injected", labels={"site": site}
+            ).inc()
+        return True
+
+    # ------------------------------------------------------------ sites
+
+    def disk_error(self) -> bool:
+        return self.fire("disk.error", self.plan.disk_error_p)
+
+    def disk_slow(self) -> bool:
+        return self.fire("disk.slow", self.plan.disk_slow_p)
+
+    def page_corrupt(self) -> bool:
+        return self.fire("page.corrupt", self.plan.page_corrupt_p)
+
+    def core_stall(self) -> bool:
+        return self.fire("core.stall", self.plan.core_stall_p)
+
+    def dvfs_stuck(self) -> bool:
+        return self.fire("dvfs.stuck", self.plan.dvfs_stuck_p)
+
+    def request_error(self) -> bool:
+        return self.fire("request.error", self.plan.request_error_p)
+
+    # ------------------------------------------------------------ reporting
+
+    def counts(self) -> dict:
+        """Fired-fault counts per site, sorted (report-stable)."""
+        return dict(sorted(self.injected.items()))

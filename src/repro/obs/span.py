@@ -202,6 +202,32 @@ class Trace:
         visit(self.root, None)
         return groups
 
+    def active_energy_by_metas(self, keys: tuple) -> dict:
+        """Partition Active energy by a *tuple* of span-meta values.
+
+        Multi-key variant of :meth:`active_energy_by_meta`: each span's
+        self energy is credited to the tuple of per-key owners, where
+        each key inherits downward independently (a ``wasted``-tagged
+        repair span inside a request's quantum keeps the request tag but
+        overrides the wasted tag).  Visiting every span exactly once
+        keeps the invariant: the group sums equal :attr:`total_active_j`
+        exactly — which is what lets the serve report split Active
+        energy into useful and wasted joules with no residual.
+        """
+        groups: dict = {}
+
+        def visit(span: Span, inherited: tuple) -> None:
+            owner = tuple(
+                span.meta.get(key, inherited[i])
+                for i, key in enumerate(keys)
+            )
+            groups[owner] = groups.get(owner, 0.0) + self.active_energy_j(span)
+            for child in span.children:
+                visit(child, owner)
+
+        visit(self.root, (None,) * len(keys))
+        return groups
+
     # ------------------------------------------------------------ views
 
     def spans(self) -> Iterator[Span]:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro import Machine, intel_i7_4790
 from repro.db import Database, engine_profile
+from repro.faults import FAULT_SITES, FaultInjector, FaultPlan
 from repro.micro.measurement import measure_background
 from repro.obs import Tracer
 from repro.seeding import derive_seed, require_seed
@@ -46,14 +47,21 @@ from repro.serve.policies import (
     apply_dvfs,
     make_policy,
 )
-from repro.serve.report import build_report, latency_summary, percentile
+from repro.serve.report import (
+    build_report,
+    energy_split,
+    latency_summary,
+    percentile,
+)
 from repro.serve.request import JobTemplate, Request
+from repro.serve.resilience import CircuitBreaker, RetryManager
 from repro.serve.workload import MIXES, QueryMix, build_mix
 from repro.sim.cores import ContextSwitchCost, Core, CoreSet
 from repro.workloads.tpch import TpchData, load_into
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
     "ClosedLoopDriver",
     "ContextSwitchCost",
     "Core",
@@ -61,6 +69,9 @@ __all__ = [
     "DRIVER_MODES",
     "DVFS_MODES",
     "Driver",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
     "FifoPolicy",
     "JobTemplate",
     "LocalityPolicy",
@@ -70,12 +81,14 @@ __all__ = [
     "QueryMix",
     "QueryServer",
     "Request",
+    "RetryManager",
     "SchedulingPolicy",
     "ServeConfig",
     "SjfPolicy",
     "apply_dvfs",
     "build_mix",
     "build_report",
+    "energy_split",
     "latency_summary",
     "make_driver",
     "make_policy",
@@ -99,7 +112,14 @@ def run_serve(config: ServeConfig) -> dict:
         seed=derive_seed(seed, "serve", "machine-noise"),
         exec_mode=config.exec_mode,
     )
-    apply_dvfs(machine, config.dvfs)
+    injector = None
+    if config.faults is not None and config.faults.any_enabled:
+        injector = FaultInjector(
+            config.faults,
+            seed=derive_seed(seed, "faults"),
+            metrics=machine.metrics,
+        )
+    apply_dvfs(machine, config.dvfs, injector=injector)
     db = Database(machine, engine_profile(config.engine, config.setting),
                   name=config.engine)
     if config.workload != "kv":
@@ -119,6 +139,13 @@ def run_serve(config: ServeConfig) -> dict:
     )
     background = measure_background(machine)
     core_set = CoreSet(machine, config.cores)
+    if injector is not None:
+        # Arm the fault sites only now, after the data load and the
+        # background measurement: faults hit the serving window, not
+        # setup, so a chaos run's baseline matches the plain run's.
+        machine.fault_injector = injector
+        machine.disk.injector = injector
+        core_set.injector = injector
     admission = AdmissionController(
         machine.metrics,
         max_queue=config.max_queue,
@@ -126,9 +153,30 @@ def run_serve(config: ServeConfig) -> dict:
         queue_timeout_s=config.queue_timeout_s,
     )
     policy = make_policy(config.policy)
+    retry = None
+    if config.retries > 0:
+        retry = RetryManager(
+            seed,
+            max_retries=config.retries,
+            backoff_s=config.retry_backoff_s,
+            jitter=config.retry_jitter,
+            budget=config.retry_budget,
+            metrics=machine.metrics,
+        )
+    breaker = None
+    if config.breaker_threshold is not None:
+        breaker = CircuitBreaker(
+            config.breaker_threshold,
+            window=config.breaker_window,
+            cooloff_s=config.breaker_cooloff_s,
+            metrics=machine.metrics,
+        )
     server = QueryServer(db, core_set, admission, policy, driver,
-                         mpl=config.mpl, quantum_rows=config.quantum_rows)
+                         mpl=config.mpl, quantum_rows=config.quantum_rows,
+                         injector=injector, retry=retry, breaker=breaker,
+                         deadline_s=config.deadline_s,
+                         degrade_keep_tenants=config.degrade_keep_tenants)
     tracer = Tracer(machine, background=background, name="serve")
     with tracer:
         server.run()
-    return build_report(config, server, tracer.trace)
+    return build_report(config, server, tracer.trace, injector=injector)

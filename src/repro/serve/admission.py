@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServeError
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.request import (
     QUEUED,
@@ -60,33 +60,39 @@ class AdmissionController:
 
     # ------------------------------------------------------------ arrivals
 
-    def offer(self, request: Request, now: float) -> bool:
+    def offer(self, request: Request, now: float,
+              record: bool = True) -> bool:
         """Admit ``request`` or reject it with backpressure.
 
         Returns True when admitted (request joins the queue); on
         rejection the request's state records the reason and the
-        matching counter increments.
+        matching counter increments.  Retry re-offers pass
+        ``record=False`` so the admitted/rejected counters keep counting
+        *first* offers only (their sum stays equal to issued requests).
         """
         self._shed_expired(now)
         if len(self.queue) >= self.max_queue:
             request.state = REJECTED_QUEUE
             request.finish_s = now
-            self.metrics.counter(
-                "serve.rejected", labels={"reason": "queue"}
-            ).inc()
+            if record:
+                self.metrics.counter(
+                    "serve.rejected", labels={"reason": "queue"}
+                ).inc()
             return False
         tenant_load = self._in_flight.get(request.tenant, 0)
         if self.tenant_quota is not None and tenant_load >= self.tenant_quota:
             request.state = REJECTED_QUOTA
             request.finish_s = now
-            self.metrics.counter(
-                "serve.rejected", labels={"reason": "quota"}
-            ).inc()
+            if record:
+                self.metrics.counter(
+                    "serve.rejected", labels={"reason": "quota"}
+                ).inc()
             return False
         request.state = QUEUED
         self.queue.append(request)
         self._in_flight[request.tenant] = tenant_load + 1
-        self.metrics.counter("serve.admitted").inc()
+        if record:
+            self.metrics.counter("serve.admitted").inc()
         self.metrics.gauge("serve.queue_depth").set(len(self.queue))
         return True
 
@@ -112,7 +118,13 @@ class AdmissionController:
     def take(self, request: Request, now: float) -> Request:
         """Remove ``request`` from the queue for dispatch; it stays in
         its tenant's in-flight count until :meth:`release`."""
-        self.queue.remove(request)
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise ServeError(
+                f"request {request.request_id} is not queued "
+                f"(state={request.state!r})"
+            ) from None
         request.state = RUNNING
         request.start_s = now
         self.metrics.gauge("serve.queue_depth").set(len(self.queue))

@@ -31,11 +31,20 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.db.engine import Database
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceeded, FaultError
+from repro.faults import FaultInjector, FaultPlan
 from repro.serve.admission import AdmissionController
 from repro.serve.drivers import Driver
-from repro.serve.policies import SchedulingPolicy
-from repro.serve.request import COMPLETED, JobTemplate, Request
+from repro.serve.policies import FifoPolicy, SchedulingPolicy
+from repro.serve.request import (
+    COMPLETED,
+    DEADLINE_EXCEEDED,
+    FAILED,
+    SHED_DEGRADED,
+    JobTemplate,
+    Request,
+)
+from repro.serve.resilience import CircuitBreaker, RetryManager
 from repro.sim.cores import Core, CoreSet
 
 #: Span category carried by every quantum span.
@@ -75,6 +84,41 @@ class ServeConfig:
     #: Simulator execution engine ("batched" is bit-identical to
     #: "reference"; see repro.sim.batch).
     exec_mode: str = "batched"
+    # --- resilience / chaos (all default off; a plain serve run is
+    # byte-identical to one configured before these fields existed) ---
+    #: Fault plan for chaos runs (None = no injection anywhere).
+    faults: Optional[FaultPlan] = None
+    #: Max retries per request after a failed attempt (0 = fail fast).
+    retries: int = 0
+    #: Base backoff before the first retry (doubles per failure).
+    retry_backoff_s: float = 0.005
+    #: Jitter fraction applied to each backoff (seeded, deterministic).
+    retry_jitter: float = 0.1
+    #: Global cap on retries across the whole run (None = unlimited).
+    retry_budget: Optional[int] = None
+    #: Per-request execution deadline from arrival (None = none).
+    deadline_s: Optional[float] = None
+    #: Breaker trips when the windowed failure rate reaches this
+    #: (None = no breaker).
+    breaker_threshold: Optional[float] = None
+    #: Sliding window of attempt outcomes the breaker looks at.
+    breaker_window: int = 16
+    #: Simulated seconds the breaker stays open once tripped.
+    breaker_cooloff_s: float = 0.1
+    #: Tenants (by index) still served while the breaker is open.
+    degrade_keep_tenants: int = 1
+
+    @property
+    def resilient(self) -> bool:
+        """True when any fault/resilience machinery is switched on.
+
+        Gates every new report key and runtime hook, so a config that
+        leaves all of this at defaults produces byte-identical output to
+        the pre-resilience server.
+        """
+        return (self.faults is not None or self.retries > 0
+                or self.deadline_s is not None
+                or self.breaker_threshold is not None)
 
     def validate(self) -> "ServeConfig":
         if self.clients < 1:
@@ -91,6 +135,47 @@ class ServeConfig:
             raise ConfigError(
                 f"quantum_rows must be >= 1, got {self.quantum_rows}"
             )
+        if self.faults is not None:
+            self.faults.validate()
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_s <= 0:
+            raise ConfigError(
+                f"retry_backoff_s must be positive, got {self.retry_backoff_s}"
+            )
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ConfigError(
+                f"retry_jitter must be in [0, 1), got {self.retry_jitter}"
+            )
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.breaker_threshold is not None and not (
+            0.0 < self.breaker_threshold <= 1.0
+        ):
+            raise ConfigError(
+                f"breaker_threshold must be in (0, 1], "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_window < 1:
+            raise ConfigError(
+                f"breaker_window must be >= 1, got {self.breaker_window}"
+            )
+        if self.breaker_cooloff_s <= 0:
+            raise ConfigError(
+                f"breaker_cooloff_s must be positive, "
+                f"got {self.breaker_cooloff_s}"
+            )
+        if self.degrade_keep_tenants < 1:
+            raise ConfigError(
+                f"degrade_keep_tenants must be >= 1, "
+                f"got {self.degrade_keep_tenants}"
+            )
         return self
 
 
@@ -99,7 +184,12 @@ class QueryServer:
 
     def __init__(self, db: Database, core_set: CoreSet,
                  admission: AdmissionController, policy: SchedulingPolicy,
-                 driver: Driver, mpl: int = 2, quantum_rows: int = 64):
+                 driver: Driver, mpl: int = 2, quantum_rows: int = 64,
+                 injector: Optional[FaultInjector] = None,
+                 retry: Optional[RetryManager] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 deadline_s: Optional[float] = None,
+                 degrade_keep_tenants: int = 1):
         self.db = db
         self.machine = db.machine
         self.core_set = core_set
@@ -108,15 +198,34 @@ class QueryServer:
         self.driver = driver
         self.mpl = mpl
         self.quantum_rows = quantum_rows
+        self.injector = injector
+        self.retry = retry
+        self.breaker = breaker
+        self.deadline_s = deadline_s
+        self.degrade_keep_tenants = degrade_keep_tenants
+        #: Scheduling fallback while the breaker is open: the cheapest
+        #: policy (no cost model, no locality scan).
+        self._degraded_policy = FifoPolicy()
         #: Every request ever created, in arrival order (the report's input).
         self.requests: list[Request] = []
         #: Tables of the most recently dispatched request (locality key).
         self.hot_tables: frozenset[str] = frozenset()
-        self._heap: list[tuple[float, int, int, JobTemplate]] = []
+        #: Heap payload is a JobTemplate (fresh arrival) or a Request
+        #: re-arriving after retry backoff; seq breaks every tie so the
+        #: payloads themselves are never compared.
+        self._heap: list = []
         self._seq = 0
         self._free_slots = {
             core.index: list(range(mpl)) for core in core_set.cores
         }
+
+    def _degraded(self, now: float) -> bool:
+        return self.breaker is not None and self.breaker.degraded(now)
+
+    def _tenant_priority(self, client: int) -> int:
+        """Tenant index of a client; lower = higher priority when the
+        breaker's degraded mode sheds tenants."""
+        return client % self.driver.tenants
 
     # ------------------------------------------------------------ arrivals
 
@@ -134,20 +243,52 @@ class QueryServer:
             request = self.admission.shed.pop(0)
             self._client_terminal(request, request.finish_s)
 
+    def _shed_degraded(self, request: Request, now: float) -> None:
+        request.state = SHED_DEGRADED
+        request.finish_s = now
+        self.machine.metrics.counter("serve.shed_degraded").inc()
+        self._client_terminal(request, now)
+
     def _process_arrival(self) -> None:
-        t, _seq, client, job = heapq.heappop(self._heap)
+        t, _seq, client, payload = heapq.heappop(self._heap)
         if not self.admission.queue and not any(
             core.run_list for core in self.core_set.cores
         ):
             self.core_set.quiesce_until(t)
+        if isinstance(payload, Request):
+            # A failed request re-arriving after its retry backoff.
+            request = payload
+            if self._degraded(t) and (
+                self._tenant_priority(client) >= self.degrade_keep_tenants
+            ):
+                self._shed_degraded(request, t)
+            else:
+                try:
+                    request.check_deadline(t)
+                except DeadlineExceeded:
+                    self._mark_deadline_exceeded(request, t)
+                else:
+                    admitted = self.admission.offer(request, t, record=False)
+                    self._drain_shed()
+                    if not admitted:
+                        self._client_terminal(request, t)
+            self._assign(t)
+            return
         request = Request(
             request_id=len(self.requests),
             tenant=self.driver.tenant_of(client),
             client=client,
-            job=job,
+            job=payload,
             arrival_s=t,
+            deadline_s=self.deadline_s,
         )
         self.requests.append(request)
+        if self._degraded(t) and (
+            self._tenant_priority(client) >= self.degrade_keep_tenants
+        ):
+            self._shed_degraded(request, t)
+            self._assign(t)
+            return
         admitted = self.admission.offer(request, t)
         self._drain_shed()
         if not admitted:
@@ -155,6 +296,20 @@ class QueryServer:
         self._assign(t)
 
     # ------------------------------------------------------------ dispatch
+
+    def _mark_deadline_exceeded(self, request: Request, now: float) -> None:
+        """Common bookkeeping for a request abandoned past its deadline.
+
+        Callers release any queue/slot/quota resources first; this only
+        records the terminal state and feeds the breaker (a deadline
+        miss is an overload signal, same as a failed attempt).
+        """
+        request.state = DEADLINE_EXCEEDED
+        request.finish_s = now
+        self.machine.metrics.counter("serve.deadline_exceeded").inc()
+        if self.breaker is not None:
+            self.breaker.record(False, now)
+        self._client_terminal(request, now)
 
     def _assign(self, now: float) -> None:
         """Fill core run lists from the queue via the policy."""
@@ -167,11 +322,19 @@ class QueryServer:
                 return
             core = min(open_cores,
                        key=lambda c: (len(c.run_list), c.clock_s, c.index))
-            request = self.policy.select(self.admission.queue,
-                                         self.hot_tables)
+            policy = (self._degraded_policy if self._degraded(now)
+                      else self.policy)
+            request = policy.select(self.admission.queue, self.hot_tables)
             if request is None:
                 return
             self.admission.take(request, now)
+            try:
+                request.check_deadline(now)
+            except DeadlineExceeded:
+                # Expired while queued: abandon before burning a quantum.
+                self.admission.release(request)
+                self._mark_deadline_exceeded(request, now)
+                continue
             offset = self._free_slots[core.index].pop(0)
             request.slot = core.index * self.mpl + offset
             if not core.run_list:
@@ -183,13 +346,50 @@ class QueryServer:
 
     # ------------------------------------------------------------ quanta
 
+    def _release_core_slot(self, request: Request, core: Core) -> None:
+        """Return a departing request's execution slot to its core."""
+        self._free_slots[core.index].append(
+            request.slot - core.index * self.mpl
+        )
+        self._free_slots[core.index].sort()
+        if core.resident is request:
+            core.resident = None
+
+    def _attempt_failed(self, request: Request, core: Core) -> None:
+        """An injected fault killed the running attempt: free the
+        request's resources, then retry (after backoff, through the
+        arrival heap) or fail it for good."""
+        self._release_core_slot(request, core)
+        self.admission.release(request)
+        request.failures += 1
+        now = core.clock_s
+        self.machine.metrics.counter("serve.attempt_failures").inc()
+        if self.breaker is not None:
+            self.breaker.record(False, now)
+        if self.retry is not None and self.retry.admit_retry(request):
+            request.prepare_retry()
+            self._push_arrival(now + self.retry.backoff_s(request),
+                               request.client, request)
+        else:
+            request.state = FAILED
+            request.finish_s = now
+            self.machine.metrics.counter("serve.failed").inc()
+            self._client_terminal(request, now)
+
     def _run_quantum(self, core: Core) -> None:
         request = core.run_list.pop(0)
         finished = False
+        injector = self.injector
 
         def work() -> None:
             nonlocal finished
             self.core_set.context_switch(core, request)
+            if injector is not None and injector.request_error():
+                raise FaultError(
+                    f"injected request failure "
+                    f"(request {request.request_id}, "
+                    f"attempt {request.failures + 1})"
+                )
             it = request.work_iter(request.slot)
             for _ in range(self.quantum_rows):
                 try:
@@ -199,28 +399,40 @@ class QueryServer:
                     return
                 request.rows += 1
 
-        with self.machine.tracer.span(
-            f"req{request.request_id}.q{request.quanta}",
-            category=CATEGORY_QUANTUM,
-            tenant=request.tenant,
-            request=request.request_id,
-            job=request.job.name,
-        ):
-            self.core_set.run_on(core, work)
+        try:
+            with self.machine.tracer.span(
+                f"req{request.request_id}.q{request.quanta}",
+                category=CATEGORY_QUANTUM,
+                tenant=request.tenant,
+                request=request.request_id,
+                job=request.job.name,
+                attempt=request.failures + 1,
+            ):
+                self.core_set.run_on(core, work)
+        except FaultError:
+            request.quanta += 1
+            self._attempt_failed(request, core)
+            return
         request.quanta += 1
         if finished:
             request.state = COMPLETED
             request.finish_s = core.clock_s
-            self._free_slots[core.index].append(
-                request.slot - core.index * self.mpl
-            )
-            self._free_slots[core.index].sort()
-            if core.resident is request:
-                core.resident = None
+            self._release_core_slot(request, core)
             self.admission.release(request)
+            if self.breaker is not None:
+                self.breaker.record(True, core.clock_s)
             self._client_terminal(request, core.clock_s)
-        else:
-            core.run_list.append(request)
+            return
+        try:
+            request.check_deadline(core.clock_s)
+        except DeadlineExceeded:
+            # Past deadline mid-flight: abandon instead of finishing work
+            # nobody is waiting for (its joules are already wasted).
+            self._release_core_slot(request, core)
+            self.admission.release(request)
+            self._mark_deadline_exceeded(request, core.clock_s)
+            return
+        core.run_list.append(request)
 
     # ------------------------------------------------------------ main loop
 

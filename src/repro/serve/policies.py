@@ -110,8 +110,13 @@ def make_policy(name: str) -> SchedulingPolicy:
     raise ConfigError(f"unknown policy {name!r}; known: {POLICIES}")
 
 
-def apply_dvfs(machine: Machine, mode: str) -> None:
-    """Configure the machine's frequency strategy for a serve run."""
+def apply_dvfs(machine: Machine, mode: str, injector=None) -> None:
+    """Configure the machine's frequency strategy for a serve run.
+
+    ``injector`` (a :class:`~repro.faults.FaultInjector`, chaos runs
+    only) lets the ``eist`` governor suffer stuck-DVFS episodes; the
+    pinned modes have no governor to get stuck.
+    """
     table = machine.config.pstates
     if mode == "race":
         machine.disable_eist()
@@ -121,6 +126,6 @@ def apply_dvfs(machine: Machine, mode: str) -> None:
         states = list(table.states())
         machine.set_pstate(states[len(states) // 2])
     elif mode == "eist":
-        machine.enable_eist(EistGovernor(table=table))
+        machine.enable_eist(EistGovernor(table=table, injector=injector))
     else:
         raise ConfigError(f"unknown dvfs mode {mode!r}; known: {DVFS_MODES}")

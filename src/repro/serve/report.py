@@ -24,13 +24,19 @@ from repro.obs.span import Trace
 from repro.serve.loop import QueryServer, ServeConfig
 from repro.serve.request import (
     COMPLETED,
+    DEADLINE_EXCEEDED,
+    FAILED,
     REJECTED_QUEUE,
     REJECTED_QUOTA,
+    SHED_DEGRADED,
     SHED_TIMEOUT,
     Request,
 )
 
 PERCENTILES = (50, 95, 99)
+
+#: Span-meta keys the wasted-energy partition groups by.
+WASTE_KEYS = ("request", "attempt", "wasted")
 
 
 def percentile(samples: Sequence[float], p: float) -> Optional[float]:
@@ -50,7 +56,8 @@ def latency_summary(latencies: Sequence[float]) -> dict:
     return out
 
 
-def _state_counts(requests: Sequence[Request]) -> dict:
+def _state_counts(requests: Sequence[Request],
+                  resilient: bool = False) -> dict:
     counts = {
         "issued": len(requests),
         "completed": 0,
@@ -58,6 +65,12 @@ def _state_counts(requests: Sequence[Request]) -> dict:
         "rejected_quota": 0,
         "shed_timeout": 0,
     }
+    if resilient:
+        # Extra keys only in resilient runs, so a plain run's report is
+        # byte-identical to the pre-resilience server's.
+        counts["failed"] = 0
+        counts["deadline_exceeded"] = 0
+        counts["shed_degraded"] = 0
     for request in requests:
         if request.state == COMPLETED:
             counts["completed"] += 1
@@ -67,14 +80,75 @@ def _state_counts(requests: Sequence[Request]) -> dict:
             counts["rejected_quota"] += 1
         elif request.state == SHED_TIMEOUT:
             counts["shed_timeout"] += 1
+        elif resilient and request.state == FAILED:
+            counts["failed"] += 1
+        elif resilient and request.state == DEADLINE_EXCEEDED:
+            counts["deadline_exceeded"] += 1
+        elif resilient and request.state == SHED_DEGRADED:
+            counts["shed_degraded"] += 1
     return counts
 
 
+def energy_split(trace: Trace, requests: Sequence[Request]) -> dict:
+    """Split the run's Active energy into useful vs wasted joules.
+
+    Built on the exact multi-key span partition
+    (:meth:`~repro.obs.span.Trace.active_energy_by_metas`), so
+    ``useful_j + wasted_j`` equals the partition total *exactly* (it is
+    the same float sum, split two ways).  Classification:
+
+    * a request that ended FAILED or DEADLINE_EXCEEDED (or was rejected
+      or shed after burning attempts): every joule it touched is wasted
+      (reason = its terminal state);
+    * a request that COMPLETED at attempt N: attempts before N are
+      wasted (reason ``retried``); within the final attempt, spans
+      tagged ``wasted`` (fault handling: transient-read idle, page
+      repair, injected stalls) are wasted under that tag;
+    * untagged energy (idle gaps, scheduler work, data load if traced)
+      is useful — it is the cost of running the service, not of faults.
+    """
+    groups = trace.active_energy_by_metas(WASTE_KEYS)
+    state_of = {r.request_id: r.state for r in requests}
+    final_attempt = {r.request_id: r.failures + 1 for r in requests}
+
+    def order(key: tuple) -> tuple:
+        return tuple((v is None, str(v)) for v in key)
+
+    useful_j = 0.0
+    wasted_j = 0.0
+    by_reason: dict = {}
+    for key in sorted(groups, key=order):
+        req, attempt, tag = key
+        joules = groups[key]
+        reason = None
+        if req is not None:
+            state = state_of.get(req)
+            if state != COMPLETED:
+                reason = state or "unknown"
+            elif attempt is not None and attempt < final_attempt[req]:
+                reason = "retried"
+            elif tag is not None:
+                reason = tag
+        elif tag is not None:
+            reason = tag
+        if reason is None:
+            useful_j += joules
+        else:
+            wasted_j += joules
+            by_reason[reason] = by_reason.get(reason, 0.0) + joules
+    return {
+        "useful_j": useful_j,
+        "wasted_j": wasted_j,
+        "by_reason_j": dict(sorted(by_reason.items())),
+    }
+
+
 def build_report(config: ServeConfig, server: QueryServer,
-                 trace: Trace) -> dict:
+                 trace: Trace, injector=None) -> dict:
     """Assemble the serve run's JSON report."""
     requests = server.requests
     machine = server.machine
+    resilient = config.resilient
     completed = [r for r in requests if r.state == COMPLETED]
     latencies = [r.latency_s for r in completed]
 
@@ -98,7 +172,7 @@ def build_report(config: ServeConfig, server: QueryServer,
         t_latencies = [r.latency_s for r in t_completed]
         active_j = tenant_j.get(tenant, 0.0)
         tenants[tenant] = {
-            "counts": _state_counts(t_requests),
+            "counts": _state_counts(t_requests, resilient),
             "latency_s": latency_summary(t_latencies),
             "active_j": active_j,
             "energy_per_query_j": (active_j / len(t_completed)
@@ -109,11 +183,11 @@ def build_report(config: ServeConfig, server: QueryServer,
     snapshot = machine.metrics.snapshot()
     serve_counters = {
         name: value for name, value in sorted(snapshot.items())
-        if name.startswith(("serve.", "cores."))
+        if name.startswith(("serve.", "cores.", "faults."))
         and isinstance(value, (int, float))
     }
 
-    return {
+    report = {
         "config": {
             "workload": config.workload,
             "policy": config.policy,
@@ -137,7 +211,7 @@ def build_report(config: ServeConfig, server: QueryServer,
             "scale": config.scale,
             "exec_mode": config.exec_mode,
         },
-        "counts": _state_counts(requests),
+        "counts": _state_counts(requests, resilient),
         "latency_s": latency_summary(latencies),
         "tenants": tenants,
         "energy": {
@@ -157,3 +231,44 @@ def build_report(config: ServeConfig, server: QueryServer,
         },
         "counters": serve_counters,
     }
+    if resilient:
+        report["config"].update({
+            "faults": (config.faults.as_dict()
+                       if config.faults is not None else None),
+            "retries": config.retries,
+            "retry_backoff_s": config.retry_backoff_s,
+            "retry_jitter": config.retry_jitter,
+            "retry_budget": config.retry_budget,
+            "deadline_s": config.deadline_s,
+            "breaker_threshold": config.breaker_threshold,
+            "breaker_window": config.breaker_window,
+            "breaker_cooloff_s": config.breaker_cooloff_s,
+            "degrade_keep_tenants": config.degrade_keep_tenants,
+        })
+        split = energy_split(trace, requests)
+        report["energy"].update({
+            "useful_energy_j": split["useful_j"],
+            "wasted_energy_j": split["wasted_j"],
+            # The exact identity the chaos suite asserts: useful plus
+            # wasted IS the active total, by construction.
+            "active_energy_j": split["useful_j"] + split["wasted_j"],
+            "wasted_by_reason_j": split["by_reason_j"],
+        })
+        disk_retries = sum(
+            value for name, value in snapshot.items()
+            if name.startswith("bufferpool.disk_retries")
+            and isinstance(value, (int, float))
+        )
+        report["resilience"] = {
+            "faults_injected": (injector.counts()
+                                if injector is not None else {}),
+            "retries_spent": (server.retry.spent
+                              if server.retry is not None else 0),
+            "breaker_trips": (server.breaker.trips
+                              if server.breaker is not None else 0),
+            "core_stalls": server.core_set.stalls,
+            "disk_fault_errors": machine.disk.fault_errors,
+            "disk_fault_slowdowns": machine.disk.fault_slowdowns,
+            "disk_read_retries": disk_retries,
+        }
+    return report

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.errors import DeadlineExceeded
+
 # Lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
@@ -24,9 +26,18 @@ COMPLETED = "completed"
 REJECTED_QUEUE = "rejected_queue"
 REJECTED_QUOTA = "rejected_quota"
 SHED_TIMEOUT = "shed_timeout"
+#: Waiting out a retry backoff after a failed attempt (resilient runs).
+RETRY_WAIT = "retry_wait"
+#: Every attempt failed (or the retry budget ran out).
+FAILED = "failed"
+#: Ran past its execution deadline; remaining work abandoned.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: Shed by the circuit breaker's degraded mode (low-priority tenant).
+SHED_DEGRADED = "shed_degraded"
 
 #: Terminal states a request can end in (reported per tenant).
-TERMINAL_STATES = (COMPLETED, REJECTED_QUEUE, REJECTED_QUOTA, SHED_TIMEOUT)
+TERMINAL_STATES = (COMPLETED, REJECTED_QUEUE, REJECTED_QUOTA, SHED_TIMEOUT,
+                   FAILED, DEADLINE_EXCEEDED, SHED_DEGRADED)
 
 
 @dataclass(frozen=True)
@@ -60,6 +71,10 @@ class Request:
     quanta: int = 0
     #: Execution slot while running (core index x mpl + position).
     slot: Optional[int] = None
+    #: Failed attempts so far (attempt number = failures + 1).
+    failures: int = 0
+    #: Execution deadline relative to arrival (resilient runs only).
+    deadline_s: Optional[float] = None
     _iter: Optional[Iterator] = field(default=None, repr=False)
 
     @property
@@ -79,3 +94,24 @@ class Request:
             self.slot = slot
             self._iter = self.job.make(slot)
         return self._iter
+
+    def prepare_retry(self) -> None:
+        """Reset execution state for a fresh attempt after a failure.
+
+        The failed attempt's partial progress is discarded (its joules
+        are already on the trace and will be classified as wasted); the
+        retry re-enters through the arrival heap and re-queues.
+        """
+        self.state = RETRY_WAIT
+        self.slot = None
+        self.rows = 0
+        self._iter = None
+
+    def check_deadline(self, now: float) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` when ``now`` is
+        past this request's execution deadline (no-op without one)."""
+        if self.deadline_s is not None and now - self.arrival_s > self.deadline_s:
+            raise DeadlineExceeded(
+                f"request {self.request_id} exceeded its {self.deadline_s}s "
+                f"deadline ({now - self.arrival_s:.3f}s since arrival)"
+            )

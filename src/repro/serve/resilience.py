@@ -1,0 +1,138 @@
+"""Resilience mechanisms for the serving loop: retries and a breaker.
+
+Failures here are *simulated* failures injected by :mod:`repro.faults`;
+the mechanisms are the real ones a serving system would deploy against
+them, and the point of modelling both is the energy ledger: every retry
+re-spends joules the first attempt already burned, every tripped breaker
+trades availability for not burning more.  The serve report splits
+Active energy into useful and wasted exactly (span-partitioned, see
+``docs/robustness.md``), so the cost of each mechanism is measurable.
+
+* :class:`RetryManager` — per-request attempt limit plus an optional
+  global retry budget; exponential backoff with deterministic, seeded
+  jitter (per request *and* attempt, so scheduling order cannot perturb
+  the draw).
+* :class:`CircuitBreaker` — sliding window of attempt outcomes; when
+  the failure rate crosses the threshold the breaker opens for a
+  cooloff period of simulated time, during which the server degrades:
+  low-priority tenants are shed at arrival and scheduling falls back to
+  the cheapest policy (FIFO).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.seeding import derive_seed, seeded_rng
+from repro.serve.request import Request
+
+
+class RetryManager:
+    """Decides whether and when a failed request may try again."""
+
+    def __init__(self, root_seed: int, max_retries: int = 2,
+                 backoff_s: float = 0.005, jitter: float = 0.1,
+                 budget: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s <= 0:
+            raise ConfigError(f"backoff_s must be positive, got {backoff_s}")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {jitter}")
+        if budget is not None and budget < 0:
+            raise ConfigError(f"retry budget must be >= 0, got {budget}")
+        self.root_seed = root_seed
+        self.max_retries = max_retries
+        self.base_backoff_s = backoff_s
+        self.jitter = jitter
+        self.budget = budget
+        self.metrics = metrics
+        self.spent = 0
+
+    def admit_retry(self, request: Request) -> bool:
+        """True when ``request`` (which just failed) may run again.
+
+        Consumes one unit of the global budget per admitted retry; a
+        request past its per-request limit or an exhausted budget means
+        the request fails for good.
+        """
+        if request.failures > self.max_retries:
+            return False
+        if self.budget is not None and self.spent >= self.budget:
+            return False
+        self.spent += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.retries").inc()
+        return True
+
+    def backoff_s(self, request: Request) -> float:
+        """Backoff before attempt ``failures + 1``: exponential in the
+        failure count, jittered by a per-(request, attempt) seeded draw
+        so concurrent failures don't retry in lockstep."""
+        base = self.base_backoff_s * (2 ** (request.failures - 1))
+        if self.jitter == 0.0:
+            return base
+        rng = seeded_rng(
+            derive_seed(self.root_seed, "serve", "retry",
+                        f"r{request.request_id}", f"f{request.failures}"),
+            "retry jitter",
+        )
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker over attempt outcomes."""
+
+    def __init__(self, threshold: float, window: int = 16,
+                 cooloff_s: float = 0.1,
+                 metrics: Optional[MetricsRegistry] = None):
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigError(
+                f"breaker threshold must be in (0, 1], got {threshold}"
+            )
+        if window < 1:
+            raise ConfigError(f"breaker window must be >= 1, got {window}")
+        if cooloff_s <= 0:
+            raise ConfigError(
+                f"breaker cooloff must be positive, got {cooloff_s}"
+            )
+        self.threshold = threshold
+        self.window = window
+        self.cooloff_s = cooloff_s
+        self.metrics = metrics
+        self.outcomes: deque[bool] = deque(maxlen=window)
+        self.open_until: Optional[float] = None
+        self.trips = 0
+
+    def record(self, ok: bool, now: float) -> None:
+        """Record one attempt outcome; may trip the breaker.
+
+        Tripping requires a *full* window (a single early failure is not
+        a trend) and clears it, so the breaker re-opens only on fresh
+        evidence gathered after the cooloff.
+        """
+        self.outcomes.append(ok)
+        if self.open_until is not None and now < self.open_until:
+            return
+        if len(self.outcomes) < self.window:
+            return
+        failures = sum(1 for outcome in self.outcomes if not outcome)
+        if failures / len(self.outcomes) >= self.threshold:
+            self.open_until = now + self.cooloff_s
+            self.trips += 1
+            self.outcomes.clear()
+            if self.metrics is not None:
+                self.metrics.counter("serve.breaker_trips").inc()
+
+    def degraded(self, now: float) -> bool:
+        """True while the breaker is open (degraded mode) at ``now``."""
+        if self.open_until is None:
+            return False
+        if now >= self.open_until:
+            self.open_until = None
+            return False
+        return True

@@ -68,6 +68,10 @@ class CoreSet:
         self.cores = [Core(index=i) for i in range(n_cores)]
         self.switch_cost = switch_cost or ContextSwitchCost()
         self.context_switches = 0
+        #: Optional :class:`~repro.faults.FaultInjector`; when set, a
+        #: quantum may end in an injected core stall (charged as idle).
+        self.injector = None
+        self.stalls = 0
         #: Hot scheduler state (run queues, current-task pointers).
         self._state = machine.address_space.alloc(
             2048, label=f"{label}/sched-state"
@@ -115,15 +119,25 @@ class CoreSet:
 
         The machine prices the work (energy, counters); the core's
         virtual clock advances by the machine-time delta (busy plus any
-        in-quantum disk idle).  Returns the delta in seconds.
+        in-quantum disk idle).  The clock is advanced even when ``work``
+        raises — a faulted quantum's partial work happened and must stay
+        on this core's timeline.  Returns the delta in seconds.
         """
         machine = self.machine
         machine.settle()
         start = machine.time_s
-        work()
-        machine.settle()
-        delta = machine.time_s - start
-        core.clock_s += delta
+        try:
+            work()
+            if self.injector is not None and self.injector.core_stall():
+                self.stalls += 1
+                machine.metrics.counter("cores.stalls").inc()
+                with machine.tracer.span("core.stall", category="fault",
+                                         fault="core.stall", wasted="stall"):
+                    machine.idle(self.injector.plan.core_stall_s)
+        finally:
+            machine.settle()
+            delta = machine.time_s - start
+            core.clock_s += delta
         return delta
 
     def quiesce_until(self, t_s: float) -> float:

@@ -8,11 +8,20 @@ EIST governor drop the P-state (Figure 5's spread).
 The model is deliberately simple: a fixed seek/latency cost plus a
 throughput term, and a sequentiality bonus when consecutive reads touch
 adjacent block numbers.
+
+Fault injection: when an :class:`~repro.faults.FaultInjector` is
+installed on :attr:`DiskModel.injector`, reads may suffer a latency
+spike (the access-latency term is multiplied) or fail transiently —
+:class:`~repro.errors.TransientDiskError` carries the device time the
+failed attempt burned so the caller can charge it before retrying.
+With no injector the read path is byte-identical to the seed model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.errors import TransientDiskError
 
 
 @dataclass
@@ -33,14 +42,34 @@ class DiskModel:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Optional :class:`~repro.faults.FaultInjector` (chaos runs only).
+        self.injector = None
+        self.fault_errors = 0
+        self.fault_slowdowns = 0
 
     def read_time(self, block: int, nbytes: int) -> float:
-        """Seconds to read ``nbytes`` at block number ``block``."""
+        """Seconds to read ``nbytes`` at block number ``block``.
+
+        With an injector installed the read may be slowed or may raise
+        :class:`~repro.errors.TransientDiskError`; the failed attempt is
+        still counted in the device stats (the platter spun either way)
+        and the exception carries the elapsed device time.
+        """
         sequential = block == self._last_block + 1
         self._last_block = block
         self.reads += 1
         self.bytes_read += nbytes
         latency = self.seq_latency_s if sequential else self.random_latency_s
+        injector = self.injector
+        if injector is not None:
+            if injector.disk_slow():
+                latency *= injector.plan.disk_slow_factor
+                self.fault_slowdowns += 1
+            if injector.disk_error():
+                self.fault_errors += 1
+                raise TransientDiskError(
+                    block, latency + nbytes / self.throughput_bytes_per_s
+                )
         return latency + nbytes / self.throughput_bytes_per_s
 
     def write_time(self, block: int, nbytes: int) -> float:
@@ -58,3 +87,5 @@ class DiskModel:
         self.bytes_read = 0
         self.bytes_written = 0
         self._last_block = -2
+        self.fault_errors = 0
+        self.fault_slowdowns = 0

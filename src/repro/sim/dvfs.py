@@ -114,6 +114,13 @@ class EistGovernor:
     busy fraction of the elapsed epoch; the governor answers with the
     next P-state.  High load jumps straight to the highest state (like
     ondemand); low load walks down one step per epoch.
+
+    Fault injection: with an :class:`~repro.faults.FaultInjector` set,
+    each epoch may start a *stuck-DVFS* episode — the governor freezes
+    at the current P-state for ``dvfs_stuck_epochs`` epochs, modelling
+    a firmware/driver hang.  A CPU-bound phase stuck at a low state
+    runs slower (more background joules per query); an idle phase stuck
+    high wastes dynamic energy — both show up in the energy report.
     """
 
     table: PstateTable
@@ -121,8 +128,21 @@ class EistGovernor:
     up_threshold: float = 0.80
     down_threshold: float = 0.40
     down_step: int = 4
+    #: Optional :class:`~repro.faults.FaultInjector` (chaos runs only).
+    injector: object = None
+    #: Remaining epochs of the current stuck episode (internal state).
+    stuck_epochs_left: int = 0
 
     def next_pstate(self, current: int, busy_fraction: float) -> int:
+        if self.injector is not None:
+            if self.stuck_epochs_left > 0:
+                self.stuck_epochs_left -= 1
+                return current
+            if self.injector.dvfs_stuck():
+                self.stuck_epochs_left = (
+                    self.injector.plan.dvfs_stuck_epochs - 1
+                )
+                return current
         if busy_fraction >= self.up_threshold:
             return self.table.highest
         if busy_fraction <= self.down_threshold:

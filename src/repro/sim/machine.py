@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransientDiskError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 
@@ -117,6 +117,10 @@ class Machine:
         self.tracer = NULL_TRACER
         self.metrics = MetricsRegistry()
         self.metrics.add_collector(self._collect_metrics)
+        #: Optional :class:`~repro.faults.FaultInjector` consulted by
+        #: fault-aware components (buffer pools look it up here so
+        #: lazily-created pools need no wiring).  None outside chaos runs.
+        self.fault_injector = None
 
         # Re-export the hot-path micro-op methods: workloads call
         # machine.load(...) etc. without an extra attribute hop.
@@ -243,8 +247,20 @@ class Machine:
         self._maybe_run_governor()
 
     def disk_read(self, block: int, nbytes: int) -> None:
-        """A synchronous disk read: the CPU idles for the device time."""
-        self.idle(self.disk.read_time(block, nbytes))
+        """A synchronous disk read: the CPU idles for the device time.
+
+        An injected transient failure still burned device time; that
+        time is charged (inside a ``fault`` span tagged as wasted) and
+        the fault re-raised for the caller's retry policy.
+        """
+        try:
+            seconds = self.disk.read_time(block, nbytes)
+        except TransientDiskError as fault:
+            with self.tracer.span("disk.fault", category="fault",
+                                  fault="disk.error", wasted="disk_error"):
+                self.idle(fault.elapsed_s)
+            raise
+        self.idle(seconds)
 
     def disk_write(self, block: int, nbytes: int) -> None:
         self.idle(self.disk.write_time(block, nbytes))
@@ -327,6 +343,8 @@ class Machine:
         metrics.gauge("disk.writes").set(self.disk.writes)
         metrics.gauge("disk.bytes_read").set(self.disk.bytes_read)
         metrics.gauge("disk.bytes_written").set(self.disk.bytes_written)
+        metrics.gauge("disk.fault_errors").set(self.disk.fault_errors)
+        metrics.gauge("disk.fault_slowdowns").set(self.disk.fault_slowdowns)
 
     # ------------------------------------------------------------ measurement
 

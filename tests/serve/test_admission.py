@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServeError
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import AdmissionController
 from repro.serve.request import (
@@ -119,3 +119,66 @@ class TestTimeoutShedding:
         r = request(0, arrival=0.0)
         ac.offer(r, 0.0)
         assert ac.candidates(1e9) == [r]
+
+
+class TestEdgeCases:
+    def test_queue_full_checked_before_quota(self, metrics):
+        """When both bounds would reject, the queue bound wins: the
+        request never reaches the quota check."""
+        ac = AdmissionController(metrics, max_queue=1, tenant_quota=1)
+        ac.offer(request(0), 0.0)
+        r = request(1)  # same tenant: over quota AND queue full
+        assert not ac.offer(r, 0.0)
+        assert r.state == REJECTED_QUEUE
+        snap = metrics.snapshot()
+        assert snap["serve.rejected{reason=queue}"] == 1
+        assert "serve.rejected{reason=quota}" not in snap
+
+    def test_wait_exactly_at_timeout_is_not_shed(self, metrics):
+        """Shedding is strict: a waiter at exactly queue_timeout_s
+        survives; one an instant past it is shed with finish_s = now."""
+        ac = AdmissionController(metrics, max_queue=10, queue_timeout_s=1.0)
+        boundary = request(0, arrival=0.0)
+        ac.offer(boundary, 0.0)
+        assert ac.candidates(1.0) == [boundary]  # waited exactly 1.0
+        survivors = ac.candidates(1.0 + 1e-9)
+        assert survivors == []
+        assert boundary.state == SHED_TIMEOUT
+        assert boundary.finish_s == 1.0 + 1e-9
+
+    def test_shed_then_offer_counters_stay_consistent(self, metrics):
+        """admitted + rejected partitions the offers even when shedding
+        interleaves with rejections."""
+        ac = AdmissionController(metrics, max_queue=2, queue_timeout_s=0.5)
+        ac.offer(request(0, arrival=0.0), 0.0)
+        ac.offer(request(1, arrival=0.0), 0.0)
+        assert not ac.offer(request(2, arrival=0.1), 0.1)  # queue full
+        assert ac.offer(request(3, arrival=1.0), 1.0)  # 0 and 1 shed
+        snap = metrics.snapshot()
+        offers = 4
+        assert (snap["serve.admitted"]
+                + snap["serve.rejected{reason=queue}"]) == offers
+        assert snap["serve.shed"] == 2
+        assert snap["serve.queue_depth"] == len(ac.queue) == 1
+
+    def test_unrecorded_offer_skips_counters(self, metrics):
+        """Retry re-arrivals use record=False: the request is queued but
+        the first-offer counters are untouched."""
+        ac = AdmissionController(metrics, max_queue=1)
+        r0 = request(0)
+        assert ac.offer(r0, 0.0, record=False)
+        assert r0.state == QUEUED
+        rejected = request(1)
+        assert not ac.offer(rejected, 0.0, record=False)
+        assert rejected.state == REJECTED_QUEUE
+        snap = metrics.snapshot()
+        assert "serve.admitted" not in snap
+        assert "serve.rejected{reason=queue}" not in snap
+
+    def test_take_of_unqueued_request_raises(self, metrics):
+        ac = AdmissionController(metrics, max_queue=2)
+        r = request(0)
+        ac.offer(r, 0.0)
+        ac.take(r, 0.0)
+        with pytest.raises(ServeError):
+            ac.take(r, 0.1)  # already running, no longer queued

@@ -1,5 +1,9 @@
 """Unit tests for the disk model."""
 
+import pytest
+
+from repro.errors import TransientDiskError
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim.disk import DiskModel
 
 
@@ -36,3 +40,43 @@ class TestDiskModel:
         seq = disk.write_time(51, 4096)
         rand = disk.write_time(5, 4096)
         assert rand > seq
+
+
+class TestDiskFaults:
+    def test_no_injector_means_no_faults(self):
+        disk = DiskModel()
+        for block in range(100):
+            disk.read_time(block * 7, 4096)
+        assert disk.fault_errors == 0 and disk.fault_slowdowns == 0
+
+    def test_slowdown_multiplies_latency(self):
+        plain = DiskModel()
+        baseline = plain.read_time(999, 4096)
+        disk = DiskModel()
+        disk.injector = FaultInjector(
+            FaultPlan(disk_slow_p=1.0, disk_slow_factor=10.0), seed=1)
+        slowed = disk.read_time(999, 4096)
+        assert disk.fault_slowdowns == 1
+        # Only the access-latency term scales, not the throughput term.
+        expected = (baseline - 4096 / disk.throughput_bytes_per_s) * 10.0 \
+            + 4096 / disk.throughput_bytes_per_s
+        assert slowed == pytest.approx(expected)
+
+    def test_transient_error_carries_elapsed_time(self):
+        disk = DiskModel()
+        disk.injector = FaultInjector(FaultPlan(disk_error_p=1.0), seed=1)
+        with pytest.raises(TransientDiskError) as exc:
+            disk.read_time(42, 4096)
+        assert exc.value.block == 42
+        assert exc.value.elapsed_s > 0
+        # The platter spun either way: the attempt is in the stats.
+        assert disk.reads == 1 and disk.fault_errors == 1
+
+    def test_reset_stats_clears_fault_counters(self):
+        disk = DiskModel()
+        disk.injector = FaultInjector(
+            FaultPlan(disk_error_p=1.0, disk_slow_p=1.0), seed=1)
+        with pytest.raises(TransientDiskError):
+            disk.read_time(0, 4096)
+        disk.reset_stats()
+        assert disk.fault_errors == 0 and disk.fault_slowdowns == 0

@@ -88,10 +88,10 @@ class TestResidency:
 
 
 class TestGovernor:
-    def gov(self):
+    def gov(self, **kwargs):
         return EistGovernor(table=PstateTable(lowest=8, highest=36),
                             up_threshold=0.8, down_threshold=0.4,
-                            down_step=4)
+                            down_step=4, **kwargs)
 
     def test_high_load_jumps_to_top(self):
         assert self.gov().next_pstate(8, 0.95) == 36
@@ -104,6 +104,33 @@ class TestGovernor:
 
     def test_mid_load_holds(self):
         assert self.gov().next_pstate(20, 0.6) == 20
+
+
+class TestStuckGovernor:
+    def gov(self, plan):
+        from repro.faults import FaultInjector
+
+        return EistGovernor(table=PstateTable(lowest=8, highest=36),
+                            up_threshold=0.8, down_threshold=0.4,
+                            down_step=4,
+                            injector=FaultInjector(plan, seed=3))
+
+    def test_stuck_episode_freezes_pstate(self):
+        from repro.faults import FaultPlan
+
+        gov = self.gov(FaultPlan(dvfs_stuck_p=1.0, dvfs_stuck_epochs=3))
+        # High load would normally jump to 36; the stuck episode holds 8
+        # for exactly dvfs_stuck_epochs epochs.
+        assert gov.next_pstate(8, 0.95) == 8
+        assert gov.next_pstate(8, 0.95) == 8
+        assert gov.next_pstate(8, 0.95) == 8
+
+    def test_zero_probability_behaves_normally(self):
+        from repro.faults import FaultPlan
+
+        gov = self.gov(FaultPlan())
+        assert gov.next_pstate(8, 0.95) == 36
+        assert gov.next_pstate(36, 0.1) == 32
 
 
 class TestMachineIntegration:

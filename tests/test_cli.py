@@ -174,3 +174,52 @@ class TestServeCommand:
         assert main(argv + ["--out", str(out_b)]) == 0
         capsys.readouterr()
         assert out_a.read_text() == out_b.read_text()
+
+
+class TestChaosCommand:
+    ARGV = ["chaos", "--workload", "basic", "--tier", "10MB",
+            "--clients", "2", "--queries", "4", "--cores", "1",
+            "--seed", "11"]
+
+    def test_parse_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "mixed"
+        assert args.retries == 2 and args.retry_backoff == 0.005
+        assert args.breaker_threshold is None and args.deadline is None
+        assert args.request_error_p is None  # flags override the scenario
+
+    def test_chaos_prints_summary(self, capsys):
+        assert main(self.ARGV + ["--scenario", "flaky"]) == 0
+        out = capsys.readouterr().out
+        assert "requests:" in out
+        assert "useful" in out and "wasted" in out
+
+    def test_chaos_json_has_resilience_section(self, capsys):
+        assert main(self.ARGV + ["--scenario", "flaky", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "resilience" in report
+        assert report["config"]["faults"]["request_error_p"] > 0
+        energy = report["energy"]
+        assert (energy["useful_energy_j"] + energy["wasted_energy_j"]
+                == energy["active_energy_j"])
+
+    def test_chaos_out_file_deterministic(self, tmp_path, capsys):
+        argv = self.ARGV + ["--scenario", "mixed", "--seed", "7"]
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(argv + ["--out", str(out_a)]) == 0
+        assert main(argv + ["--out", str(out_b)]) == 0
+        capsys.readouterr()
+        assert out_a.read_text() == out_b.read_text()
+
+    def test_flag_overrides_scenario(self, capsys):
+        assert main(self.ARGV + ["--scenario", "none",
+                                 "--request-error-p", "0.25",
+                                 "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["faults"]["request_error_p"] == 0.25
+
+    def test_bad_probability_exits_2(self, capsys):
+        assert main(self.ARGV + ["--corrupt-p", "2.0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro chaos: error:")
+        assert "Traceback" not in err

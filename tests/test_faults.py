@@ -1,0 +1,107 @@
+"""Unit tests of the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_SITES, FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFaultPlan:
+    def test_defaults_are_all_off(self):
+        plan = FaultPlan()
+        assert not plan.any_enabled
+        plan.validate()
+
+    def test_any_enabled(self):
+        assert FaultPlan(disk_error_p=0.1).any_enabled
+        assert FaultPlan(request_error_p=1.0).any_enabled
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(disk_error_p=1.5).validate()
+        with pytest.raises(ConfigError):
+            FaultPlan(page_corrupt_p=-0.1).validate()
+
+    def test_shape_fields_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(disk_slow_factor=0.5).validate()
+        with pytest.raises(ConfigError):
+            FaultPlan(page_repair_max=0).validate()
+        with pytest.raises(ConfigError):
+            FaultPlan(dvfs_stuck_epochs=0).validate()
+        with pytest.raises(ConfigError):
+            FaultPlan(disk_error_max_retries=-1).validate()
+
+    def test_as_dict_covers_every_field(self):
+        d = FaultPlan().as_dict()
+        assert d["disk_error_p"] == 0.0
+        assert d["disk_slow_factor"] == 20.0
+        assert len(d) == 11
+
+
+class TestFaultInjector:
+    def test_zero_probability_never_draws(self):
+        injector = FaultInjector(FaultPlan(), seed=7)
+        for _ in range(100):
+            assert not injector.disk_error()
+            assert not injector.request_error()
+        # Pay-as-you-go: no RNG stream was even created.
+        assert injector._rngs == {}
+        assert injector.injected == {}
+
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan(disk_error_p=0.3)
+        a = FaultInjector(plan, seed=11)
+        b = FaultInjector(plan, seed=11)
+        seq_a = [a.disk_error() for _ in range(200)]
+        seq_b = [b.disk_error() for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_different_seeds_differ(self):
+        plan = FaultPlan(disk_error_p=0.3)
+        a = FaultInjector(plan, seed=11)
+        b = FaultInjector(plan, seed=12)
+        assert ([a.disk_error() for _ in range(200)]
+                != [b.disk_error() for _ in range(200)])
+
+    def test_sites_are_independent_streams(self):
+        """Drawing at one site must not perturb another site's stream."""
+        plan = FaultPlan(disk_error_p=0.3, core_stall_p=0.3)
+        alone = FaultInjector(plan, seed=5)
+        undisturbed = [alone.core_stall() for _ in range(100)]
+        mixed = FaultInjector(plan, seed=5)
+        interleaved = []
+        for _ in range(100):
+            mixed.disk_error()  # extra draws on a *different* site
+            interleaved.append(mixed.core_stall())
+        assert interleaved == undisturbed
+
+    def test_fired_faults_counted(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(FaultPlan(request_error_p=1.0),
+                                 seed=3, metrics=metrics)
+        assert injector.request_error()
+        assert injector.request_error()
+        assert injector.counts() == {"request.error": 2}
+        snap = metrics.snapshot()
+        assert snap["faults.injected{site=request.error}"] == 2
+
+    def test_invalid_plan_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(core_stall_s=-1.0), seed=0)
+
+    def test_every_documented_site_has_a_method(self):
+        injector = FaultInjector(FaultPlan(), seed=0)
+        methods = {
+            "disk.error": injector.disk_error,
+            "disk.slow": injector.disk_slow,
+            "page.corrupt": injector.page_corrupt,
+            "core.stall": injector.core_stall,
+            "dvfs.stuck": injector.dvfs_stuck,
+            "request.error": injector.request_error,
+        }
+        assert set(methods) == set(FAULT_SITES)
+        for method in methods.values():
+            assert method() is False  # all-zero plan
