@@ -302,6 +302,15 @@ def cmd_poc(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench import check_regression, run_bench, write_report
 
+    baseline = None
+    if args.check:
+        # Read the baseline *before* running (and before write_report):
+        # with the default --out both paths point at BENCH_simperf.json,
+        # and reading after the write would gate the run against itself.
+        # Failing early on a missing baseline also beats failing after a
+        # multi-minute run.
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
     results = run_bench(quick=args.quick)
     write_report(results, args.out)
     print(f"wrote {args.out}", file=sys.stderr)
@@ -309,15 +318,17 @@ def cmd_bench(args) -> int:
     print(f"scan path (fig07 shape): reference {scan['reference_mops']:.2f} "
           f"Mops/s, batched {scan['batched_mops']:.2f} Mops/s "
           f"({scan['speedup']:.1f}x)")
+    cold = results["scan_path"]["cold_stream_scan"]
+    print(f"cold stream scan: reference {cold['reference_mops']:.2f} "
+          f"Mops/s, batched {cold['batched_mops']:.2f} Mops/s "
+          f"({cold['speedup']:.1f}x)")
     for name, entry in results["tpch"].items():
         print(f"tpch {name}: reference {entry['reference_s']:.3f}s, "
               f"batched {entry['batched_s']:.3f}s ({entry['speedup']:.2f}x)")
     serve = results["serve"]
     print(f"serve: {serve['batched']['requests_per_s']:.1f} req/s batched "
           f"({serve['speedup']:.2f}x vs reference)")
-    if args.check:
-        with open(args.check, encoding="utf-8") as handle:
-            baseline = json.load(handle)
+    if baseline is not None:
         failures = check_regression(results, baseline, args.max_regression)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

@@ -12,6 +12,18 @@ than by the model.  This module provides two interchangeable executors:
   call, with the hierarchy walk, fill/evict cascade, and prefetcher
   update inlined into a single loop over local variables.
 
+The batched engine has two scan regimes.  Warm scans (every line hits
+L1D) fold into the scan-replay memo.  Cold streaming scans take the
+**sequential-stream cold fast path**: once a trained prefetcher stream
+covers the upcoming lines, the per-line miss cascade is regular —
+demand miss → L2 prefetch hit → steady-state LRU eviction — so whole
+strides execute in closed form: the ``_Stream`` state advances
+arithmetically instead of via per-line ``observe()`` calls, fills and
+evictions are applied directly to the per-set ``OrderedDict`` state
+(one ``popitem``/insert per affected level and line, dirty-victim
+writebacks included), and integer counters are accumulated per stride
+(see :meth:`BatchExecutor._cold_stride`).
+
 The batched path is **bit-identical** to the reference path: it performs
 the same set/LRU mutations in the same order and applies the same cycle
 and stall additions in the same order, so PMU counters, cache state,
@@ -44,6 +56,12 @@ from repro.sim.hierarchy import (
 )
 
 EXEC_MODES = ("reference", "batched")
+
+#: Lines handed to the generic walk between cold-stride retries while a
+#: scan has not (yet) converged to the steady trained-stream shape.  Big
+#: enough that the training prefix of a cold scan costs at most two
+#: retries, small enough that the fast path engages quickly.
+_STRIDE_RETRY_CHUNK = 64
 
 
 class ReferenceExecutor:
@@ -130,9 +148,7 @@ class BatchExecutor:
             c.cycles += n * cpu.timing.load_issue
             return
         hier.mut_epoch += 1
-        impure = self._load_addrs(
-            range(base_addr, base_addr + n_lines * LINE_SIZE, LINE_SIZE)
-        )
+        impure = self._scan_walk(base_addr, n_lines)
         self._scan_memo = (
             (base_addr, n_lines, hier.mut_epoch) if impure == 0 else None
         )
@@ -369,6 +385,413 @@ class BatchExecutor:
             c.cycles += bulk * cpu.timing.store_issue
 
     # ------------------------------------------------------------ workhorses
+
+    def _scan_walk(self, base_addr: int, n_lines: int) -> int:
+        """Walk ``n_lines`` sequential lines, engaging the cold-stream
+        fast path (:meth:`_cold_stride`) wherever a trained prefetcher
+        stream makes the per-line miss cascade regular; everything else
+        takes the generic inlined walk.  Returns the impure-access
+        count (the scan-replay-memo contract of :meth:`_load_addrs`).
+        """
+        hier = self.cpu.hierarchy
+        pf = hier.prefetcher
+        tcm = hier.tcm_region
+        if (not pf.enabled or hier.l2 is None or hier.l3 is None
+                or pf.degree < 1 or pf.l3_extra < 1
+                or (tcm is not None
+                    and base_addr < tcm.end
+                    and base_addr + n_lines * LINE_SIZE > tcm.base)):
+            # The closed-form cascade can never apply here (no trained
+            # windows, no L2/L3 to stage into, or TCM addresses inside
+            # the range): single generic walk, the pre-fast-path shape.
+            return self._load_addrs(
+                range(base_addr, base_addr + n_lines * LINE_SIZE, LINE_SIZE)
+            )
+        line0 = base_addr >> LINE_SHIFT
+        impure = 0
+        done = 0
+        stalled_attempts = 0
+        while done < n_lines:
+            n = self._cold_stride(line0 + done, n_lines - done)
+            if n:
+                stalled_attempts = 0
+                impure += n
+                done += n
+                continue
+            stalled_attempts += 1
+            if stalled_attempts >= 3:
+                # Not converging to the fast-path shape (warm data, a
+                # stream trained elsewhere, heavy interference): finish
+                # generically in one call.
+                chunk = n_lines - done
+            else:
+                chunk = min(_STRIDE_RETRY_CHUNK, n_lines - done)
+            a = base_addr + done * LINE_SIZE
+            impure += self._load_addrs(
+                range(a, a + chunk * LINE_SIZE, LINE_SIZE)
+            )
+            done += chunk
+        return impure
+
+    def _cold_stride(self, line: int, max_lines: int) -> int:
+        """Execute demand lines ``[line, line + k)`` of a sequential
+        scan in closed form for the largest safe ``k <= max_lines``;
+        returns ``k`` (0 when the fast path does not apply at ``line``).
+
+        Entry preconditions, checked with arithmetic only: the first
+        prefetcher tracker that would match ``line`` is trained and
+        positioned exactly at ``line - 1`` with both window watermarks
+        in the steady-state shape, so each ``observe`` emits exactly
+        one L2-window line (``line + degree``) and one L3-window line
+        (``line + degree + l3_extra``).  The stride is clipped before
+        any line where an earlier tracker would fire instead (capture
+        or same-line neutrality), since trackers are matched in table
+        order.
+
+        Checked per line, before any mutation: the demand line misses
+        L1D and hits L2 — the regular cold cascade (demand miss → L2
+        prefetch hit → steady-state LRU eviction).  The prefetch fills
+        handle every membership and dirty-victim combination inline in
+        exact reference order, so irregularity there does not abort
+        the stride.  Integer counters and the ``_Stream`` state are
+        bulk-advanced on exit; cycle/stall additions run per line in
+        the exact reference sequence, so the result is bit-identical
+        for arbitrary float timing parameters.
+        """
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        pf = hier.prefetcher
+        degree = pf.degree
+        dist3 = degree + pf.l3_extra
+        # ---- locate the tracker observe() would use for this line.
+        match = None
+        end = line + max_lines
+        for s in pf._streams:
+            ll = s.last_line
+            if ll == line - 1:
+                match = s
+                break
+            if ll == line:
+                return 0        # observe() would take the neutral path
+            if ll >= line:
+                # This earlier tracker fires first once demand reaches
+                # ll: clip the stride just before that.
+                end = min(end, ll)
+        if (match is None or match.run_length < pf.train_threshold
+                or match.l2_up_to != line - 1 + degree
+                or match.prefetched_up_to != line - 1 + dist3
+                or end <= line):
+            return 0
+        c = cpu.counters
+        l1 = hier.l1d
+        l2 = hier.l2
+        l3 = hier.l3
+        s1 = l1._sets
+        m1 = l1._set_mask
+        a1 = l1.assoc
+        s2 = l2._sets
+        m2 = l2._set_mask
+        a2 = l2.assoc
+        s3 = l3._sets
+        m3 = l3._set_mask
+        a3 = l3.assoc
+        fill_l2 = hier._fill_l2
+        fill_l3 = hier._fill_l3
+        timing = cpu.timing
+        issue = timing.load_issue
+        exp_l2 = cpu._latency[LEVEL_L2] / timing.mlp - issue
+        pos_exp = exp_l2 > 0.0
+        cyc = c.cycles
+        stall = c.stall_cycles
+        ev1 = dev1 = occ1 = 0
+        f2 = ev2 = dev2 = occ2 = 0
+        f3 = ev3 = dev3 = occ3 = 0
+        n_pf_l2 = n_pf_l3 = n_wb = 0
+        # Steady-state specialisation: when every set of every level is
+        # at capacity (an O(1) check via the incremental occupancy
+        # totals), each fill is known to evict, so the per-line
+        # ``len() >= assoc`` tests and occupancy tallies disappear; and
+        # when the per-line cycle increments are quarter-cycle dyadics
+        # (both presets; see the module docstring) the float adds fold
+        # into one exact bulk multiply after the loop.  Fullness is
+        # preserved by the loop itself: every popitem is paired with an
+        # insert and ``_fill_l2``/``_fill_l3`` never shrink a set.
+        # The bulk multiply is exact only while everything stays on a
+        # 1/16-cycle grid below 2**49 — increments *and* accumulators —
+        # so any addition order gives the same bits.  Otherwise fall
+        # back to the per-line float sequence.
+        full = (l1._occupancy == l1.n_sets * a1
+                and l2._occupancy == l2.n_sets * a2
+                and l3._occupancy == l3.n_sets * a3
+                and issue * 16.0 == int(issue * 16.0)
+                and (not pos_exp or exp_l2 * 16.0 == int(exp_l2 * 16.0))
+                and cyc * 16.0 == int(cyc * 16.0)
+                and stall * 16.0 == int(stall * 16.0)
+                and (cyc + (end - line)
+                     * (issue + (exp_l2 if pos_exp else 0.0)) < 2.0 ** 49))
+        k = 0
+        if full:
+            # Three segments.  A *checked* warmup long enough to evict
+            # every pre-existing L1D line (``n_sets * assoc`` demand
+            # fills, one per set per ``n_sets`` lines) and to witness a
+            # clean steady cascade; then, if the proofs below hold, an
+            # *unchecked* middle segment that drops every membership
+            # test; then (on re-entry) checked again for the junk-laden
+            # tail.  The unchecked segment is sound because each skipped
+            # check is discharged against the actual state at the switch
+            # point:
+            #
+            # * ``ln not in L1D``: the warmup evicted all pre-stride
+            #   lines and in-stride demand lines are strictly below ln;
+            # * ``ln in L2`` would-be check: promotion at ``ln - degree``
+            #   inserted it (the streak condition) and no other fill
+            #   touches its set within ``degree < n_sets(L2)`` lines —
+            #   guarded by move_to_end's KeyError as a hard backstop;
+            # * ``p2 not in L2`` / ``p3 not in L3``: in-stride inserts
+            #   are strictly increasing and the snapshot horizon ``h``
+            #   stops the segment before any resident pre-stride line
+            #   could collide with a future p2/p3;
+            # * ``p2 in L3``: its p3-fill ran ``l3_extra`` lines earlier
+            #   (fresh, per the streak condition) and no fill touches
+            #   its set within ``l3_extra < n_sets(L3)`` lines;
+            # * L1/L2 victims are clean: L1 victims are in-stride demand
+            #   lines, L2 victims are in-stride promotions or pre-stride
+            #   lines from a snapshot with zero dirty entries, and no
+            #   dirty-victim cascade ran in this stride (dev1 == dev2 ==
+            #   0), so only the L3 victim needs its dirty bit read.
+            warm = l1.n_sets * a1
+            if warm < pf.l3_extra:
+                warm = pf.l3_extra
+            switch_at = 0
+            if (degree < l2.n_sets and dist3 - degree < l3.n_sets
+                    and end - line >= warm + 512):
+                switch_at = line + warm
+            streak = 0
+            pos = line
+            seg_end = switch_at if switch_at else end
+            aborted = False
+            while True:
+                for ln in range(pos, seg_end):
+                    set1 = s1[ln & m1]
+                    if ln in set1:
+                        aborted = True   # warm line: not a cold miss
+                        break
+                    set2 = s2[ln & m2]
+                    try:
+                        # Demand: L1D miss serviced by an L2 hit
+                        # (reference order: L1 lookup-miss, L2
+                        # lookup-hit, fill L1, observe + fills).
+                        set2.move_to_end(ln)
+                    except KeyError:
+                        aborted = True   # deeper miss: irregular cascade
+                        break
+                    v, vd = set1.popitem(False)
+                    if vd:
+                        dev1 += 1
+                        n_wb += 1
+                        fill_l2(v, True)
+                    set1[ln] = False
+                    # Closed-form observe: one L2-window line ...
+                    p2 = ln + degree
+                    pset2 = s2[p2 & m2]
+                    if p2 not in pset2:
+                        if p2 in s3[p2 & m3]:
+                            f2 += 1
+                            v, vd = pset2.popitem(False)
+                            if vd:
+                                dev2 += 1
+                                n_wb += 1
+                                fill_l3(v, True)
+                            pset2[p2] = False
+                            st = 1
+                        else:
+                            n_pf_l3 += 1
+                            pset3 = s3[p2 & m3]
+                            v, vd = pset3.popitem(False)
+                            if vd:
+                                dev3 += 1
+                                n_wb += 1
+                            pset3[p2] = False
+                            st = 0
+                    else:
+                        st = 0
+                    # ... and one L3-window line.
+                    p3 = ln + dist3
+                    pset3 = s3[p3 & m3]
+                    if p3 not in pset3:
+                        n_pf_l3 += 1
+                        v, vd = pset3.popitem(False)
+                        if vd:
+                            dev3 += 1
+                            n_wb += 1
+                        pset3[p3] = False
+                        if st:
+                            streak += 1
+                        else:
+                            streak = 0
+                    else:
+                        streak = 0
+                    k += 1
+                if aborted or seg_end >= end:
+                    break
+                # At the switch point: discharge the proof obligations,
+                # bound the junk horizon, and run unchecked to it.  Any
+                # failed obligation falls back to the checked loop for
+                # the rest of the stride (seg_end is already extended).
+                pos = seg_end
+                seg_end = end
+                if dev1 or dev2 or streak < pf.l3_extra:
+                    continue
+                h = end
+                dirty2 = False
+                b2 = pos + degree
+                for cset in s2:
+                    for j, d in cset.items():
+                        if d:
+                            dirty2 = True
+                        if j >= b2 and j - degree < h:
+                            h = j - degree
+                if dirty2:
+                    continue
+                b3 = pos + dist3
+                for cset in s3:
+                    for j in cset:
+                        if j >= b3 and j - dist3 < h:
+                            h = j - dist3
+                if h <= pos:
+                    continue
+                ku = 0
+                try:
+                    for ln in range(pos, h):
+                        s2[ln & m2].move_to_end(ln)
+                        set1 = s1[ln & m1]
+                        set1.popitem(False)
+                        set1[ln] = False
+                        p2 = ln + degree
+                        pset2 = s2[p2 & m2]
+                        pset2.popitem(False)
+                        pset2[p2] = False
+                        p3 = ln + dist3
+                        pset3 = s3[p3 & m3]
+                        if pset3.popitem(False)[1]:
+                            dev3 += 1
+                            n_wb += 1
+                        pset3[p3] = False
+                        ku += 1
+                except KeyError:
+                    pass        # backstop; the proofs make this dead
+                f2 += ku
+                n_pf_l3 += ku
+                k += ku
+                break
+            if k == 0:
+                return 0
+            # Every fill evicted; the float adds are exact dyadics, so
+            # the bulk multiply equals the per-line reference sequence
+            # bit for bit.
+            n_pf_l2 = f2
+            ev1 = k
+            ev2 = f2
+            f3 = n_pf_l3
+            ev3 = n_pf_l3
+            cyc += k * issue
+            if pos_exp:
+                cyc += k * exp_l2
+                stall += k * exp_l2
+        else:
+            for ln in range(line, end):
+                set1 = s1[ln & m1]
+                if ln in set1:
+                    break       # warm line: not a cold miss
+                set2 = s2[ln & m2]
+                if ln not in set2:
+                    break       # deeper miss: irregular cascade
+                set2.move_to_end(ln)
+                if len(set1) >= a1:
+                    v, vd = set1.popitem(last=False)
+                    ev1 += 1
+                    if vd:
+                        dev1 += 1
+                        n_wb += 1
+                        fill_l2(v, True)
+                else:
+                    occ1 += 1
+                set1[ln] = False
+                p2 = ln + degree
+                pset2 = s2[p2 & m2]
+                if p2 not in pset2:
+                    if p2 in s3[p2 & m3]:
+                        n_pf_l2 += 1
+                        f2 += 1
+                        if len(pset2) >= a2:
+                            v, vd = pset2.popitem(last=False)
+                            ev2 += 1
+                            if vd:
+                                dev2 += 1
+                                n_wb += 1
+                                fill_l3(v, True)
+                        else:
+                            occ2 += 1
+                        pset2[p2] = False
+                    else:
+                        n_pf_l3 += 1
+                        pset3 = s3[p2 & m3]
+                        f3 += 1
+                        if len(pset3) >= a3:
+                            v, vd = pset3.popitem(last=False)
+                            ev3 += 1
+                            if vd:
+                                dev3 += 1
+                                n_wb += 1
+                        else:
+                            occ3 += 1
+                        pset3[p2] = False
+                p3 = ln + dist3
+                pset3 = s3[p3 & m3]
+                if p3 not in pset3:
+                    n_pf_l3 += 1
+                    f3 += 1
+                    if len(pset3) >= a3:
+                        v, vd = pset3.popitem(last=False)
+                        ev3 += 1
+                        if vd:
+                            dev3 += 1
+                            n_wb += 1
+                    else:
+                        occ3 += 1
+                    pset3[p3] = False
+                # Timing, in the exact reference sequence.
+                cyc += issue
+                if pos_exp:
+                    cyc += exp_l2
+                    stall += exp_l2
+                k += 1
+            if k == 0:
+                return 0
+        c.cycles = cyc
+        c.stall_cycles = stall
+        c.n_load_inst += k
+        c.n_l1d += k
+        c.n_l2 += k
+        c.l2_hits += k
+        c.n_pf_l2 += n_pf_l2
+        c.n_pf_l3 += n_pf_l3
+        c.n_writeback += n_wb
+        l1.bulk_account(misses=k, fills=k, evictions=ev1,
+                        dirty_evictions=dev1, occupancy=occ1)
+        l2.bulk_account(hits=k, fills=f2, evictions=ev2,
+                        dirty_evictions=dev2, occupancy=occ2)
+        l3.bulk_account(fills=f3, evictions=ev3,
+                        dirty_evictions=dev3, occupancy=occ3)
+        # Bulk-advance the stream exactly as k observe() calls would.
+        last = line + k - 1
+        match.last_line = last
+        match.run_length += k
+        match.l2_up_to = last + degree
+        match.prefetched_up_to = last + dist3
+        pf.n_pf_l2_issued += k
+        pf.n_pf_l3_issued += k
+        return k
 
     def _load_addrs(self, addrs: Iterable[int], dependent: bool = False,
                     first_only: bool = False) -> int:
@@ -615,25 +1038,16 @@ class BatchExecutor:
             c.n_writeback += n_wb
             c.n_pf_l2 += n_pf_l2
             c.n_pf_l3 += n_pf_l3
-            l1.misses += mis1
-            l1.fills += f1
-            l1.evictions += ev1
-            l1.dirty_evictions += dev1
-            l1._occupancy += occ1
+            l1.bulk_account(misses=mis1, fills=f1, evictions=ev1,
+                            dirty_evictions=dev1, occupancy=occ1)
             if l2 is not None:
-                l2.hits += h2
-                l2.misses += mis2
-                l2.fills += f2
-                l2.evictions += ev2
-                l2.dirty_evictions += dev2
-                l2._occupancy += occ2
+                l2.bulk_account(hits=h2, misses=mis2, fills=f2,
+                                evictions=ev2, dirty_evictions=dev2,
+                                occupancy=occ2)
             if l3 is not None:
-                l3.hits += h3
-                l3.misses += mis3
-                l3.fills += f3
-                l3.evictions += ev3
-                l3.dirty_evictions += dev3
-                l3._occupancy += occ3
+                l3.bulk_account(hits=h3, misses=mis3, fills=f3,
+                                evictions=ev3, dirty_evictions=dev3,
+                                occupancy=occ3)
         if n_tcm:
             c.n_tcm_load += n_tcm
         return mis1 + n_tcm
@@ -769,23 +1183,13 @@ class BatchExecutor:
         c.n_mem += n_mem
         c.n_tcm_store += n_tcm
         c.n_writeback += n_wb
-        l1.hits += h1
-        l1.misses += mis1
-        l1.fills += f1
-        l1.evictions += ev1
-        l1.dirty_evictions += dev1
-        l1._occupancy += occ1
+        l1.bulk_account(hits=h1, misses=mis1, fills=f1, evictions=ev1,
+                        dirty_evictions=dev1, occupancy=occ1)
         if l2 is not None:
-            l2.hits += h2
-            l2.misses += mis2
-            l2.fills += f2
-            l2.evictions += ev2
-            l2.dirty_evictions += dev2
-            l2._occupancy += occ2
+            l2.bulk_account(hits=h2, misses=mis2, fills=f2,
+                            evictions=ev2, dirty_evictions=dev2,
+                            occupancy=occ2)
         if l3 is not None:
-            l3.hits += h3
-            l3.misses += mis3
-            l3.fills += f3
-            l3.evictions += ev3
-            l3.dirty_evictions += dev3
-            l3._occupancy += occ3
+            l3.bulk_account(hits=h3, misses=mis3, fills=f3,
+                            evictions=ev3, dirty_evictions=dev3,
+                            occupancy=occ3)

@@ -114,6 +114,23 @@ class CacheLevel:
 
     # ------------------------------------------------------------------ utilities
 
+    def bulk_account(self, hits: int = 0, misses: int = 0, fills: int = 0,
+                     evictions: int = 0, dirty_evictions: int = 0,
+                     occupancy: int = 0) -> None:
+        """Apply a batch of per-run stat deltas in one call.
+
+        The batched executor (:mod:`repro.sim.batch`) tallies per-level
+        events in loop locals and flushes them here once per run, so the
+        stat fields stay plain integers on the hot path while the
+        bookkeeping lives next to the per-op mutators above.
+        """
+        self.hits += hits
+        self.misses += misses
+        self.fills += fills
+        self.evictions += evictions
+        self.dirty_evictions += dirty_evictions
+        self._occupancy += occupancy
+
     def contains(self, line: int) -> bool:
         """Non-mutating presence probe (no LRU update, no stats)."""
         return line in self._sets[line & self._set_mask]

@@ -8,8 +8,16 @@ Models the data-movement behaviour of §2.3 / Figure 2:
 * stores are write-back + write-allocate; a store hit dirties the L1D
   line, a (rare) store miss pulls the line in like a load first;
 * dirty victims are written back one level down and counted;
-* the L2 hardware prefetcher stages sequential lines into L2 (from L3)
-  and into L3 (from DRAM), per the paper's two countable prefetch kinds;
+* the L2 hardware prefetcher watches **demand-load misses only** and
+  stages sequential lines into L2 (from L3) and into L3 (from DRAM),
+  per the paper's two countable prefetch kinds.  Store (RFO) misses are
+  deliberately *not* fed to the prefetcher: the paper only counts the
+  two L2-prefetch kinds, and the modelled streamer does not train on
+  write-allocate traffic (see :mod:`repro.sim.prefetcher`).  Both
+  execution engines implement this identically — the reference
+  :meth:`MemoryHierarchy.store` and the batched
+  ``BatchExecutor._store_addrs`` — pinned by
+  ``tests/sim/test_hierarchy.py::TestPrefetcher::test_store_misses_do_not_train``;
 * an optional TCM region (§4) bypasses the cache hierarchy entirely at
   L1 speed and its own (lower) energy price.
 
@@ -117,7 +125,9 @@ class MemoryHierarchy:
             c.n_store_l1d_hit += 1
             return True
         # Write-allocate: fetch the line (counted as demand traffic below
-        # L1D, like an RFO), then dirty it in L1D.
+        # L1D, like an RFO), then dirty it in L1D.  Deliberately no
+        # _run_prefetcher call — the prefetcher trains on demand-load
+        # misses only (see the module docstring).
         self._fetch_from_below(line, dirty=True)
         return False
 

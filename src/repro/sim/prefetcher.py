@@ -13,6 +13,27 @@ and then keeps a prefetch window ``degree`` lines ahead of demand.  This
 is enough to make sequential scans (the dominant pattern of the database
 workloads in §3) hit in L2/L1D while leaving pointer-chasing untouched —
 which is exactly the behavioural contrast the paper relies on.
+
+Two windows, two watermarks.  Each tracker maintains the L2 window
+(``degree`` lines ahead of demand) and, beyond it, the L3 window
+(``l3_extra`` further lines) with *independent* high-water marks: a line
+first enters the L3 window — issued as a prefetch into L3, from DRAM —
+and is issued again as a prefetch into L2 once demand advances far
+enough that the line falls inside the L2 window.  The hierarchy turns
+that second issue into an L3→L2 promotion, which is exactly the paper's
+countable "prefetch into L2" kind.  In steady state every demand miss
+therefore issues one L2 line (at distance ``degree``) and one L3 line
+(at distance ``degree + l3_extra``) — the regular cascade the batched
+executor's cold-scan fast path replays in closed form (see
+:meth:`repro.sim.batch.BatchExecutor.scan_lines`).
+
+The prefetcher watches *demand-load* misses only.  Store (RFO) misses
+never reach :meth:`observe` — the paper counts only the two L2-prefetch
+kinds with performance counters, and on the modelled part the L2
+streamer does not train on the write-allocate traffic of the store
+workloads in §3.1 (their energy is dominated by the writeback path).
+Both execution engines implement the same choice (see
+``MemoryHierarchy.store`` and ``BatchExecutor._store_addrs``).
 """
 
 from __future__ import annotations
@@ -24,6 +45,9 @@ from dataclasses import dataclass, field
 class _Stream:
     last_line: int = -2
     run_length: int = 0
+    #: High-water mark of lines ever issued toward L2 (the near window).
+    l2_up_to: int = -1
+    #: High-water mark of lines ever issued toward L3 (the far window).
     prefetched_up_to: int = -1
 
 
@@ -62,6 +86,7 @@ class StreamPrefetcher:
         for stream in self._streams:
             stream.last_line = -2
             stream.run_length = 0
+            stream.l2_up_to = -1
             stream.prefetched_up_to = -1
         self._victim = 0
 
@@ -88,14 +113,25 @@ class StreamPrefetcher:
                     return range(0), range(0)
                 if stream.run_length == self.train_threshold:
                     self.n_trained += 1
-                l2_start = max(line + 1, stream.prefetched_up_to + 1)
+                # The two windows advance independently: the L2 window
+                # covers (line, line + degree], the L3 window the
+                # l3_extra lines beyond it.  Each emits only lines its
+                # own watermark has not issued yet, so a line staged
+                # into L3 when it was far ahead is re-issued toward L2
+                # once it falls inside the near window (an L3→L2
+                # promotion at the hierarchy).
                 l2_end = line + 1 + self.degree
                 l3_end = l2_end + self.l3_extra
-                if l2_start >= l3_end:
-                    return range(0), range(0)
-                stream.prefetched_up_to = l3_end - 1
+                l2_start = max(line + 1, stream.l2_up_to + 1)
+                l3_start = max(l2_end, stream.prefetched_up_to + 1)
                 l2_lines = range(l2_start, max(l2_start, l2_end))
-                l3_lines = range(max(l2_start, l2_end), l3_end)
+                l3_lines = range(l3_start, max(l3_start, l3_end))
+                if not l2_lines and not l3_lines:
+                    return l2_lines, l3_lines
+                if l2_lines:
+                    stream.l2_up_to = l2_end - 1
+                if l3_lines:
+                    stream.prefetched_up_to = l3_end - 1
                 self.n_pf_l2_issued += len(l2_lines)
                 self.n_pf_l3_issued += len(l3_lines)
                 return l2_lines, l3_lines
@@ -103,10 +139,28 @@ class StreamPrefetcher:
                 # Repeated miss on the same line (e.g. conflict churn):
                 # neither extends nor breaks the stream.
                 return range(0), range(0)
-        # No tracker matched: start (or restart) a stream in the victim slot.
-        stream = self._streams[self._victim]
-        self._victim = (self._victim + 1) % self.n_streams
+        # No tracker matched: start (or restart) a stream.  Prefer an
+        # idle slot, then a still-untrained one; only when every slot
+        # holds a trained stream does the round-robin victim pointer
+        # evict one — a single interleaved irregular miss stream must
+        # not tear down trained sequential streams while free slots
+        # exist.
+        stream = None
+        for cand in self._streams:
+            if cand.run_length == 0:
+                stream = cand
+                break
+        if stream is None:
+            threshold = self.train_threshold
+            for cand in self._streams:
+                if cand.run_length < threshold:
+                    stream = cand
+                    break
+        if stream is None:
+            stream = self._streams[self._victim]
+            self._victim = (self._victim + 1) % self.n_streams
         stream.last_line = line
         stream.run_length = 1
+        stream.l2_up_to = -1
         stream.prefetched_up_to = -1
         return range(0), range(0)

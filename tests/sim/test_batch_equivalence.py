@@ -17,6 +17,7 @@ import random
 import pytest
 
 from repro.config import tiny_arm, tiny_intel
+from repro.sim.address_space import Region
 from repro.sim.machine import Machine
 
 PRESETS = {"intel": tiny_intel, "arm": tiny_arm}
@@ -149,6 +150,12 @@ def _state(machine: Machine) -> dict:
             level.dirty_evictions, level.occupancy,
             tuple(tuple(s.items()) for s in level._sets),
         )
+    pf = machine.hierarchy.prefetcher
+    state["prefetcher"] = (
+        pf.n_trained, pf.n_pf_l2_issued, pf.n_pf_l3_issued, pf._victim,
+        tuple((s.last_line, s.run_length, s.l2_up_to, s.prefetched_up_to)
+              for s in pf._streams),
+    )
     return state
 
 
@@ -195,6 +202,97 @@ def test_scan_memo_invalidated_by_per_op_access():
     ref = _state(_execute("intel", "reference", program, eist=False))
     bat = _state(_execute("intel", "batched", program, eist=False))
     assert ref == bat
+
+
+def _run_scenario(mode: str, body) -> Machine:
+    machine = Machine(tiny_intel(), exec_mode=mode)
+    body(machine)
+    machine.settle()
+    return machine
+
+
+def _assert_modes_agree(body):
+    ref = _state(_run_scenario("reference", body))
+    bat = _state(_run_scenario("batched", body))
+    assert ref == bat
+
+
+def test_cold_stream_scan_equivalence():
+    """A scan twice the size of L3, run twice: the cold-stream fast
+    path (checked warmup, unchecked middle segment, junk-laden tail on
+    the second pass) must match the reference bit for bit — counters,
+    energy, LRU order, and prefetcher stream state."""
+    def body(machine):
+        n_lines = machine.hierarchy.l3.size * 2 // 64
+        buf = machine.address_space.alloc_lines(n_lines, "cold")
+        for _ in range(2):
+            machine.scan_lines(buf.base, n_lines)
+    _assert_modes_agree(body)
+
+
+def test_cold_scan_overlapping_tcm_region():
+    """A TCM window inside the scanned range disqualifies the stride
+    fast path; the generic walk must produce identical state."""
+    def body(machine):
+        n_lines = machine.hierarchy.l3.size // 64
+        buf = machine.address_space.alloc_lines(n_lines, "cold")
+        machine.hierarchy.tcm_region = Region(
+            base=buf.base + (n_lines // 2) * 64, size=16 * 64, label="tcm")
+        machine.scan_lines(buf.base, n_lines)
+        machine.scan_lines(buf.base, n_lines)
+    _assert_modes_agree(body)
+
+
+def test_cold_scan_through_dirty_cache_state():
+    """Store-dirtied lines ahead of a cold scan force dirty-victim
+    writeback cascades inside the stride (and block the unchecked
+    segment's clean-victim proof); every cascade must match."""
+    def body(machine):
+        n_lines = machine.hierarchy.l3.size * 2 // 64
+        buf = machine.address_space.alloc_lines(n_lines, "cold")
+        # Dirty a swath of lines across all three levels...
+        for i in range(0, n_lines, 3):
+            machine.store(buf.base + i * 64)
+        # ...then cold-scan the whole range over them, twice.
+        machine.scan_lines(buf.base, n_lines)
+        machine.scan_lines(buf.base, n_lines)
+    _assert_modes_agree(body)
+
+
+def test_interleaved_streams_clip_the_stride():
+    """Two sequential scans advancing in alternating chunks keep two
+    trackers live; stride clipping at foreign-tracker positions must
+    not drift from the reference."""
+    def body(machine):
+        n_lines = machine.hierarchy.l3.size // 64
+        a = machine.address_space.alloc_lines(n_lines, "a")
+        b = machine.address_space.alloc_lines(n_lines, "b")
+        chunk = 64
+        for i in range(0, n_lines, chunk):
+            machine.scan_lines(a.base + i * 64, chunk)
+            machine.scan_lines(b.base + i * 64, chunk)
+    _assert_modes_agree(body)
+
+
+def test_flush_mid_run_invalidates_fast_path_state():
+    """satellite: a mid-run MemoryHierarchy.flush() bumps mut_epoch;
+    both the scan-replay memo and the stride fast path must start cold
+    again instead of replaying stale state."""
+    def body(machine):
+        l1_lines = machine.hierarchy.l1d.size // 64
+        small = machine.address_space.alloc_lines(l1_lines, "small")
+        big = machine.address_space.alloc_lines(
+            machine.hierarchy.l3.size * 2 // 64, "big")
+        n_big = machine.hierarchy.l3.size * 2 // 64
+        machine.scan_lines(small.base, l1_lines)
+        machine.scan_lines(small.base, l1_lines)   # memoised replay
+        machine.scan_lines(big.base, n_big)        # trained fast path
+        machine.hierarchy.flush()                  # cold start mid-run
+        misses_before = machine.hierarchy.l1d.misses
+        machine.scan_lines(small.base, l1_lines)   # must miss again
+        assert machine.hierarchy.l1d.misses - misses_before == l1_lines
+        machine.scan_lines(big.base, n_big)
+    _assert_modes_agree(body)
 
 
 def test_exec_mode_knob():

@@ -157,6 +157,22 @@ class TestPrefetcher:
         ]
         assert staged
 
+    def test_store_misses_do_not_train(self):
+        # The prefetcher watches demand-*load* misses only (see the
+        # module docstrings of hierarchy and prefetcher): a sequential
+        # run of store (RFO) misses must neither train a stream nor
+        # issue prefetches, while the same run of loads does.
+        h, c = build(prefetch=True)
+        for line in range(20):
+            h.store(addr(line))
+        assert h.prefetcher.n_trained == 0
+        assert c.n_pf_l2 == 0 and c.n_pf_l3 == 0
+        h2, c2 = build(prefetch=True)
+        for line in range(20):
+            h2.load(addr(line))
+        assert h2.prefetcher.n_trained > 0
+        assert c2.n_pf_l2 + c2.n_pf_l3 > 0
+
     def test_flush_clears_everything(self):
         h, _ = build()
         h.load(addr(1))

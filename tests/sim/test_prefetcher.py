@@ -42,11 +42,44 @@ class TestWindow:
         l2, l3 = feed(pf, list(range(100, 110)))
         assert all(t > 100 for t in l2 + l3)
 
-    def test_no_duplicate_prefetches(self):
+    def test_no_duplicate_prefetches_within_a_kind(self):
+        # A line is issued at most once toward each level: once into L3
+        # when it enters the far window, once toward L2 when demand
+        # advances enough that it falls inside the near window (the
+        # L3->L2 promotion).  Within a kind there are no repeats.
         pf = StreamPrefetcher(train_threshold=2, degree=4, l3_extra=4)
         l2, l3 = feed(pf, list(range(0, 50)))
-        targets = l2 + l3
-        assert len(targets) == len(set(targets))
+        assert len(l2) == len(set(l2))
+        assert len(l3) == len(set(l3))
+
+    def test_window_split_breakdown_is_consistent(self):
+        # Steady state issues exactly one L2-window line (at distance
+        # `degree`) and one L3-window line (at `degree + l3_extra`) per
+        # miss; nothing inside the L2 window is ever emitted as an L3
+        # line.  Pin the n_pf_l2/n_pf_l3 breakdown exactly.
+        degree, extra, threshold = 4, 8, 2
+        pf = StreamPrefetcher(train_threshold=threshold, degree=degree,
+                              l3_extra=extra)
+        n = 40
+        all_l2, all_l3 = [], []
+        for line in range(n):
+            l2, l3 = pf.observe(line)
+            for t in l2:
+                assert line < t <= line + degree, (line, t)
+            for t in l3:
+                assert t > line + degree, (line, t)
+            all_l2.extend(l2)
+            all_l3.extend(l3)
+        # Training burst at line `threshold - 1` emits the full windows;
+        # every later miss advances each window by exactly one line.
+        steady = n - threshold
+        assert len(all_l2) == degree + steady
+        assert len(all_l3) == extra + steady
+        assert pf.n_pf_l2_issued == len(all_l2)
+        assert pf.n_pf_l3_issued == len(all_l3)
+        # Every line past the training point is eventually promoted
+        # toward L2 (the paper's countable "prefetch into L2" kind).
+        assert set(all_l2) == set(range(threshold, threshold + len(all_l2)))
 
     def test_l3_window_beyond_l2(self):
         pf = StreamPrefetcher(train_threshold=2, degree=2, l3_extra=2)
@@ -80,6 +113,30 @@ class TestMultipleStreams:
         feed(pf, [9000])                # evicts the only tracker
         l2, l3 = pf.observe(13)         # old stream forgotten
         assert not l2 and not l3
+
+    def test_irregular_misses_prefer_idle_slots(self):
+        # Regression: an interleaved irregular miss stream used to claim
+        # the round-robin victim slot on every non-matching miss, tearing
+        # down trained sequential streams while idle slots existed.
+        pf = StreamPrefetcher(n_streams=4, train_threshold=2)
+        feed(pf, [100, 101, 102])       # slot 0: trained
+        # Far more irregular misses than there are slots.
+        feed(pf, [9000 + 64 * i for i in range(20)])
+        l2, l3 = pf.observe(103)        # the trained stream survived
+        assert l2 or l3
+
+    def test_untrained_slots_evicted_before_trained(self):
+        pf = StreamPrefetcher(n_streams=2, train_threshold=2)
+        feed(pf, [100, 101, 102])       # slot 0: trained
+        feed(pf, [9000])                # slot 1: idle -> claimed
+        feed(pf, [7000])                # no idle left: reuse untrained slot 1
+        l2, l3 = pf.observe(103)
+        assert l2 or l3                 # trained stream still alive
+        # With every slot trained, the round-robin victim finally evicts.
+        pf2 = StreamPrefetcher(n_streams=1, train_threshold=2)
+        feed(pf2, [10, 11, 12])
+        feed(pf2, [9000])
+        assert not any(pf2.observe(13))
 
 
 class TestControls:

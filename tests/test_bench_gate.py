@@ -1,0 +1,109 @@
+"""Unit tests for the ``repro bench`` regression gate."""
+
+import copy
+import json
+
+from repro.bench import check_regression, write_report
+from repro.cli import main
+
+
+def _report(batched=10.0, speedup=6.0, identical=True):
+    return {
+        "scan_path": {
+            "fig07_tpch_scan": {
+                "reference_mops": 1.0,
+                "batched_mops": 500.0,
+                "speedup": 500.0,
+                "counters_identical": True,
+            },
+            "cold_stream_scan": {
+                "reference_mops": batched / speedup,
+                "batched_mops": batched,
+                "speedup": speedup,
+                "counters_identical": identical,
+            },
+        },
+        "row_load_run": {"batched_mops": 50.0},
+    }
+
+
+class TestColdScanGate:
+    def test_identical_reports_pass(self):
+        base = _report()
+        assert check_regression(copy.deepcopy(base), base) == []
+
+    def test_throughput_drop_fails(self):
+        failures = check_regression(_report(batched=5.0), _report())
+        assert any("cold_stream_scan" in f and "Mops/s" in f
+                   for f in failures)
+
+    def test_speedup_rot_fails_even_when_absolute_holds(self):
+        # A faster CI runner can mask a fast-path rot in absolute Mops/s;
+        # the batched/reference ratio must be gated independently.
+        failures = check_regression(
+            _report(batched=12.0, speedup=1.5), _report(speedup=6.0))
+        assert any("speedup" in f for f in failures)
+
+    def test_counter_drift_fails(self):
+        failures = check_regression(_report(identical=False), _report())
+        assert any("counters_identical" in f for f in failures)
+
+    def test_small_wobble_within_threshold_passes(self):
+        failures = check_regression(
+            _report(batched=9.0, speedup=5.4), _report())
+        assert failures == []
+
+    def test_missing_baseline_entries_are_not_gated(self):
+        failures = check_regression(_report(), {"scan_path": {}})
+        assert all("below baseline" not in f for f in failures)
+
+
+def _cli_report(**kw):
+    """A full report shaped like run_bench()'s output."""
+    report = _report(**kw)
+    report["tpch"] = {
+        "Q6": {"reference_s": 0.06, "batched_s": 0.04, "speedup": 1.5},
+    }
+    report["serve"] = {
+        "batched": {"requests_per_s": 50.0},
+        "speedup": 1.2,
+    }
+    return report
+
+
+class TestBenchCli:
+    def test_check_gates_against_pre_run_baseline(self, tmp_path,
+                                                  monkeypatch):
+        # --check with the default --out points both at the same file;
+        # the gate must compare against the baseline as committed, not
+        # the report this run just wrote over it (which always passes).
+        import repro.bench
+
+        path = tmp_path / "BENCH_simperf.json"
+        path.write_text(json.dumps(_cli_report()))
+        degraded = _cli_report(batched=1.0, speedup=1.0)
+        monkeypatch.setattr(repro.bench, "run_bench",
+                            lambda quick=False: copy.deepcopy(degraded))
+        rc = main(["bench", "--quick", "--out", str(path),
+                   "--check", str(path)])
+        assert rc == 1
+        # The degraded report was still written for inspection.
+        assert json.loads(path.read_text()) == degraded
+
+    def test_missing_baseline_fails_before_running(self, tmp_path,
+                                                   monkeypatch):
+        import repro.bench
+
+        def boom(quick=False):
+            raise AssertionError("bench ran despite missing baseline")
+
+        monkeypatch.setattr(repro.bench, "run_bench", boom)
+        rc = main(["bench", "--quick",
+                   "--out", str(tmp_path / "out.json"),
+                   "--check", str(tmp_path / "absent.json")])
+        assert rc == 2
+
+    def test_write_report_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "bench-smoke" / "BENCH_simperf.json"
+        write_report({"version": 1}, str(path))
+        assert json.loads(path.read_text()) == {"version": 1}
