@@ -31,8 +31,10 @@ from typing import Optional
 from repro.config import intel_i7_4790
 from repro.sim.machine import Machine
 
-#: Result schema version, bumped on layout changes.
-SCHEMA_VERSION = 1
+#: Result schema version, bumped on layout changes.  v2 added the
+#: ``schema_version`` stamp (``repro diff`` keys on it) and per-section
+#: wall times in ``sections_wall_s``.
+SCHEMA_VERSION = 2
 
 #: Default output file, at the repository root by convention.
 DEFAULT_OUT = "BENCH_simperf.json"
@@ -194,24 +196,40 @@ def run_bench(quick: bool = False) -> dict:
     warm_reps = 60 if quick else 400
     cold_reps = 1 if quick else 3
     rows = 20_000 if quick else 100_000
+    walls: dict = {}
+
+    def timed(section: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        walls[section] = round(time.perf_counter() - t0, 3)
+        return out
+
     results = {
         "version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "generated_unix": int(time.time()),
         "scan_path": {
-            "fig07_tpch_scan": _compare(_warm_scan_mops, warm_reps),
+            "fig07_tpch_scan": timed(
+                "scan_path.fig07_tpch_scan",
+                lambda: _compare(_warm_scan_mops, warm_reps)),
             "fig08_datasize_scan": {
-                tier: _compare(_warm_scan_mops, warm_reps // 2)
+                tier: timed(
+                    f"scan_path.fig08.{tier}",
+                    lambda: _compare(_warm_scan_mops, warm_reps // 2))
                 for tier in FIG08_TIERS
             },
-            "cold_stream_scan": _compare(_cold_scan_mops, cold_reps),
+            "cold_stream_scan": timed(
+                "scan_path.cold_stream_scan",
+                lambda: _compare(_cold_scan_mops, cold_reps)),
         },
-        "row_load_run": _compare(_row_load_run_mops, rows),
-        "tpch": _tpch_seconds(
-            "10MB" if quick else "100MB", (1, 6)
-        ),
-        "serve": _serve_rps(20 if quick else 120),
+        "row_load_run": timed(
+            "row_load_run", lambda: _compare(_row_load_run_mops, rows)),
+        "tpch": timed("tpch", lambda: _tpch_seconds(
+            "10MB" if quick else "100MB", (1, 6))),
+        "serve": timed("serve", lambda: _serve_rps(20 if quick else 120)),
     }
+    results["sections_wall_s"] = walls
     return results
 
 

@@ -13,7 +13,10 @@ Commands:
   emit its JSON report (policies, admission control, tenants);
 * ``chaos``     — a serve run under deterministic fault injection,
   with retries/deadlines/circuit-breaker resilience and a report that
-  splits Active energy into useful vs wasted joules.
+  splits Active energy into useful vs wasted joules;
+* ``diff``      — load two run artifacts (bench/serve reports, trace
+  JSONL) and print ranked Δ-energy attributions per operator,
+  micro-op class, and cache level.
 
 All commands accept ``--scale`` (cache divisor, default 16),
 ``--tier`` (data tier, default 100MB), ``--seed`` (the one root seed
@@ -190,6 +193,8 @@ def cmd_profile(args) -> int:
 def cmd_trace(args) -> int:
     from repro.micro.measurement import run_measured
     from repro.obs import Tracer
+    from repro.obs.sampler import SamplingAggregator
+    from repro.obs.timeline import TimelineRecorder, write_timeline
 
     machine = _machine(args)
     print("calibrating ...", file=sys.stderr)
@@ -199,8 +204,23 @@ def cmd_trace(args) -> int:
     statement = " ".join(args.statement)
     if not args.cold:
         db.sql(statement)  # warm the pools so the trace shows steady state
-    tracer = Tracer(machine, background=cal.background,
-                    delta_e=cal.delta_e, name="query")
+    timeline = None
+    if args.timeline_out:
+        timeline = TimelineRecorder(machine, window_s=args.timeline_window,
+                                    background=cal.background)
+        timeline.start()
+    sampled = args.telemetry == "sampler"
+    if sampled:
+        tracer = SamplingAggregator(
+            machine, background=cal.background,
+            seed=derive_seed(args.seed, "obs", "exemplars"),
+            exemplar_rate=args.exemplar_rate,
+            reservoir_size=args.reservoir_size,
+            trace_operators=True, timeline=timeline, name="query",
+        )
+    else:
+        tracer = Tracer(machine, background=cal.background,
+                        delta_e=cal.delta_e, name="query")
     rows: list = []
 
     def workload() -> None:
@@ -211,14 +231,23 @@ def cmd_trace(args) -> int:
     # must sum back to this Active energy (the acceptance check).
     measurement = run_measured(machine, workload, cal.background,
                                apply_noise=False)
-    trace = tracer.trace
+    if timeline is not None:
+        write_timeline(timeline.finish(), args.timeline_out,
+                       args.timeline_window)
+        print(f"wrote {args.timeline_out}", file=sys.stderr)
     for row in rows[: args.limit]:
         print(row)
     if len(rows) > args.limit:
         print(f"... ({len(rows)} rows)")
     print()
-    print(trace.render_tree(max_depth=args.depth))
-    span_sum = sum(trace.active_energy_j(s) for s in trace.spans())
+    if sampled:
+        summary = tracer.finish()
+        print(summary.render_table())
+        span_sum = summary.total_active_j
+    else:
+        trace = tracer.trace
+        print(trace.render_tree(max_depth=args.depth))
+        span_sum = sum(trace.active_energy_j(s) for s in trace.spans())
     measured = measurement.active_energy_j
     delta_pct = (100.0 * abs(span_sum - measured) / measured
                  if measured else 0.0)
@@ -227,9 +256,10 @@ def cmd_trace(args) -> int:
     if args.metrics:
         print()
         print(machine.metrics.render())
-    for path in _export_trace(trace, pathlib.Path(args.out), "trace",
-                              f"{statement} ({args.engine}, {args.tier})"):
-        print(f"wrote {path}", file=sys.stderr)
+    if not sampled:
+        for path in _export_trace(trace, pathlib.Path(args.out), "trace",
+                                  f"{statement} ({args.engine}, {args.tier})"):
+            print(f"wrote {path}", file=sys.stderr)
     return 0 if delta_pct <= 1.0 else 1
 
 
@@ -333,6 +363,13 @@ def cmd_bench(args) -> int:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         if failures:
+            from repro.obs.diff import bench_top_regressor
+
+            worst = bench_top_regressor(results, baseline)
+            if worst is not None:
+                print(f"REGRESSION top regressor: {worst['name']} "
+                      f"({worst['mops_ratio']:.3f}x baseline throughput)",
+                      file=sys.stderr)
             return 1
         print("no throughput regression vs baseline", file=sys.stderr)
     return 0
@@ -363,6 +400,11 @@ def _serve_config(args, **extra):
         tier=args.tier,
         scale=args.scale,
         exec_mode=getattr(args, "exec_mode", "batched"),
+        telemetry=args.telemetry,
+        exemplar_rate=args.exemplar_rate,
+        reservoir_size=args.reservoir_size,
+        timeline_out=args.timeline_out,
+        timeline_window_s=args.timeline_window,
         **extra,
     )
 
@@ -379,10 +421,15 @@ def _emit_report(report: dict, out) -> None:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve import run_serve
+    from repro.serve import render_serve_summary, run_serve
 
     report = run_serve(_serve_config(args))
     _emit_report(report, args.out)
+    # The one-screen text summary goes to stderr so piping the JSON
+    # report from stdout stays clean.
+    print(render_serve_summary(report), file=sys.stderr)
+    if args.timeline_out:
+        print(f"wrote {args.timeline_out}", file=sys.stderr)
     return 0
 
 
@@ -473,6 +520,17 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    from repro.obs.diff import diff_snapshots, load_snapshot, render_diff
+
+    diff = diff_snapshots(load_snapshot(args.a), load_snapshot(args.b))
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, top=args.top))
+    return 0
+
+
 def _add_serve_options(p: argparse.ArgumentParser) -> None:
     """Options shared by every serve-shaped subcommand (serve, chaos)."""
     _add_common(p)
@@ -515,6 +573,20 @@ def _add_serve_options(p: argparse.ArgumentParser) -> None:
                    help="closed-loop mean think time (sim s)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON report to FILE (default: stdout)")
+    p.add_argument("--telemetry", default="full",
+                   choices=["full", "sampler", "off"],
+                   help="full span recording, streaming sampler "
+                        "aggregates, or no telemetry at all")
+    p.add_argument("--exemplar-rate", type=float, default=0.1,
+                   help="sampler: fraction of spans offered to the "
+                        "exemplar reservoir (aggregates stay exact)")
+    p.add_argument("--reservoir-size", type=int, default=64,
+                   help="sampler: exemplar spans kept")
+    p.add_argument("--timeline-out", metavar="FILE", default=None,
+                   help="record a fixed-window timeline over simulated "
+                        "time (.csv = CSV, else JSONL)")
+    p.add_argument("--timeline-window", type=float, default=0.01,
+                   help="timeline window length (sim s)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +635,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the warm-up run (trace cold caches/pools)")
     p.add_argument("--metrics", action="store_true",
                    help="also print the machine metrics registry")
+    p.add_argument("--telemetry", default="full",
+                   choices=["full", "sampler"],
+                   help="full span tree or streaming sampler aggregates")
+    p.add_argument("--exemplar-rate", type=float, default=0.1,
+                   help="sampler: fraction of spans offered to the "
+                        "exemplar reservoir")
+    p.add_argument("--reservoir-size", type=int, default=64,
+                   help="sampler: exemplar spans kept")
+    p.add_argument("--timeline-out", metavar="FILE", default=None,
+                   help="record a fixed-window timeline over simulated "
+                        "time (.csv = CSV, else JSONL)")
+    p.add_argument("--timeline-window", type=float, default=0.01,
+                   help="timeline window length (sim s)")
     p.add_argument("statement", nargs="+", help="the SELECT statement")
     p.set_defaults(fn=cmd_trace)
 
@@ -642,6 +727,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the full JSON report instead of the summary")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "diff",
+        help="attribute the energy/time delta between two run artifacts",
+    )
+    p.add_argument("a", help="baseline artifact (bench/serve report "
+                             "JSON, or trace JSONL)")
+    p.add_argument("b", help="comparison artifact of the same kind")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per ranked dimension (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured diff instead of text")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="-v for INFO, -vv for DEBUG")
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser(
         "bench",

@@ -44,6 +44,11 @@ class TraceError(ReproError):
     finishing a trace with spans still open, ...)."""
 
 
+class DiffError(ReproError):
+    """Two snapshots could not be compared (unrecognised artifact,
+    mismatched kinds, or different schema versions)."""
+
+
 class ServeError(ReproError):
     """The serving layer was misused at runtime (dispatching a request
     that is not queued, releasing a slot twice, ...)."""

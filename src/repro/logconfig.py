@@ -17,6 +17,11 @@ import logging
 #: Format kept terse: the interesting part is the message, not the time.
 _FORMAT = "%(levelname)s %(name)s: %(message)s"
 
+#: Attribute stamped on the handler this module installs, so repeated
+#: configuration recognises its own handler no matter what else a host
+#: application hung on the ``repro`` logger.
+_OWNED_MARK = "_repro_logconfig_owned"
+
 
 def verbosity_to_level(verbosity: int) -> int:
     """Map a ``-v`` count to a :mod:`logging` level."""
@@ -30,14 +35,34 @@ def verbosity_to_level(verbosity: int) -> int:
 def configure_logging(verbosity: int = 0) -> None:
     """Install a stderr handler on the ``repro`` logger tree.
 
-    Idempotent: calling again just adjusts the level (so tests and
-    repeated CLI invocations in one process behave).  Only the
-    ``repro`` hierarchy is touched — the root logger is left alone.
+    Idempotent: calling any number of times leaves exactly one handler
+    owned by this module on the ``repro`` logger, whatever the call
+    order — repeat calls just adjust the level, duplicate owned
+    handlers (e.g. from a reloaded module) are collapsed, and foreign
+    handlers added by a host application are left untouched.  Only the
+    ``repro`` hierarchy is configured — the root logger is never.
     """
     logger = logging.getLogger("repro")
     logger.setLevel(verbosity_to_level(verbosity))
-    if not logger.handlers:
+    owned = [h for h in logger.handlers if getattr(h, _OWNED_MARK, False)]
+    for extra in owned[1:]:
+        logger.removeHandler(extra)
+    if not owned and not logger.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _OWNED_MARK, True)
         logger.addHandler(handler)
     logger.propagate = False
+
+
+def reset_logging() -> None:
+    """Remove the handler :func:`configure_logging` installed (if any).
+
+    For tests and embedders that need a clean slate; foreign handlers
+    stay, and the level is restored to NOTSET (inherit)."""
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _OWNED_MARK, False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True

@@ -34,7 +34,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     render_series_name,
 )
+from repro.obs.sampler import (
+    NullTelemetry,
+    SamplingAggregator,
+    TelemetrySummary,
+)
 from repro.obs.span import Span, Trace
+from repro.obs.timeline import (
+    TIMELINE_FIELDS,
+    TIMELINE_SCHEMA_VERSION,
+    TimelineRecorder,
+    timeline_to_csv,
+    timeline_to_jsonl,
+    write_timeline,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -51,7 +64,16 @@ __all__ = [
     "Trace",
     "NULL_TRACER",
     "NullTracer",
+    "NullTelemetry",
+    "SamplingAggregator",
+    "TelemetrySummary",
+    "TIMELINE_FIELDS",
+    "TIMELINE_SCHEMA_VERSION",
+    "TimelineRecorder",
     "Tracer",
+    "timeline_to_csv",
+    "timeline_to_jsonl",
+    "write_timeline",
 ]
 
 

@@ -26,6 +26,10 @@ from repro.obs.span import Span, Trace
 
 PathOrFile = Union[str, "object"]
 
+#: Version stamp in the JSONL header; ``repro diff`` refuses to
+#: compare trace logs with different stamps.
+TRACE_SCHEMA_VERSION = 1
+
 
 def _span_records(trace: Trace) -> Iterator[tuple[int, int, Span]]:
     """Yield ``(id, parent_id, span)`` in pre-order; the root has
@@ -79,6 +83,7 @@ def trace_to_jsonl(trace: Trace) -> str:
     """The full trace as JSON Lines text (header line first)."""
     lines = [json.dumps({
         "record": "trace",
+        "schema_version": TRACE_SCHEMA_VERSION,
         "domain": trace.domain,
         "total_active_j": trace.total_active_j,
         "n_spans": trace.root.n_spans,
@@ -98,9 +103,17 @@ def trace_to_chrome(trace: Trace) -> dict:
         {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
          "args": {"name": f"query engine ({trace.domain})"}},
     ]
+    spans = []
     for span_id, parent_id, span in _span_records(trace):
         if span.first_ts is None or span.last_ts is None:
             continue  # opened but never entered: no wall footprint
+        spans.append((span_id, parent_id, span))
+    # Viewers require X events sorted by timestamp within a track;
+    # pre-order only guarantees parent-before-child, not sibling order
+    # once operators interleave.  Tie-break on longer-duration-first so
+    # a parent precedes a child that starts the same instant.
+    spans.sort(key=lambda item: (item[2].first_ts, -item[2].last_ts))
+    for span_id, parent_id, span in spans:
         events.append({
             "ph": "X",
             "pid": 1,

@@ -107,3 +107,45 @@ def write_flamegraph(trace: Trace, path: str,
     with open(path, "w") as fh:
         fh.write(energy_flamegraph_svg(trace, title))
         fh.write("\n")
+
+
+def trace_to_folded(trace: Trace) -> str:
+    """The trace in Brendan Gregg's folded-stack format.
+
+    One line per span: semicolon-joined stack, a space, then the span's
+    *exclusive* Active energy in joules (``repr`` so the round trip is
+    exact).  Standard flamegraph tooling (``flamegraph.pl``, speedscope,
+    inferno) accepts fractional values, so the output feeds them
+    directly — the x-axis becomes joules instead of samples.  Spans with
+    zero exclusive energy are kept only when they are leaves, so the
+    stack set still covers the whole tree shape.
+    """
+    lines: list[str] = []
+
+    def visit(span: Span, prefix: tuple) -> None:
+        stack = prefix + (span.name.replace(";", ","),)
+        self_j = trace.active_energy_j(span)
+        if self_j != 0.0 or not span.children:
+            lines.append(";".join(stack) + f" {self_j!r}")
+        for child in span.children:
+            visit(child, stack)
+
+    visit(trace.root, ())
+    return "\n".join(lines) + "\n"
+
+
+def parse_folded(text: str) -> dict:
+    """Parse folded-stack text back into ``{(frame, ...): joules}``.
+
+    Inverse of :func:`trace_to_folded` (values merged per stack, as the
+    format allows repeats).  The value is whatever follows the last
+    space, so frame names may contain spaces.
+    """
+    out: dict = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        stack_part, _, value = line.rpartition(" ")
+        key = tuple(stack_part.split(";"))
+        out[key] = out.get(key, 0.0) + float(value)
+    return out

@@ -91,16 +91,23 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile estimate (upper bound of the
-        bucket containing the q-th observation)."""
+        bucket containing the q-th observation).
+
+        Nearest-rank semantics: the q-quantile of n observations is the
+        ``max(1, ceil(q*n))``-th smallest, so ``q=0`` is the bucket of
+        the minimum (not the first bucket bound, which may be empty) and
+        ``q=1`` the bucket of the maximum.  An empty histogram has no
+        quantiles and returns NaN.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
-            return 0.0
-        target = q * self.count
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
         seen = 0
         for bound, n in zip(self.buckets, self.bucket_counts):
             seen += n
-            if seen >= target:
+            if seen >= rank:
                 return bound
         return self.buckets[-1]
 

@@ -143,18 +143,30 @@ class Tracer:
         core = rapl.energy_core()
         package = rapl.energy_package()
         dram = rapl.energy_dram()
+        d_package = package - self._last_package
         top.self_core_j += core - self._last_core
-        top.self_package_j += package - self._last_package
+        top.self_package_j += d_package
         top.self_dram_j += dram - self._last_dram
         self._last_core, self._last_package, self._last_dram = (
             core, package, dram
         )
-        top.self_time_s += machine.time_s - self._last_time
+        d_time = machine.time_s - self._last_time
+        top.self_time_s += d_time
         top.self_busy_s += machine.busy_s - self._last_busy
         top.self_idle_s += machine.idle_s - self._last_idle
         self._last_time = machine.time_s
         self._last_busy = machine.busy_s
         self._last_idle = machine.idle_s
+        timeline = machine.timeline
+        if timeline is not None and d_time > 0.0:
+            # Feed wasted-tagged work into the timeline's window split.
+            # The tag inherits downward, same as the report's partition.
+            for span in reversed(self._stack):
+                tag = span.meta.get("wasted")
+                if tag is not None:
+                    timeline.add_wasted(machine.time_s - d_time,
+                                        machine.time_s, tag, d_package)
+                    break
 
     # ------------------------------------------------------------ span API
 

@@ -27,6 +27,8 @@ from repro.db import Database, engine_profile
 from repro.faults import FAULT_SITES, FaultInjector, FaultPlan
 from repro.micro.measurement import measure_background
 from repro.obs import Tracer
+from repro.obs.sampler import NullTelemetry, SamplingAggregator
+from repro.obs.timeline import TimelineRecorder, write_timeline
 from repro.seeding import derive_seed, require_seed
 from repro.serve.admission import AdmissionController
 from repro.serve.drivers import (
@@ -52,6 +54,7 @@ from repro.serve.report import (
     energy_split,
     latency_summary,
     percentile,
+    render_serve_summary,
 )
 from repro.serve.request import JobTemplate, Request
 from repro.serve.resilience import CircuitBreaker, RetryManager
@@ -93,6 +96,7 @@ __all__ = [
     "make_driver",
     "make_policy",
     "percentile",
+    "render_serve_summary",
     "run_serve",
 ]
 
@@ -176,7 +180,33 @@ def run_serve(config: ServeConfig) -> dict:
                          injector=injector, retry=retry, breaker=breaker,
                          deadline_s=config.deadline_s,
                          degrade_keep_tenants=config.degrade_keep_tenants)
-    tracer = Tracer(machine, background=background, name="serve")
+    timeline = None
+    if config.timeline_out is not None:
+        timeline = TimelineRecorder(
+            machine,
+            window_s=config.timeline_window_s,
+            background=background,
+        )
+    if config.telemetry == "sampler":
+        tracer = SamplingAggregator(
+            machine,
+            background=background,
+            seed=derive_seed(seed, "obs", "exemplars"),
+            exemplar_rate=config.exemplar_rate,
+            reservoir_size=config.reservoir_size,
+            timeline=timeline,
+            name="serve",
+        )
+    elif config.telemetry == "off":
+        tracer = NullTelemetry(machine, background=background)
+    else:
+        tracer = Tracer(machine, background=background, name="serve")
+    if timeline is not None:
+        timeline.start()
+    server.timeline = timeline
     with tracer:
         server.run()
-    return build_report(config, server, tracer.trace, injector=injector)
+    if timeline is not None:
+        write_timeline(timeline.finish(), config.timeline_out,
+                       config.timeline_window_s)
+    return build_report(config, server, tracer.finish(), injector=injector)

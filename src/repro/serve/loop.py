@@ -107,6 +107,33 @@ class ServeConfig:
     breaker_cooloff_s: float = 0.1
     #: Tenants (by index) still served while the breaker is open.
     degrade_keep_tenants: int = 1
+    # --- telemetry (default "full" keeps the pre-telemetry behaviour:
+    # span tracer over the whole run, byte-identical reports) ---
+    #: "full" = span tracer (exact per-span tree, unaffordable at
+    #: production scale); "sampler" = streaming aggregates + exemplar
+    #: reservoir (always-on mode); "off" = whole-window totals only.
+    telemetry: str = "full"
+    #: Probability a closed span is offered to the exemplar reservoir
+    #: (sampler mode; never affects aggregates).
+    exemplar_rate: float = 0.1
+    #: Exemplar reservoir capacity (sampler mode).
+    reservoir_size: int = 64
+    #: Write a timeline (fixed windows over simulated time) here;
+    #: ``.csv`` selects CSV, anything else JSONL.  None = no timeline.
+    timeline_out: Optional[str] = None
+    #: Timeline window width in simulated seconds.
+    timeline_window_s: float = 0.01
+
+    @property
+    def telemetric(self) -> bool:
+        """True when any telemetry knob left its default.
+
+        Gates the report's ``telemetry`` section the same way
+        :attr:`resilient` gates the resilience keys: an all-default
+        config produces byte-identical output to the pre-telemetry
+        server.
+        """
+        return self.telemetry != "full" or self.timeline_out is not None
 
     @property
     def resilient(self) -> bool:
@@ -176,6 +203,24 @@ class ServeConfig:
                 f"degrade_keep_tenants must be >= 1, "
                 f"got {self.degrade_keep_tenants}"
             )
+        if self.telemetry not in ("full", "sampler", "off"):
+            raise ConfigError(
+                f"telemetry must be 'full', 'sampler', or 'off', "
+                f"got {self.telemetry!r}"
+            )
+        if not 0.0 <= self.exemplar_rate <= 1.0:
+            raise ConfigError(
+                f"exemplar_rate must be in [0, 1], got {self.exemplar_rate}"
+            )
+        if self.reservoir_size < 1:
+            raise ConfigError(
+                f"reservoir_size must be >= 1, got {self.reservoir_size}"
+            )
+        if self.timeline_window_s <= 0:
+            raise ConfigError(
+                f"timeline_window_s must be positive, "
+                f"got {self.timeline_window_s}"
+            )
         return self
 
 
@@ -206,6 +251,9 @@ class QueryServer:
         #: Scheduling fallback while the breaker is open: the cheapest
         #: policy (no cost model, no locality scan).
         self._degraded_policy = FifoPolicy()
+        #: Optional :class:`~repro.obs.timeline.TimelineRecorder` fed
+        #: serve events (admissions, terminals, queue depth samples).
+        self.timeline = None
         #: Every request ever created, in arrival order (the report's input).
         self.requests: list[Request] = []
         #: Tables of the most recently dispatched request (locality key).
@@ -234,6 +282,8 @@ class QueryServer:
         self._seq += 1
 
     def _client_terminal(self, request: Request, now: float) -> None:
+        if self.timeline is not None:
+            self.timeline.count(request.state)
         nxt = self.driver.on_terminal(request.client, now)
         if nxt is not None:
             self._push_arrival(nxt[0], request.client, nxt[1])
@@ -269,6 +319,8 @@ class QueryServer:
                     self._mark_deadline_exceeded(request, t)
                 else:
                     admitted = self.admission.offer(request, t, record=False)
+                    if admitted and self.timeline is not None:
+                        self.timeline.count("admitted")
                     self._drain_shed()
                     if not admitted:
                         self._client_terminal(request, t)
@@ -290,6 +342,8 @@ class QueryServer:
             self._assign(t)
             return
         admitted = self.admission.offer(request, t)
+        if admitted and self.timeline is not None:
+            self.timeline.count("admitted")
         self._drain_shed()
         if not admitted:
             self._client_terminal(request, t)
@@ -315,6 +369,8 @@ class QueryServer:
         """Fill core run lists from the queue via the policy."""
         self.admission.candidates(now)  # sheds expired waiters
         self._drain_shed()
+        if self.timeline is not None:
+            self.timeline.sample_queue_depth(len(self.admission.queue))
         while self.admission.queue:
             open_cores = [core for core in self.core_set.cores
                           if len(core.run_list) < self.mpl]

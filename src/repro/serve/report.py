@@ -35,6 +35,10 @@ from repro.serve.request import (
 
 PERCENTILES = (50, 95, 99)
 
+#: Version stamp on every serve report; ``repro diff`` refuses to
+#: compare reports with different stamps.
+SERVE_SCHEMA_VERSION = 1
+
 #: Span-meta keys the wasted-energy partition groups by.
 WASTE_KEYS = ("request", "attempt", "wasted")
 
@@ -180,6 +184,17 @@ def build_report(config: ServeConfig, server: QueryServer,
             "rows": sum(r.rows for r in t_completed),
         }
 
+    by_request = trace.active_energy_by_meta("request")
+    by_request.pop(None, None)
+    request_joules = [by_request[k] for k in sorted(by_request)]
+    request_energy = {
+        "n": len(request_joules),
+        "mean_j": (sum(request_joules) / len(request_joules)
+                   if request_joules else None),
+    }
+    for p in PERCENTILES:
+        request_energy[f"p{p}_j"] = percentile(request_joules, p)
+
     snapshot = machine.metrics.snapshot()
     serve_counters = {
         name: value for name, value in sorted(snapshot.items())
@@ -188,6 +203,7 @@ def build_report(config: ServeConfig, server: QueryServer,
     }
 
     report = {
+        "schema_version": SERVE_SCHEMA_VERSION,
         "config": {
             "workload": config.workload,
             "policy": config.policy,
@@ -222,6 +238,7 @@ def build_report(config: ServeConfig, server: QueryServer,
             "check_sum_j": system_j + sum(tenant_j.values()),
             "energy_per_query_j": energy_per_query_j,
             "edp_js": edp,
+            "request_energy_j": request_energy,
         },
         "clock": {
             "wall_s": machine.time_s,
@@ -271,4 +288,91 @@ def build_report(config: ServeConfig, server: QueryServer,
             "disk_fault_slowdowns": machine.disk.fault_slowdowns,
             "disk_read_retries": disk_retries,
         }
+    if config.telemetric:
+        report["config"].update({
+            "telemetry": config.telemetry,
+            "exemplar_rate": config.exemplar_rate,
+            "reservoir_size": config.reservoir_size,
+            "timeline_out": config.timeline_out,
+            "timeline_window_s": config.timeline_window_s,
+        })
+        section: dict = {"mode": config.telemetry}
+        if config.telemetry == "sampler" and hasattr(trace, "group_table"):
+            # Sampler mode: the summary carries the streaming aggregates.
+            section["groups"] = trace.group_table()
+            section["exemplars"] = {
+                "rate": trace.exemplar_rate,
+                "reservoir_size": config.reservoir_size,
+                "offered": trace.exemplars_offered,
+                "kept": len(trace.exemplars),
+                "sample": [e.as_dict() for e in trace.exemplars[:5]],
+            }
+        report["telemetry"] = section
     return report
+
+
+def render_serve_summary(report: dict) -> str:
+    """Human-readable one-screen summary of a serve report.
+
+    The CLI prints this next to the JSON report; it surfaces what an
+    operator looks at first — completion counts, latency percentiles,
+    and joules per request.
+    """
+    cfg = report["config"]
+    counts = report["counts"]
+    latency = report["latency_s"]
+    energy = report["energy"]
+    clock = report["clock"]
+    lines = [
+        f"serve: workload={cfg['workload']} queries={cfg['queries']} "
+        f"clients={cfg['clients']} policy={cfg['policy']} "
+        f"dvfs={cfg['dvfs']} seed={cfg['seed']}",
+        "counts: " + "  ".join(
+            f"{key}={value}" for key, value in counts.items()
+        ),
+    ]
+
+    def fmt(value, unit: str, precision: str = ".4g") -> str:
+        return "n/a" if value is None else f"{value:{precision}} {unit}"
+
+    lines.append(
+        f"latency: p50={fmt(latency['p50_s'], 's')}  "
+        f"p95={fmt(latency['p95_s'], 's')}  "
+        f"p99={fmt(latency['p99_s'], 's')}  "
+        f"mean={fmt(latency['mean_s'], 's')}"
+    )
+    request_energy = energy["request_energy_j"]
+    lines.append(
+        f"energy/request: p50={fmt(request_energy['p50_j'], 'J')}  "
+        f"p95={fmt(request_energy['p95_j'], 'J')}  "
+        f"p99={fmt(request_energy['p99_j'], 'J')}  "
+        f"mean={fmt(request_energy['mean_j'], 'J')}"
+    )
+    lines.append(
+        f"energy: active={energy['total_active_j']:.4g} J "
+        f"({energy['domain']})  "
+        f"per-query={fmt(energy['energy_per_query_j'], 'J')}  "
+        f"wall={clock['wall_s']:.4g} s"
+    )
+    if "useful_energy_j" in energy:
+        reasons = ", ".join(
+            f"{reason}={joules:.3g} J" for reason, joules in
+            list(energy["wasted_by_reason_j"].items())[:4]
+        ) or "none"
+        lines.append(
+            f"waste: useful={energy['useful_energy_j']:.4g} J  "
+            f"wasted={energy['wasted_energy_j']:.4g} J  "
+            f"reasons: {reasons}"
+        )
+    telemetry = report.get("telemetry")
+    if telemetry is not None and "exemplars" in telemetry:
+        exemplars = telemetry["exemplars"]
+        lines.append(
+            f"telemetry: mode={telemetry['mode']}  "
+            f"groups={len(telemetry.get('groups', {}))}  "
+            f"exemplars={exemplars['kept']}/{exemplars['offered']} "
+            f"(rate {exemplars['rate']:g})"
+        )
+    elif telemetry is not None:
+        lines.append(f"telemetry: mode={telemetry['mode']}")
+    return "\n".join(lines)

@@ -102,6 +102,10 @@ class ResidencyRecorder:
         total = self.total
         return self.seconds.get(pstate, 0.0) / total if total else 0.0
 
+    def snapshot(self) -> dict[int, float]:
+        """A point-in-time copy (timeline windows diff two of these)."""
+        return dict(self.seconds)
+
     def reset(self) -> None:
         self.seconds.clear()
 

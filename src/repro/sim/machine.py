@@ -117,6 +117,10 @@ class Machine:
         self.tracer = NULL_TRACER
         self.metrics = MetricsRegistry()
         self.metrics.add_collector(self._collect_metrics)
+        #: Optional :class:`~repro.obs.timeline.TimelineRecorder` fed a
+        #: window-accounting hook whenever simulated time advances.
+        #: None (the default) keeps settle/idle at one extra branch.
+        self.timeline = None
         #: Optional :class:`~repro.faults.FaultInjector` consulted by
         #: fault-aware components (buffer pools look it up here so
         #: lazily-created pools need no wiring).  None outside chaos runs.
@@ -195,6 +199,8 @@ class Machine:
         self.pstate = pstate
         self._vf2 = self.config.pstates.vf2(pstate)
         self.cpu.set_frequency(self.config.pstates.freq_ghz(pstate))
+        if self.timeline is not None:
+            self.timeline.note_pstate_switch()
 
     def enable_eist(self, governor: Optional[EistGovernor] = None) -> None:
         """Turn the DVFS governor on (paper default for real deployments)."""
@@ -233,6 +239,8 @@ class Machine:
             self.busy_s += busy
             self._epoch_busy += busy
             self.residency.record(self.pstate, busy)
+            if self.timeline is not None:
+                self.timeline.on_advance()
         self._settled = self.pmu.counters.copy()
 
     def idle(self, seconds: float) -> None:
@@ -244,6 +252,8 @@ class Machine:
         self.idle_s += seconds
         self.rapl.settle_background(seconds, deep_idle=self.cstates_enabled)
         self.residency.record(self.pstate, seconds)
+        if self.timeline is not None:
+            self.timeline.on_advance()
         self._maybe_run_governor()
 
     def disk_read(self, block: int, nbytes: int) -> None:

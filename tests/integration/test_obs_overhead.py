@@ -1,0 +1,60 @@
+"""Telemetry overhead gate: sampling must be (near) free.
+
+The tentpole claim of the sampling aggregator is that always-on
+telemetry costs almost nothing: serve throughput with ``--telemetry
+sampler`` must stay at or above 0.9x the ``--telemetry off`` run.
+Wall-clock ratios are noisy under arbitrary test runners, so the gate
+only runs when ``OBS_SMOKE=1`` (the CI ``obs-smoke`` job sets it);
+the conservation companions in ``tests/obs/test_sampler.py`` run
+always.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.serve import ServeConfig, run_serve
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("OBS_SMOKE") != "1",
+    reason="wall-clock overhead gate; set OBS_SMOKE=1 to run",
+)
+
+#: The bench harness's serve scenario (see repro.bench._serve_rps).
+SCENARIO = dict(tier="10MB", queries=120, clients=4, seed=7)
+
+#: Telemetry-on throughput must stay at or above this fraction of
+#: telemetry-off throughput (the ISSUE acceptance threshold).
+MIN_RATIO = 0.9
+
+ROUNDS = 3
+
+
+def _best_wall_s(telemetry: str) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        config = ServeConfig(telemetry=telemetry, **SCENARIO)
+        t0 = time.perf_counter()
+        run_serve(config)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_sampler_overhead_within_budget():
+    off_s = _best_wall_s("off")
+    on_s = _best_wall_s("sampler")
+    ratio = off_s / on_s  # throughput ratio: >1 means sampler is faster
+    assert ratio >= MIN_RATIO, (
+        f"telemetry-on throughput is {ratio:.3f}x telemetry-off "
+        f"(off {off_s:.3f}s vs sampler {on_s:.3f}s); "
+        f"budget is >= {MIN_RATIO}x"
+    )
+
+
+def test_sampler_report_carries_aggregates():
+    report = run_serve(ServeConfig(telemetry="sampler", **SCENARIO))
+    telemetry = report["telemetry"]
+    assert telemetry["mode"] == "sampler"
+    assert telemetry["groups"]
+    assert report["energy"]["request_energy_j"]["p99_j"] is not None

@@ -1,0 +1,140 @@
+"""Tests of differential energy attribution (``repro.obs.diff``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import DiffError
+from repro.obs.diff import (
+    bench_top_regressor,
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    top_regressor,
+)
+
+BENCH_DOC = {
+    "schema_version": 2,
+    "scan_path": {
+        "fig07_tpch_scan": {"batched_mops": 10.0},
+        "fig08_datasize_scan": {"100MB": {"batched_mops": 9.0}},
+        "cold_stream_scan": {"batched_mops": 5.0},
+    },
+    "row_load_run": {"batched_mops": 3.0},
+    "tpch": {"Q1": {"batched_s": 1.0}},
+    "serve": {"batched": {"wall_s": 2.0}},
+    "sections_wall_s": {"scan_path.fig07_tpch_scan": 6.0},
+}
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc) if isinstance(doc, dict) else doc)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def serve_pair(tmp_path_factory):
+    from repro.serve import ServeConfig, run_serve
+
+    out = tmp_path_factory.mktemp("diff")
+    paths = []
+    for name, queries, seed in (("a.json", 8, 2), ("b.json", 12, 3)):
+        report = run_serve(ServeConfig(
+            tier="10MB", queries=queries, clients=2, seed=seed, scale=64,
+            telemetry="sampler",
+        ))
+        path = out / name
+        path.write_text(json.dumps(report, sort_keys=True))
+        paths.append(str(path))
+    return paths
+
+
+class TestLoad:
+    def test_bench_kind(self, tmp_path):
+        snap = load_snapshot(_write(tmp_path, "b.json", BENCH_DOC))
+        assert snap.kind == "bench"
+        assert snap.schema_version == 2
+        assert snap.sections["scan_path.cold_stream_scan"]["mops"] == 5.0
+        assert snap.sections["scan_path.fig07_tpch_scan"]["wall_s"] == 6.0
+
+    def test_serve_kind(self, serve_pair):
+        snap = load_snapshot(serve_pair[0])
+        assert snap.kind == "serve"
+        assert snap.total_energy_j > 0
+        assert snap.operators
+        # Count-weighted shares partition each group's energy exactly.
+        assert sum(v["energy_j"] for v in snap.microops.values()) == \
+            pytest.approx(
+                sum(v["energy_j"] for v in snap.operators.values()),
+                rel=1e-9)
+        assert set(snap.cache_levels) <= {"L1D", "L2", "L3", "mem"}
+
+    def test_unrecognised_doc_refused(self, tmp_path):
+        with pytest.raises(DiffError):
+            load_snapshot(_write(tmp_path, "x.json", {"hello": 1}))
+
+    def test_timeline_refused_with_pointer(self, tmp_path):
+        doc = json.dumps({"record": "timeline", "fields": []}) + "\n"
+        with pytest.raises(DiffError, match="time series"):
+            load_snapshot(_write(tmp_path, "t.jsonl", doc))
+
+    def test_empty_file_refused(self, tmp_path):
+        with pytest.raises(DiffError):
+            load_snapshot(_write(tmp_path, "e.json", ""))
+
+
+class TestDiff:
+    def test_kind_mismatch_refused(self, tmp_path, serve_pair):
+        bench = load_snapshot(_write(tmp_path, "b.json", BENCH_DOC))
+        serve = load_snapshot(serve_pair[0])
+        with pytest.raises(DiffError, match="cannot diff"):
+            diff_snapshots(bench, serve)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        old = copy.deepcopy(BENCH_DOC)
+        del old["schema_version"]
+        a = load_snapshot(_write(tmp_path, "old.json", old))
+        b = load_snapshot(_write(tmp_path, "new.json", BENCH_DOC))
+        with pytest.raises(DiffError, match="schema version mismatch"):
+            diff_snapshots(a, b)
+
+    def test_serve_diff_ranked_by_energy(self, serve_pair):
+        diff = diff_snapshots(load_snapshot(serve_pair[0]),
+                              load_snapshot(serve_pair[1]))
+        operators = diff["dims"]["operator"]
+        assert operators
+        magnitudes = [abs(row["delta_energy_j"] or 0.0)
+                      for row in operators]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert diff["totals"]["delta_energy_j"] is not None
+        text = render_diff(diff)
+        assert "Δ energy by operator" in text
+        assert "Δ energy by cache level" in text
+
+    def test_self_diff_is_zero(self, serve_pair):
+        diff = diff_snapshots(load_snapshot(serve_pair[0]),
+                              load_snapshot(serve_pair[0]))
+        assert diff["totals"]["delta_energy_j"] == 0.0
+        for row in diff["dims"]["operator"]:
+            assert row["delta_energy_j"] == 0.0
+
+
+class TestTopRegressor:
+    def test_bench_names_worst_section(self):
+        worse = copy.deepcopy(BENCH_DOC)
+        worse["scan_path"]["cold_stream_scan"]["batched_mops"] = 2.5
+        worse["row_load_run"]["batched_mops"] = 2.7
+        worst = bench_top_regressor(worse, BENCH_DOC)
+        assert worst["name"] == "scan_path.cold_stream_scan"
+        assert worst["mops_ratio"] == pytest.approx(0.5)
+
+    def test_no_regression_names_nothing(self):
+        assert bench_top_regressor(BENCH_DOC, BENCH_DOC) is None
+
+    def test_serve_names_worst_operator(self, serve_pair):
+        diff = diff_snapshots(load_snapshot(serve_pair[0]),
+                              load_snapshot(serve_pair[1]))
+        worst = top_regressor(diff)
+        assert worst is None or worst["delta_energy_j"] > 0

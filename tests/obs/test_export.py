@@ -6,7 +6,13 @@ import json
 import pytest
 
 from repro.obs import Tracer, trace_to_chrome, trace_to_jsonl
-from repro.obs.flamegraph import energy_flamegraph_svg, write_flamegraph
+from repro.obs.export import TRACE_SCHEMA_VERSION
+from repro.obs.flamegraph import (
+    energy_flamegraph_svg,
+    parse_folded,
+    trace_to_folded,
+    write_flamegraph,
+)
 
 
 @pytest.fixture
@@ -29,6 +35,7 @@ class TestJsonl:
         lines = trace_to_jsonl(trace).splitlines()
         records = [json.loads(line) for line in lines]
         assert records[0]["record"] == "trace"
+        assert records[0]["schema_version"] == TRACE_SCHEMA_VERSION
         assert records[0]["n_spans"] == len(records) - 1
 
     def test_parent_links_consistent(self, trace):
@@ -92,6 +99,19 @@ class TestChrome:
         doc = json.loads(path.read_text())
         assert doc["otherData"]["domain"] == trace.domain
 
+    def test_x_event_timestamps_monotonic_per_track(self, trace):
+        # Viewers require events sorted by ts within a (pid, tid) track.
+        doc = trace_to_chrome(trace)
+        by_track: dict = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                by_track.setdefault(
+                    (event["pid"], event["tid"]), []
+                ).append(event["ts"])
+        assert by_track
+        for stamps in by_track.values():
+            assert stamps == sorted(stamps)
+
 
 class TestFlamegraph:
     def test_svg_contains_span_names(self, trace):
@@ -108,3 +128,25 @@ class TestFlamegraph:
     def test_tooltips_carry_energy(self, trace):
         svg = energy_flamegraph_svg(trace)
         assert "<title>" in svg and " J " in svg
+
+
+class TestFolded:
+    def test_round_trip_exact(self, trace):
+        folded = trace_to_folded(trace)
+        stacks = parse_folded(folded)
+        assert stacks
+        # Every value survives text round-trip exactly (repr floats).
+        assert parse_folded(folded) == stacks
+        total = sum(stacks.values())
+        assert total == pytest.approx(trace.total_active_j, rel=1e-12)
+
+    def test_stacks_nest_from_root(self, trace):
+        stacks = parse_folded(trace_to_folded(trace))
+        root = trace.root.name
+        for stack in stacks:
+            assert stack[0] == root
+        assert any(len(stack) > 1 for stack in stacks)
+
+    def test_merges_repeated_stacks(self):
+        text = "a;b 1.5\na;b 2.5\na 1.0\n"
+        assert parse_folded(text) == {("a", "b"): 4.0, ("a",): 1.0}

@@ -1,0 +1,80 @@
+"""Tests that repeated logging configuration stays idempotent."""
+
+import logging
+
+import pytest
+
+from repro.logconfig import configure_logging, reset_logging
+
+
+@pytest.fixture(autouse=True)
+def clean_logger():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def _owned_handlers():
+    logger = logging.getLogger("repro")
+    return [h for h in logger.handlers
+            if getattr(h, "_repro_logconfig_owned", False)]
+
+
+class TestConfigureLogging:
+    def test_repeat_calls_leave_one_handler(self):
+        for _ in range(5):
+            configure_logging(0)
+        assert len(_owned_handlers()) == 1
+
+    def test_verbosity_changes_only_adjust_level(self):
+        configure_logging(0)
+        handler = _owned_handlers()[0]
+        configure_logging(2)
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.DEBUG
+        assert _owned_handlers() == [handler]
+        configure_logging(1)
+        assert logger.level == logging.INFO
+        configure_logging(0)
+        assert logger.level == logging.WARNING
+
+    def test_duplicate_owned_handlers_collapsed(self):
+        # A reloaded module (or a buggy embedder) can leave two owned
+        # handlers behind; reconfiguration must collapse them to one.
+        configure_logging(0)
+        logger = logging.getLogger("repro")
+        extra = logging.StreamHandler()
+        extra._repro_logconfig_owned = True
+        logger.addHandler(extra)
+        assert len(_owned_handlers()) == 2
+        configure_logging(0)
+        assert len(_owned_handlers()) == 1
+
+    def test_foreign_handler_respected(self):
+        # A host application that hung its own handler on the "repro"
+        # logger keeps it, and we don't double-log through ours.
+        logger = logging.getLogger("repro")
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            configure_logging(0)
+            assert foreign in logger.handlers
+            assert _owned_handlers() == []
+        finally:
+            logger.removeHandler(foreign)
+
+    def test_root_logger_untouched(self):
+        root_handlers = list(logging.getLogger().handlers)
+        configure_logging(2)
+        assert list(logging.getLogger().handlers) == root_handlers
+        assert not logging.getLogger("repro").propagate
+
+
+class TestResetLogging:
+    def test_reset_then_reconfigure(self):
+        configure_logging(1)
+        reset_logging()
+        assert _owned_handlers() == []
+        assert logging.getLogger("repro").level == logging.NOTSET
+        configure_logging(0)
+        assert len(_owned_handlers()) == 1
