@@ -33,8 +33,9 @@ from repro.sim.machine import Machine
 
 #: Result schema version, bumped on layout changes.  v2 added the
 #: ``schema_version`` stamp (``repro diff`` keys on it) and per-section
-#: wall times in ``sections_wall_s``.
-SCHEMA_VERSION = 2
+#: wall times in ``sections_wall_s``.  v3 added the ``optimizer``
+#: section (measured optimizer-vs-hand-built energy gate).
+SCHEMA_VERSION = 3
 
 #: Default output file, at the repository root by convention.
 DEFAULT_OUT = "BENCH_simperf.json"
@@ -189,6 +190,29 @@ def _serve_rps(queries: int) -> dict:
     return out
 
 
+def _optimizer_section(quick: bool) -> dict:
+    """Measured optimizer-vs-hand-built energy over TPC-H plans.
+
+    Always runs at the 10MB tier (bench wall-clock budget); the quick
+    variant covers the subset that exercises every pass family, the
+    full one all 22 queries.  The summary is self-gated in
+    :func:`check_regression`: any measured energy regression or result
+    mismatch fails the bench outright.
+    """
+    from repro.workloads.tpch.optimize import run_optimizer_bench
+
+    doc = run_optimizer_bench(quick=quick, tier="10MB")
+    ratios = {
+        engine: {
+            name: round(entry["ratio"], 6)
+            for name, entry in per_engine.items()
+        }
+        for engine, per_engine in doc["engines"].items()
+    }
+    return {"tier": doc["tier"], "summary": doc["summary"],
+            "ratios": ratios}
+
+
 # -------------------------------------------------------------------- entry
 
 def run_bench(quick: bool = False) -> dict:
@@ -228,6 +252,7 @@ def run_bench(quick: bool = False) -> dict:
         "tpch": timed("tpch", lambda: _tpch_seconds(
             "10MB" if quick else "100MB", (1, 6))),
         "serve": timed("serve", lambda: _serve_rps(20 if quick else 120)),
+        "optimizer": timed("optimizer", lambda: _optimizer_section(quick)),
     }
     results["sections_wall_s"] = walls
     return results
@@ -283,6 +308,25 @@ def check_regression(current: dict, baseline: dict,
         current.get("row_load_run", {}).get("batched_mops"),
         baseline.get("row_load_run", {}).get("batched_mops"),
     )
+    # The optimizer section self-gates: its invariants (never a measured
+    # energy regression, always identical results) hold on any host, so
+    # they are checked absolutely rather than against the baseline.
+    summary = current.get("optimizer", {}).get("summary")
+    if summary is not None:
+        if summary.get("result_mismatches", 0):
+            failures.append(
+                f"optimizer: {summary['result_mismatches']} optimized "
+                "plans returned different results"
+            )
+        if summary.get("regressions", 0):
+            failures.append(
+                f"optimizer: {summary['regressions']} queries measured "
+                "more energy with the optimized plan"
+            )
+        if not summary.get("wins", 0):
+            failures.append("optimizer: no query measured a strict win")
+    elif baseline.get("optimizer") is not None:
+        failures.append("optimizer: section missing from current report")
     return failures
 
 

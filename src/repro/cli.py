@@ -520,6 +520,75 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    if args.diff:
+        from repro.obs.diff import diff_snapshots, load_snapshot, render_diff
+
+        diff = diff_snapshots(load_snapshot(args.diff[0]),
+                              load_snapshot(args.diff[1]))
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff, top=args.top))
+        return 0
+
+    if args.compare:
+        from repro.workloads.tpch.optimize import ENGINES as HARNESS_ENGINES
+        from repro.workloads.tpch.optimize import run_optimizer_bench
+
+        engines = (args.engine,) if args.engine else HARNESS_ENGINES
+        queries = tuple(args.query) if args.query else None
+        doc = run_optimizer_bench(quick=args.quick, tier=args.tier,
+                                  engines=engines, queries=queries)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        for engine, per_engine in doc["engines"].items():
+            for name, entry in per_engine.items():
+                kept = ",".join(entry["kept_passes"]) or "-"
+                match = "ok" if entry["rows_match"] else "MISMATCH"
+                print(f"{engine:<11} {name:<4} "
+                      f"{entry['handbuilt_j']:.3e} J -> "
+                      f"{entry['optimized_j']:.3e} J "
+                      f"({entry['ratio']:.3f}x)  {entry['outcome']:<10} "
+                      f"{match:<8} kept: {kept}")
+        s = doc["summary"]
+        print(f"\ntier {doc['tier']}: {s['wins']} wins, {s['ties']} ties, "
+              f"{s['regressions']} regressions, "
+              f"{s['result_mismatches']} mismatches "
+              f"({s['topn_wins']} top-N wins, "
+              f"{s['join_reorder_wins']} join-reorder wins)")
+        return 1 if (s["regressions"] or s["result_mismatches"]) else 0
+
+    from repro.db.optimizer import Optimizer
+    from repro.db.optimizer.explain import render_explain
+    from repro.workloads.tpch.queries import QUERIES
+
+    tier = args.tier or "10MB"
+    lab = Lab(LabConfig(scale=args.scale, tier=tier, seed=args.seed))
+    engine = args.engine or "postgresql"
+    db = lab.database(engine)
+    print("calibrating ...", file=sys.stderr)
+    optimizer = Optimizer(db.catalog, db.profile, lab.calibration().delta_e)
+    numbers = args.query or [
+        n for n in sorted(QUERIES) if QUERIES[n].plan is not None
+    ]
+    for number in numbers:
+        query = QUERIES[number]
+        print(f"\n=== Q{number} ({engine}, tier {tier}) ===")
+        if query.plan is None:
+            print("multi-statement query; each statement is optimized "
+                  "as the engine plans it")
+            continue
+        result = optimizer.optimize(query.plan)
+        print(render_explain(result, optimizer.model))
+    return 0
+
+
 def cmd_diff(args) -> int:
     from repro.obs.diff import diff_snapshots, load_snapshot, render_diff
 
@@ -742,6 +811,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="count", default=0,
                    help="-v for INFO, -vv for DEBUG")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "optimize",
+        help="energy-aware optimizer: per-pass EXPLAIN, measured "
+             "compare harness, artifact diff",
+    )
+    _add_common(p)
+    # EXPLAIN defaults to 10MB; --compare defers to the harness default
+    # (10MB quick, 500MB full) unless --tier is given explicitly.
+    p.set_defaults(tier=None)
+    p.add_argument("--engine", default=None,
+                   choices=sorted(ENGINES),
+                   help="engine profile (EXPLAIN default: postgresql; "
+                        "compare default: all)")
+    p.add_argument("-q", "--query", type=int, action="append",
+                   choices=ALL_QUERY_NUMBERS, metavar="N",
+                   help="TPC-H query number (repeatable; default all)")
+    p.add_argument("--compare", action="store_true",
+                   help="measure hand-built vs optimized J/query and "
+                        "print the win/tie/regression table")
+    p.add_argument("--quick", action="store_true",
+                   help="with --compare: the CI subset of queries")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="with --compare: write the artifact JSON")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                   help="diff two --compare artifacts (ranked per-"
+                        "query Δ energy)")
+    p.add_argument("--top", type=int, default=10,
+                   help="with --diff: rows per ranked dimension")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable output")
+    p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser(
         "bench",

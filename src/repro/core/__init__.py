@@ -22,6 +22,11 @@ from repro.core.calibration import (
     calibrate,
     calibrate_pstates,
 )
+from repro.core.coefficients import (
+    PRICE_COMPONENTS,
+    MicroOpPricing,
+    nominal_delta_e,
+)
 from repro.core.model import (
     BREAKDOWN_COMPONENTS,
     MS,
@@ -50,6 +55,9 @@ __all__ = [
     "CalibrationResult",
     "calibrate",
     "calibrate_pstates",
+    "PRICE_COMPONENTS",
+    "MicroOpPricing",
+    "nominal_delta_e",
     "BREAKDOWN_COMPONENTS",
     "MS",
     "DeltaE",

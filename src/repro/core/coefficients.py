@@ -1,0 +1,111 @@
+"""Per-micro-op energy prices for estimators (Eq. 1 seen from a planner).
+
+The paper's model prices a *measured* run: ``E_active = E_other +
+Σ N_m·dE_m`` over the MS set, with the ``dE_m`` coefficients calibrated
+per machine/P-state (:mod:`repro.core.calibration`).  A query optimizer
+needs the same coefficients *before* anything runs: it predicts the
+``N_m`` counts a candidate plan would generate and prices them with the
+calibrated ``dE_m`` to get a predicted J/query.
+
+:class:`MicroOpPricing` is that bridge.  It normalises a
+:class:`~repro.core.model.DeltaE` (whose L2/L3/prefetch entries may be
+``None`` on machines without those levels) into a complete price table
+keyed by the breakdown component names the rest of the repo uses
+(``L1D``, ``Reg2L1D``, ``L2``, ``L3``, ``mem``, ``pf``, ``stall``,
+``other``), and :func:`nominal_delta_e` supplies Table-2-magnitude
+defaults so estimation works before any calibration has run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.model import DeltaE
+
+#: Count-dictionary keys :meth:`MicroOpPricing.energy_j` understands.
+#: ``pf`` follows §2.5.4: a prefetch into L2 is priced like a demand L3
+#: load; ``other`` is compute work priced at the calibrated add energy.
+PRICE_COMPONENTS = ("L1D", "Reg2L1D", "L2", "L3", "mem", "pf", "stall",
+                    "other")
+
+
+def nominal_delta_e() -> DeltaE:
+    """Uncalibrated per-micro-op energies at the paper's Table 2
+    magnitudes (nanojoule scale, i7-4790 @ highest P-state).
+
+    Estimation only needs *relative* prices to rank candidate plans, so
+    these defaults give sensible decisions on any machine; pass a real
+    calibration's ``delta_e`` for machine-accurate absolute joules.
+    """
+    return DeltaE(
+        l1d=1.30e-9,
+        reg2l1d=2.42e-9,
+        stall=1.72e-9,
+        mem=103.1e-9,
+        add=1.03e-9,
+        nop=0.65e-9,
+        l2=4.37e-9,
+        l3=6.64e-9,
+        pf_l2=6.64e-9,   # == dE_L3 (§2.5.4)
+        pf_l3=103.1e-9,  # == dE_mem
+    )
+
+
+@dataclass(frozen=True)
+class MicroOpPricing:
+    """A complete per-event price table, in joules per micro-op."""
+
+    l1d: float
+    reg2l1d: float
+    l2: float
+    l3: float
+    mem: float
+    pf: float
+    stall: float
+    compute: float
+
+    @classmethod
+    def from_delta_e(cls, delta_e: Optional[DeltaE] = None) -> "MicroOpPricing":
+        """Build a price table, filling missing cache levels.
+
+        Machines without an L2/L3 (the ARM preset) price those levels at
+        the next outer level's energy — the access really goes there.
+        """
+        de = delta_e or nominal_delta_e()
+        l3 = de.l3 if de.l3 is not None else de.mem
+        l2 = de.l2 if de.l2 is not None else l3
+        pf = de.pf_l2 if de.pf_l2 is not None else l3
+        return cls(
+            l1d=de.l1d,
+            reg2l1d=de.reg2l1d,
+            l2=l2,
+            l3=l3,
+            mem=de.mem,
+            pf=pf,
+            stall=de.stall,
+            compute=de.add,
+        )
+
+    def price_of(self, component: str) -> float:
+        """Joules for one event of a :data:`PRICE_COMPONENTS` entry."""
+        return {
+            "L1D": self.l1d,
+            "Reg2L1D": self.reg2l1d,
+            "L2": self.l2,
+            "L3": self.l3,
+            "mem": self.mem,
+            "pf": self.pf,
+            "stall": self.stall,
+            "other": self.compute,
+        }[component]
+
+    def energy_j(self, counts: Mapping[str, float]) -> dict[str, float]:
+        """Price a count vector; returns joules per component."""
+        return {
+            name: float(counts.get(name, 0.0)) * self.price_of(name)
+            for name in PRICE_COMPONENTS
+        }
+
+    def total_j(self, counts: Mapping[str, float]) -> float:
+        return sum(self.energy_j(counts).values())

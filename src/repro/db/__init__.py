@@ -17,6 +17,12 @@ from repro.db.planner import (
     Sort,
 )
 from repro.db.operators import AggSpec
+from repro.db.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    PassReport,
+    default_passes,
+)
 from repro.db.profiles import (
     BASELINE,
     ENGINES,
@@ -29,6 +35,7 @@ from repro.db.profiles import (
     postgres_like,
     sqlite_like,
 )
+from repro.db.stats import Statistics
 from repro.db.types import Column, DATE, FLOAT, INT, STR, Row, Schema
 
 __all__ = [
@@ -38,6 +45,8 @@ __all__ = [
     "Aggregate", "Distinct", "Filter", "Join", "Limit", "Logical",
     "Planner", "Project", "Scan", "Sort",
     "AggSpec",
+    "OptimizationResult", "Optimizer", "PassReport", "default_passes",
+    "Statistics",
     "BASELINE", "ENGINES", "LARGE", "SETTINGS", "SMALL",
     "EngineProfile", "engine_profile",
     "mysql_like", "postgres_like", "sqlite_like",

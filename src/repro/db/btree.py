@@ -224,6 +224,22 @@ class BTree:
             return leaf.values[pos], leaf.entry_addr(pos, self.leaf_entry_bytes)
         return None
 
+    def peek_entries(self) -> Iterator[tuple]:
+        """Charge-free key-order walk yielding ``(key, payload)``.
+
+        The statistics collector (:mod:`repro.db.stats`) reads rows the
+        way a real ANALYZE reads its shadow sample: no simulated
+        micro-ops are issued, so estimation never perturbs a measured
+        window.  Everything that models execution must use
+        :meth:`scan_all` / :meth:`range_scan` instead.
+        """
+        node: Optional[_Node] = self._root
+        while not node.leaf:
+            node = node.values[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
     def scan_all(self, on_leaf=None) -> Iterator[tuple]:
         """Full scan in key order: yields ``(key, payload, entry_addr)``.
 

@@ -134,6 +134,11 @@ class Database:
         )
         self._wal_cursor = 0
         self._planner = Planner(self.catalog, profile)
+        #: Optional logical-plan optimizer (see :mod:`repro.db.optimizer`);
+        #: when set, :meth:`plan` rewrites every logical tree through it
+        #: before lowering.  Off by default: hand-built plans run as
+        #: written unless a caller opts in via :meth:`enable_optimizer`.
+        self.optimizer = None
 
     # ------------------------------------------------------------ loading
 
@@ -243,7 +248,21 @@ class Database:
     # ------------------------------------------------------------ running
 
     def plan(self, logical: Logical) -> PhysicalOp:
+        if self.optimizer is not None:
+            logical = self.optimizer.optimize(logical).plan
         return self._planner.lower(logical)
+
+    def enable_optimizer(self, delta_e=None) -> None:
+        """Route every subsequent :meth:`plan` through the energy-aware
+        optimizer (predicted-J-gated rewrites; calibrated ``delta_e``
+        sharpens the predictions but is not required)."""
+        from repro.db.optimizer import Optimizer
+
+        self.optimizer = Optimizer(self.catalog, self.profile,
+                                   delta_e=delta_e)
+
+    def disable_optimizer(self) -> None:
+        self.optimizer = None
 
     def sql(self, text: str):
         """Parse and execute one statement.

@@ -450,3 +450,76 @@ def and_all(parts: Sequence[Expr]) -> Optional[Expr]:
     if len(parts) == 1:
         return parts[0]
     return And(*parts)
+
+
+_PEEK_CMP = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def peek_eval(expr: Expr, row: tuple, index_of: dict):
+    """Evaluate ``expr`` against a raw row tuple without a machine —
+    same semantics as the compiled evaluators (NULL-collapsing
+    comparisons, NULL-propagating arithmetic) but charge-free, for use
+    on statistics samples outside any measured window.  Raises
+    :class:`~repro.errors.PlanError` on expression nodes it does not
+    model; callers fall back to shape heuristics."""
+    if isinstance(expr, Col):
+        return row[index_of[expr.name]]
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Cmp):
+        a = peek_eval(expr.left, row, index_of)
+        b = peek_eval(expr.right, row, index_of)
+        if a is None or b is None:
+            return False
+        return _PEEK_CMP[expr.op](a, b)
+    if isinstance(expr, Arith):
+        a = peek_eval(expr.left, row, index_of)
+        b = peek_eval(expr.right, row, index_of)
+        if a is None or b is None:
+            return None
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        return a / b
+    if isinstance(expr, And):
+        return all(peek_eval(p, row, index_of) for p in expr.parts)
+    if isinstance(expr, Or):
+        return any(peek_eval(p, row, index_of) for p in expr.parts)
+    if isinstance(expr, Not):
+        return not peek_eval(expr.part, row, index_of)
+    if isinstance(expr, Between):
+        value = peek_eval(expr.part, row, index_of)
+        return expr.lo <= value <= expr.hi
+    if isinstance(expr, InList):
+        return peek_eval(expr.part, row, index_of) in expr.values
+    if isinstance(expr, StrPrefix):
+        return str(peek_eval(expr.part, row, index_of)).startswith(expr.prefix)
+    if isinstance(expr, StrSuffix):
+        return str(peek_eval(expr.part, row, index_of)).endswith(expr.suffix)
+    if isinstance(expr, StrContains):
+        return expr.needle in str(peek_eval(expr.part, row, index_of))
+    if isinstance(expr, StrSlice):
+        return str(peek_eval(expr.part, row, index_of))[expr.start:expr.stop]
+    if isinstance(expr, ExtractYear):
+        from datetime import date as _date
+
+        return _date.fromordinal(
+            int(peek_eval(expr.part, row, index_of))
+        ).year
+    if isinstance(expr, TupleOf):
+        return tuple(peek_eval(p, row, index_of) for p in expr.parts)
+    if isinstance(expr, CaseWhen):
+        if peek_eval(expr.cond, row, index_of):
+            return peek_eval(expr.then, row, index_of)
+        return peek_eval(expr.otherwise, row, index_of)
+    raise PlanError(f"peek_eval cannot model {type(expr).__name__}")

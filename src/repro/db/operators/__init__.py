@@ -32,7 +32,7 @@ from repro.db.operators.scan import (
     IndexRangeScanOp,
     SeqScanOp,
 )
-from repro.db.operators.sort import SortOp
+from repro.db.operators.sort import SortOp, TopNHeapOp
 
 __all__ = [
     "AGG_KINDS", "AVG", "COUNT", "COUNT_DISTINCT", "MAX", "MIN", "SUM",
@@ -42,5 +42,5 @@ __all__ = [
     "HashJoinOp", "IndexNLJoinOp",
     "DistinctOp", "FilterOp", "LimitOp", "ProjectOp",
     "IndexOrderScanOp", "IndexRangeScanOp", "SeqScanOp",
-    "SortOp",
+    "SortOp", "TopNHeapOp",
 ]

@@ -1,14 +1,23 @@
-"""Sort operator: in-memory quicksort with external-merge spill.
+"""Sort operators: full materialising sort and the streaming top-N heap.
 
-The sort materialises its input into the temp arena (the stores the
-paper attributes to temporary data), computes each row's key once, then
-models the comparison traffic of an n-log-n sort: two dependent key
-loads plus a compare per comparison.  Inputs larger than ``work_mem``
-pay an external merge pass (spill write + read) like a real engine.
+:class:`SortOp` materialises its input into the temp arena (the stores
+the paper attributes to temporary data), computes each row's key once,
+then models the comparison traffic of an n-log-n sort: two dependent
+key loads plus a compare per comparison.  Inputs larger than
+``work_mem`` pay an external merge pass (spill write + read) like a
+real engine.
+
+:class:`TopNHeapOp` is the bounded alternative the optimizer's limit
+pushdown enables: a ``limit``-entry heap keeps only the current best
+rows, so the buffer stays cache-resident and never spills, every
+non-qualifying input row costs a single root comparison, and the output
+is exactly the stable full sort's first ``limit`` rows (ties break on
+arrival order).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Iterator, Optional, Sequence
 
@@ -95,6 +104,118 @@ class SortOp(PhysicalOp):
             line = (line + 7) % n_lines
             load(base + line * 64)
             cmp_op(1)
+
+
+class _WorstFirst:
+    """Heap entry ordered so the *worst* kept row sits at the root.
+
+    ``heapq`` builds min-heaps; inverting the comparison makes the root
+    the largest ``(key, seq)`` — the next candidate for eviction.  The
+    arrival sequence number both breaks key ties (matching a stable
+    sort's prefix exactly) and keeps row payloads out of comparisons.
+    """
+
+    __slots__ = ("key", "seq", "row")
+
+    def __init__(self, key: tuple, seq: int, row: Row):
+        self.key = key
+        self.seq = seq
+        self.row = row
+
+    def __lt__(self, other: "_WorstFirst") -> bool:
+        return (other.key, other.seq) < (self.key, self.seq)
+
+
+class TopNHeapOp(PhysicalOp):
+    """Keep the ``limit`` smallest rows by the sort keys, streaming."""
+
+    def __init__(self, child: PhysicalOp,
+                 keys: Sequence[tuple[Expr, bool]], limit: int):
+        if not keys:
+            raise PlanError("top-N heap needs at least one key")
+        if limit < 1:
+            raise PlanError("top-N heap needs a positive limit")
+        self.child = child
+        self.keys = tuple(keys)
+        self.limit = limit
+        self.schema = child.schema
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"TopNHeap({len(self.keys)} keys, n={self.limit})"
+
+    def rows(self, ctx: ExecContext) -> Iterator[Row]:
+        machine = ctx.machine
+        row_size = self.schema.row_size
+        limit = self.limit
+        compiled = [
+            (expr.compile(self.child.schema, machine), desc)
+            for expr, desc in self.keys
+        ]
+        heap_bytes = max(1024, min(limit * row_size, 64 * 1024))
+        region = ctx.temp.alloc(heap_bytes, label="topn-heap")
+        n_lines = max(1, region.n_lines)
+        base = region.base
+        load = machine.load
+        cmp_op = machine.cmp
+        sift_depth = max(1, math.ceil(math.log2(limit + 1)))
+
+        def charge_replace(slot: int) -> None:
+            # Store the admitted row, then sift down: log2(limit) levels
+            # of parent/child compares inside the (cache-resident) heap.
+            machine.store_bytes(base + (slot * row_size) % region.size,
+                                row_size)
+            line = slot % n_lines
+            for _ in range(sift_depth):
+                load(base + line * 64, dependent=True)
+                line = (line + 7) % n_lines
+                load(base + line * 64)
+                cmp_op(1)
+
+        # Fill phase: buffer rows unordered, exactly like the full
+        # sort's materialisation — the heap property is only needed once
+        # a row must be evicted, so heapification is deferred until the
+        # first overflowing row (inputs that fit entirely never pay it).
+        heap: list[_WorstFirst] = []
+        heaped = False
+        seq = 0
+        for row in self.child.traced_rows(ctx):
+            key = tuple(
+                _order_value(fn(row), desc) for fn, desc in compiled
+            )
+            if len(heap) < limit:
+                heap.append(_WorstFirst(key, seq, row))
+                machine.store_bytes(base + (seq * row_size) % region.size,
+                                    row_size)
+            else:
+                if not heaped:
+                    heapq.heapify(heap)
+                    # Bottom-up heapify: ~limit sibling/parent compares.
+                    SortOp._charge_comparisons(ctx, region, limit)
+                    heaped = True
+                # One dependent root load + compare decides admission.
+                worst = heap[0]
+                load(base, dependent=True)
+                cmp_op(1)
+                if (key, seq) < (worst.key, worst.seq):
+                    heapq.heapreplace(heap, _WorstFirst(key, seq, row))
+                    charge_replace(seq)
+            seq += 1
+
+        if not heap:
+            return
+        # Final output sort of the kept rows — the same comparison
+        # traffic the full sort would charge for this many rows.
+        kept = len(heap)
+        SortOp._charge_comparisons(
+            ctx, region, kept * max(1, math.ceil(math.log2(max(kept, 2))))
+        )
+        produce = ctx.produce_overhead
+        for entry in sorted(heap, key=lambda e: (e.key, e.seq)):
+            produce()
+            yield entry.row
 
 
 class _Reversed:

@@ -1,0 +1,71 @@
+"""EXPLAIN rendering for optimizer decisions.
+
+Two views: the per-pass pipeline audit (what changed, what the energy
+model predicted before/after, what survived the gate) and the chosen
+plan as an annotated tree showing each node's estimated output rows and
+predicted joules.  ``repro optimize`` prints both.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db.costs import EnergyModel, NodeEnergy
+from repro.db.planner import Logical
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.optimizer import OptimizationResult
+
+
+def _fmt_j(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f} J"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f} mJ"
+    return f"{value * 1e6:.2f} uJ"
+
+
+def render_energy_tree(model: EnergyModel, plan: Logical) -> str:
+    """The plan as an indented tree: predicted rows and J per node."""
+    root = model.estimate(plan)
+    lines: list[str] = []
+
+    def emit(node: NodeEnergy, depth: int) -> None:
+        pad = "  " * depth
+        lines.append(
+            f"{pad}{node.label:<28} rows~{node.rows:>10.0f}  "
+            f"self {_fmt_j(node.energy_j):>11}  "
+            f"subtree {_fmt_j(node.total_j):>11}"
+        )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_explain(result: "OptimizationResult",
+                   model: EnergyModel) -> str:
+    """Per-pass audit plus the final annotated plan."""
+    lines = [
+        f"{'pass':<22} {'proposed':>8} {'kept':>5} "
+        f"{'predicted before':>17} {'predicted after':>16}"
+    ]
+    for report in result.passes:
+        proposed = "yes" if report.changed else "-"
+        kept = ("yes" if report.kept
+                else ("no" if report.changed else "-"))
+        lines.append(
+            f"{report.name:<22} {proposed:>8} {kept:>5} "
+            f"{_fmt_j(report.predicted_before_j):>17} "
+            f"{_fmt_j(report.predicted_after_j):>16}"
+        )
+    ratio = (result.predicted_j / result.predicted_baseline_j
+             if result.predicted_baseline_j > 0 else 1.0)
+    lines.append(
+        f"predicted: {_fmt_j(result.predicted_baseline_j)} -> "
+        f"{_fmt_j(result.predicted_j)} ({ratio:.3f}x)"
+    )
+    lines.append("")
+    lines.append(render_energy_tree(model, result.plan))
+    return "\n".join(lines)

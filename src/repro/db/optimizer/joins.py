@@ -1,0 +1,176 @@
+"""Join-order enumeration: Selinger-style left-deep search by joules.
+
+A maximal region of inner joins is flattened into base *relations* and
+equality *edges* (each original join's key pair), then a dynamic
+program over relation subsets rebuilds the cheapest left-deep order,
+costing every candidate with the energy model (hash-build sizes,
+``work_mem`` residency, index-nested-loop opportunities all priced in
+predicted joules).
+
+Reordering a join changes the concatenated column order of its output
+rows, so only regions *insulated* by a Project or Aggregate above them
+(whose expressions re-resolve columns by name) are touched, and only
+when every relation's column names are disjoint — ``Schema.concat``'s
+``_r`` collision renames would otherwise rebind references.  A
+reordered plan is kept only if every original join condition was
+applied exactly once and no step degenerated into a cross product;
+otherwise the original order stands.  All tie-breaks are on relation
+index, so the search is deterministic for a given catalog.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from itertools import combinations
+from typing import Optional
+
+from repro.db.exprs import Expr, TupleOf, columns_used
+from repro.db.planner import Aggregate, Join, Logical, Project
+from repro.db.optimizer.strategies import (
+    OptimizationStrategy,
+    OptimizerContext,
+    map_children,
+    output_columns,
+)
+
+#: Subset-DP is exponential; past this many relations the original
+#: order is kept (TPC-H's largest reorderable region has 6).
+MAX_RELATIONS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class _Edge:
+    index: int
+    left_key: Expr
+    right_key: Expr
+    left_cols: frozenset[str]
+    right_cols: frozenset[str]
+
+
+class JoinOrderEnumeration(OptimizationStrategy):
+    name = "join-order"
+
+    def apply(self, plan: Logical, ctx: OptimizerContext) -> Logical:
+        self._ctx = ctx
+        return self._rewrite(plan, insulated=False)
+
+    def _rewrite(self, node: Logical, insulated: bool) -> Logical:
+        if isinstance(node, (Project, Aggregate)):
+            return map_children(node, lambda c: self._rewrite(c, True))
+        if isinstance(node, Join) and node.kind == "inner" and insulated:
+            reordered = self._try_region(node, insulated)
+            if reordered is not None:
+                return reordered
+        if isinstance(node, Join):
+            # Children keep the current insulation: their output column
+            # order feeds this join's concatenation, which is itself
+            # only reorderable when something above resolves by name.
+            left = self._rewrite(node.left, insulated)
+            right = self._rewrite(node.right, insulated)
+            if left is node.left and right is node.right:
+                return node
+            return dataclasses.replace(node, left=left, right=right)
+        return map_children(node, lambda c: self._rewrite(c, insulated))
+
+    # -- flattening ---------------------------------------------------------
+
+    def _try_region(self, join: Join, insulated: bool) -> Optional[Logical]:
+        relations: list[Logical] = []
+        key_pairs: list[tuple[Expr, Expr]] = []
+
+        def walk(n: Logical) -> None:
+            if isinstance(n, Join) and n.kind == "inner":
+                walk(n.left)
+                walk(n.right)
+                key_pairs.append((n.left_key, n.right_key))
+            else:
+                relations.append(n)
+
+        walk(join)
+        if not 2 <= len(relations) <= MAX_RELATIONS:
+            return None
+
+        # Recurse into the relations first (sub-regions under nested
+        # outer joins etc.), then reorder this region around them.
+        relations = [self._rewrite(r, insulated) for r in relations]
+
+        catalog = self._ctx.catalog
+        col_sets = [output_columns(catalog, r) for r in relations]
+        if any(cols is None for cols in col_sets):
+            return None
+        for a, b in combinations(col_sets, 2):
+            if a & b:
+                return None  # concat would rename; names would rebind
+
+        edges = []
+        for i, (lk, rk) in enumerate(key_pairs):
+            edges.append(_Edge(i, lk, rk,
+                               frozenset(columns_used(lk)),
+                               frozenset(columns_used(rk))))
+        return self._enumerate(relations, col_sets, edges)
+
+    # -- the subset DP ------------------------------------------------------
+
+    def _enumerate(self, relations: list[Logical],
+                   col_sets: list[set[str]],
+                   edges: list[_Edge]) -> Optional[Logical]:
+        model = self._ctx.model
+        n = len(relations)
+        all_edges = frozenset(range(len(edges)))
+
+        def applicable(s_cols: frozenset[str], r_cols: frozenset[str],
+                       remaining: frozenset[int]):
+            """Edges joinable between accumulated set S and relation r,
+            oriented as (S-side key, r-side key)."""
+            out = []
+            for ei in sorted(remaining):
+                e = edges[ei]
+                if e.left_cols <= s_cols and e.right_cols <= r_cols:
+                    out.append((ei, e.left_key, e.right_key))
+                elif e.right_cols <= s_cols and e.left_cols <= r_cols:
+                    out.append((ei, e.right_key, e.left_key))
+            return out
+
+        # state: frozenset(relation indices) ->
+        #   (applied_count, cost_j, plan, applied_edge_set, cols)
+        states: dict[frozenset, tuple] = {}
+        for i in range(n):
+            s = frozenset((i,))
+            cost = model.estimate(relations[i]).total_j
+            states[s] = (0, cost, relations[i], frozenset(),
+                         frozenset(col_sets[i]))
+
+        for size in range(2, n + 1):
+            for subset in map(frozenset, combinations(range(n), size)):
+                best = None
+                for r in sorted(subset):
+                    prev = states.get(subset - {r})
+                    if prev is None:
+                        continue
+                    _, _, plan, applied, s_cols = prev
+                    remaining = all_edges - applied
+                    usable = applicable(s_cols, frozenset(col_sets[r]),
+                                        remaining)
+                    if not usable:
+                        continue  # never introduce a cross product
+                    if len(usable) == 1:
+                        _, lk, rk = usable[0]
+                    else:
+                        lk = TupleOf(*(u[1] for u in usable))
+                        rk = TupleOf(*(u[2] for u in usable))
+                    candidate = Join(plan, relations[r], lk, rk, "inner")
+                    cost = model.estimate(candidate).total_j
+                    entry = (len(applied) + len(usable), -cost, candidate,
+                             applied | {u[0] for u in usable},
+                             s_cols | col_sets[r])
+                    # Prefer more conditions applied, then lower cost;
+                    # the sorted() iteration makes remaining ties land
+                    # on the lowest relation index deterministically.
+                    if best is None or entry[:2] > best[:2]:
+                        best = entry
+                if best is not None:
+                    states[subset] = best
+        final = states.get(frozenset(range(n)))
+        if final is None or final[3] != all_edges:
+            return None  # some join condition could not be placed
+        return final[2]

@@ -130,6 +130,15 @@ class PagedFile:
             return 0
         return (len(self._pages) - 1) * self.rows_per_page + len(self._pages[-1])
 
+    def peek_rows(self) -> Iterator[Row]:
+        """Charge-free iteration over live rows, for the statistics
+        collector (:mod:`repro.db.stats`); execution paths must go
+        through the buffer pool instead."""
+        for page_no, page in enumerate(self._pages):
+            for slot, row in enumerate(page):
+                if (page_no, slot) not in self._deleted:
+                    yield row
+
     def page(self, page_no: int) -> Sequence[Row]:
         try:
             return self._pages[page_no]

@@ -45,6 +45,7 @@ from repro.db.operators import (
     ProjectOp,
     SeqScanOp,
     SortOp,
+    TopNHeapOp,
 )
 from repro.db.operators.base import PhysicalOp
 from repro.db.profiles import EngineProfile, HASH_JOIN, INDEX_NL_JOIN
@@ -237,32 +238,13 @@ class Planner:
 
     @staticmethod
     def _is_clustered_key(table: TableDef, column: str) -> bool:
-        storage = table.storage
-        return (
-            isinstance(storage, ClusteredTable)
-            and storage.key_column == table.schema.index_of(column)
-        )
+        return is_clustered_key(table, column)
 
     def _has_access_path(self, table: TableDef, column: str) -> bool:
-        return self._is_clustered_key(table, column) or (
-            table.index_on(column) is not None
-        )
+        return has_access_path(table, column)
 
     def _choose_range_conjunct(self, table: TableDef, predicate: Expr):
-        """Find a ``Between``/``Cmp`` conjunct on an indexed column."""
-        parts = conjuncts(predicate)
-        for i, part in enumerate(parts):
-            bounds = _range_bounds(part)
-            if bounds is None:
-                continue
-            column, lo, hi, keep = bounds
-            if column in table.schema and self._has_access_path(table, column):
-                rest = parts[:i] + parts[i + 1:]
-                if keep:
-                    rest = rest + [part]
-                residual = and_all(rest)
-                return column, lo, hi, residual
-        return None
+        return choose_range_conjunct(table, predicate)
 
     def _range_scan(self, table: TableDef, column: str,
                     predicate: Optional[Expr], touched) -> PhysicalOp:
@@ -339,12 +321,58 @@ class Planner:
                 return FilterOp(agg, node.having)
             return agg
         if isinstance(node, Sort):
-            return SortOp(self._lower(node.child, used), node.keys, node.limit)
+            child = self._lower(node.child, used)
+            # A bounded sort whose kept rows fit in work_mem runs as a
+            # streaming top-N heap instead of a full materialising sort
+            # (same output: the heap tie-breaks on arrival order, which
+            # is exactly the stable sort's prefix).
+            limit = node.limit
+            if (limit is not None
+                    and limit * child.schema.row_size
+                    <= self.profile.work_mem_bytes):
+                return TopNHeapOp(child, node.keys, limit)
+            return SortOp(child, node.keys, node.limit)
         if isinstance(node, Limit):
             return LimitOp(self._lower(node.child, used), node.n)
         if isinstance(node, Distinct):
             return DistinctOp(self._lower(node.child, used))
         raise PlanError(f"unknown logical node {type(node).__name__}")
+
+
+def is_clustered_key(table: TableDef, column: str) -> bool:
+    """True when ``column`` is the storage order of a clustered table."""
+    storage = table.storage
+    return (
+        isinstance(storage, ClusteredTable)
+        and storage.key_column == table.schema.index_of(column)
+    )
+
+
+def has_access_path(table: TableDef, column: str) -> bool:
+    """True when ``column`` can be range-scanned (clustered key or
+    secondary index) — the condition both the planner's access-path
+    choice and the optimizer's access-path enumeration share."""
+    return is_clustered_key(table, column) or (
+        table.index_on(column) is not None
+    )
+
+
+def choose_range_conjunct(table: TableDef, predicate: Expr):
+    """Find a ``Between``/``Cmp`` conjunct on an indexed column; returns
+    ``(column, lo, hi, residual)`` or None."""
+    parts = conjuncts(predicate)
+    for i, part in enumerate(parts):
+        bounds = _range_bounds(part)
+        if bounds is None:
+            continue
+        column, lo, hi, keep = bounds
+        if column in table.schema and has_access_path(table, column):
+            rest = parts[:i] + parts[i + 1:]
+            if keep:
+                rest = rest + [part]
+            residual = and_all(rest)
+            return column, lo, hi, residual
+    return None
 
 
 def _range_bounds(expr: Expr):

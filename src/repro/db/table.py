@@ -108,6 +108,10 @@ class HeapTable:
                 load_run(base + slot * row_size, offs)
                 yield row, (page_no, slot)
 
+    def peek_rows(self) -> Iterator[Row]:
+        """Charge-free row iteration for the statistics sampler."""
+        return self.file.peek_rows()
+
     def fetch_row(self, rowref: RowRef,
                   needed: Sequence[int]) -> Optional[Row]:
         """Random row access through the buffer pool (index-scan path).
@@ -234,6 +238,11 @@ class ClusteredTable:
         for key, row, addr in self.tree.scan_all(on_leaf=self._on_leaf):
             load_run(addr + 8, offs)
             yield row, (0, key)
+
+    def peek_rows(self) -> Iterator[Row]:
+        """Charge-free row iteration for the statistics sampler."""
+        for _key, row in self.tree.peek_entries():
+            yield row
 
     def key_lookup(self, key, needed: Sequence[int]) -> Optional[Row]:
         hit = self.tree.search(key)

@@ -93,6 +93,8 @@ def load_snapshot(path: str) -> Snapshot:
     except json.JSONDecodeError:
         doc = None
     if isinstance(doc, dict):
+        if doc.get("kind") == "optimizer":
+            return _load_optimizer(path, doc)
         if "scan_path" in doc:
             return _load_bench(path, doc)
         if "energy" in doc and "counts" in doc:
@@ -248,6 +250,32 @@ def _load_bench(path: str, doc: dict) -> Snapshot:
         )
         if entry.get("wall_s") is None:
             entry["wall_s"] = wall
+    return snap
+
+
+def _load_optimizer(path: str, doc: dict) -> Snapshot:
+    """An optimizer-compare artifact (``repro optimize --compare``).
+
+    Each (engine, query) entry becomes an "operator" row carrying the
+    optimized plan's measured joules, so the generic ranked-Δ machinery
+    surfaces which query's optimized energy moved between two runs.
+    """
+    snap = Snapshot(
+        path=path,
+        kind="optimizer",
+        schema_version=doc.get("schema_version", "unversioned"),
+    )
+    total = 0.0
+    for engine, per_engine in doc.get("engines", {}).items():
+        for query, entry in per_engine.items():
+            energy = entry.get("optimized_j")
+            if energy is None:
+                continue
+            snap.operators[f"{engine}.{query}"] = {
+                "energy_j": energy, "time_s": None,
+            }
+            total += energy
+    snap.total_energy_j = total if snap.operators else None
     return snap
 
 

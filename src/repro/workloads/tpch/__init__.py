@@ -8,6 +8,7 @@ from repro.workloads.tpch.datagen import (
     load_into,
     tier,
 )
+from repro.workloads.tpch.optimize import run_optimizer_bench
 from repro.workloads.tpch.queries import (
     ALL_QUERY_NUMBERS,
     QUERIES,
@@ -24,5 +25,6 @@ from repro.workloads.tpch.schema import (
 __all__ = [
     "BASELINE_TIER", "TIERS", "ScaleTier", "TpchData", "load_into", "tier",
     "ALL_QUERY_NUMBERS", "QUERIES", "TpchQuery", "run_query",
+    "run_optimizer_bench",
     "PRIMARY_KEYS", "SCHEMAS", "SECONDARY_INDEXES", "d",
 ]

@@ -15,10 +15,18 @@ import pytest
 
 from repro import Machine, tiny_intel
 from repro.db import Database, postgres_like
-from repro.db.costs import estimate, estimate_cost, tables_used
-from repro.db.exprs import Col, Const
+from repro.db.costs import (
+    MIN_ROW_ESTIMATE,
+    MIN_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    estimate,
+    estimate_cost,
+    predicate_selectivity,
+    tables_used,
+)
+from repro.db.exprs import And, Col, Const
 from repro.db.operators import AggSpec
-from repro.db.planner import Aggregate, Filter, Join, Scan, Sort
+from repro.db.planner import Aggregate, Filter, Join, Limit, Scan, Sort
 from repro.workloads.tpch import TpchData, load_into
 from repro.workloads.tpch.queries import QUERIES
 
@@ -134,3 +142,62 @@ class TestTablesUsed:
         join = Join(Scan("orders"), Scan("lineitem"),
                     Col("o_orderkey"), Col("l_orderkey"))
         assert tables_used(join) == ("lineitem", "orders")
+
+
+class TestSelectivityComposition:
+    """Per-conjunct composition (no per-conjunct floor) with a final
+    clamp: deep AND chains shrink multiplicatively but never estimate
+    fewer than MIN_ROW_ESTIMATE rows."""
+
+    def test_conjuncts_compose_multiplicatively(self, db_small):
+        one = Scan("lineitem", Col("l_quantity") <= Const(25))
+        three = Scan("lineitem", And(
+            Col("l_quantity") <= Const(25),
+            Col("l_discount") <= Const(0.05),
+            Col("l_tax") <= Const(0.04),
+        ))
+        r1 = estimate(db_small.catalog, one).rows
+        r3 = estimate(db_small.catalog, three).rows
+        # Three range conjuncts estimate well below one (the old code
+        # floored each conjunct at DEFAULT_SELECTIVITY, flattening this).
+        assert r3 < r1 * RANGE_SELECTIVITY * RANGE_SELECTIVITY * 1.01
+
+    def test_composed_selectivity_clamped(self):
+        deep = And(*[Col("l_quantity") <= Const(25) for _ in range(40)])
+        assert predicate_selectivity(deep) == MIN_SELECTIVITY
+
+    def test_rows_never_below_min_estimate(self, db_small):
+        scan = Scan("lineitem", And(
+            *[Col("l_quantity") <= Const(25) for _ in range(40)]))
+        plan = Filter(Filter(scan, Col("l_discount") <= Const(0.0)),
+                      Col("l_tax") <= Const(0.0))
+        assert estimate(db_small.catalog, plan).rows >= MIN_ROW_ESTIMATE
+
+
+class TestLimitCost:
+    """Limit caps the *pipelined* portion of its child's cost."""
+
+    def test_limit_caps_pipelined_scan(self, db_small):
+        scan = Scan("lineitem")
+        full = estimate(db_small.catalog, scan)
+        limited = estimate(db_small.catalog, Limit(scan, 5))
+        expected = full.startup + (full.cost - full.startup) * (
+            5.0 / full.rows)
+        assert limited.cost == pytest.approx(expected)
+        assert limited.cost < full.cost * 0.5
+        assert limited.rows == 5
+
+    def test_limit_cannot_cap_blocking_child(self, db_small):
+        # A sort is blocking: startup == cost, so Limit saves nothing.
+        plan = Sort(Scan("lineitem"), ((Col("l_quantity"), False),))
+        full = estimate(db_small.catalog, plan)
+        limited = estimate(db_small.catalog, Limit(plan, 5))
+        assert limited.cost == pytest.approx(full.cost)
+
+    def test_oversized_limit_is_free(self, db_small):
+        scan = Scan("customer")
+        full = estimate(db_small.catalog, scan)
+        limited = estimate(db_small.catalog,
+                           Limit(scan, int(full.rows) * 10))
+        assert limited.cost == pytest.approx(full.cost)
+        assert limited.rows == full.rows
