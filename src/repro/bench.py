@@ -34,8 +34,11 @@ from repro.sim.machine import Machine
 #: Result schema version, bumped on layout changes.  v2 added the
 #: ``schema_version`` stamp (``repro diff`` keys on it) and per-section
 #: wall times in ``sections_wall_s``.  v3 added the ``optimizer``
-#: section (measured optimizer-vs-hand-built energy gate).
-SCHEMA_VERSION = 3
+#: section (measured optimizer-vs-hand-built energy gate).  v4 split
+#: ``serve`` into ``tpch`` (plan-backed mix) and ``engine`` (the
+#: ``points`` mix, where the serve core itself is the bottleneck) and
+#: added the closed-loop ``serve_scale`` section.
+SCHEMA_VERSION = 4
 
 #: Default output file, at the repository root by convention.
 DEFAULT_OUT = "BENCH_simperf.json"
@@ -190,6 +193,93 @@ def _serve_rps(queries: int) -> dict:
     return out
 
 
+def _points_engine_rps(queries: int) -> dict:
+    """Cross-mode serve run on the ``points`` mix: the engine headline.
+
+    ``points`` requests are pure micro-ops whose work iterator speaks
+    the batched-quantum protocol (``run_rows``), so this entry measures
+    the serve core itself — event loop, admission, scheduling, spans —
+    rather than plan interpretation.  Both modes must produce the exact
+    same report once the ``exec_mode`` config field is dropped; that is
+    the bit-identity contract extended to the whole serve report
+    (per-tenant joules, latency percentiles, counters, everything).
+    """
+    from repro.serve import ServeConfig, run_serve
+
+    out: dict = {}
+    reports: dict = {}
+    for mode in ("reference", "batched"):
+        config = ServeConfig(
+            workload="points", queries=queries, clients=8, seed=7,
+            exec_mode=mode,
+        )
+        t0 = time.perf_counter()
+        report = run_serve(config)
+        elapsed = time.perf_counter() - t0
+        reports[mode] = report
+        completed = report["counts"]["completed"]
+        out[mode] = {
+            "completed": completed,
+            "wall_s": round(elapsed, 3),
+            "requests_per_s": round(completed / elapsed, 2),
+            "quanta_per_s": round(report["clock"]["quanta"] / elapsed, 2),
+        }
+    for report in reports.values():
+        del report["config"]["exec_mode"]
+    if reports["reference"] != reports["batched"]:
+        raise AssertionError(
+            "serve report drift between exec modes on the points mix"
+        )
+    out["reports_identical"] = True
+    out["speedup"] = round(
+        out["batched"]["requests_per_s"] / out["reference"]["requests_per_s"],
+        2,
+    )
+    return out
+
+
+def _serve_scale(quick: bool) -> dict:
+    """Closed-loop many-tenant scenario, batched engine only.
+
+    The full run serves a million ``points`` requests from 2000 clients
+    across 1000 tenants (8 cores, MPL 4, sampling telemetry) — the
+    scale the event-driven core exists for.  The quick variant keeps
+    the same shape at 50k requests so CI can gate requests/s against
+    the committed full-run baseline (same steady-state regime, just a
+    shorter window).  No reference-mode pair: a reference run at this
+    scale would take hours; cross-mode identity is covered by the
+    ``engine`` section and the equivalence test suite.
+    """
+    from repro.serve import ServeConfig, run_serve
+
+    queries, clients, tenants = (
+        (50_000, 400, 200) if quick else (1_000_000, 2000, 1000)
+    )
+    # Closed-loop clients park at most one request each in the queue,
+    # so the bound sits just above the client count: real admission
+    # pressure without shedding the steady state.
+    config = ServeConfig(
+        workload="points", mode="closed", queries=queries,
+        clients=clients, tenants=tenants, cores=8, mpl=4,
+        max_queue=clients + 112, telemetry="sampler", seed=7,
+        exec_mode="batched",
+    )
+    t0 = time.perf_counter()
+    report = run_serve(config)
+    elapsed = time.perf_counter() - t0
+    counts = report["counts"]
+    return {
+        "queries": queries,
+        "clients": clients,
+        "tenants": tenants,
+        "completed": counts["completed"],
+        "wall_s": round(elapsed, 3),
+        "requests_per_s": round(counts["completed"] / elapsed, 2),
+        "quanta_per_s": round(report["clock"]["quanta"] / elapsed, 2),
+        "tenants_reported": len(report["tenants"]),
+    }
+
+
 def _optimizer_section(quick: bool) -> dict:
     """Measured optimizer-vs-hand-built energy over TPC-H plans.
 
@@ -251,7 +341,14 @@ def run_bench(quick: bool = False) -> dict:
             "row_load_run", lambda: _compare(_row_load_run_mops, rows)),
         "tpch": timed("tpch", lambda: _tpch_seconds(
             "10MB" if quick else "100MB", (1, 6))),
-        "serve": timed("serve", lambda: _serve_rps(20 if quick else 120)),
+        "serve": {
+            "tpch": timed(
+                "serve.tpch", lambda: _serve_rps(20 if quick else 120)),
+            "engine": timed(
+                "serve.engine",
+                lambda: _points_engine_rps(200 if quick else 2000)),
+        },
+        "serve_scale": timed("serve_scale", lambda: _serve_scale(quick)),
         "optimizer": timed("optimizer", lambda: _optimizer_section(quick)),
     }
     results["sections_wall_s"] = walls
@@ -308,6 +405,49 @@ def check_regression(current: dict, baseline: dict,
         current.get("row_load_run", {}).get("batched_mops"),
         baseline.get("row_load_run", {}).get("batched_mops"),
     )
+
+    def gate_ratio(name: str, new_ratio, old_ratio) -> None:
+        if new_ratio and old_ratio:
+            if new_ratio < old_ratio * (1.0 - max_regression):
+                failures.append(
+                    f"{name}: speedup {new_ratio:.2f}x is more than "
+                    f"{max_regression:.0%} below baseline {old_ratio:.2f}x"
+                )
+
+    # Serve engine: the cross-mode speedup ratio tracks the code (both
+    # runs share the host), so gate it against the baseline's ratio;
+    # the report-identity flag is absolute — a speedup bought by
+    # drifting per-tenant joules is not a speedup.
+    new_engine = current.get("serve", {}).get("engine")
+    old_engine = baseline.get("serve", {}).get("engine", {})
+    if new_engine is not None:
+        if not new_engine.get("reports_identical", False):
+            failures.append("serve.engine: reports_identical is not true")
+        gate_ratio("serve.engine", new_engine.get("speedup"),
+                   old_engine.get("speedup"))
+    elif baseline.get("serve", {}).get("engine") is not None:
+        failures.append("serve.engine: section missing from current report")
+    # TPC-H query wall-clock tracks the host; the mode ratio tracks the
+    # code (history: Q1 once dipped to 0.94x when the batched cold-load
+    # path built a Python address list per row).
+    for name, old_entry in baseline.get("tpch", {}).items():
+        new_entry = current.get("tpch", {}).get(name)
+        if new_entry is not None:
+            gate_ratio(f"tpch.{name}", new_entry.get("speedup"),
+                       old_entry.get("speedup"))
+    # serve_scale: absolute requests/s vs baseline, same convention as
+    # the Mops gates (quick and full runs measure the same steady-state
+    # regime, so the committed full-run baseline gates the CI quick run).
+    new_scale = current.get("serve_scale", {}).get("requests_per_s")
+    old_scale = baseline.get("serve_scale", {}).get("requests_per_s")
+    if new_scale and old_scale:
+        if new_scale < old_scale * (1.0 - max_regression):
+            failures.append(
+                f"serve_scale: {new_scale:.0f} requests/s is more than "
+                f"{max_regression:.0%} below baseline {old_scale:.0f}"
+            )
+    elif baseline.get("serve_scale") is not None and new_scale is None:
+        failures.append("serve_scale: section missing from current report")
     # The optimizer section self-gates: its invariants (never a measured
     # energy regression, always identical results) hold on any host, so
     # they are checked absolutely rather than against the baseline.

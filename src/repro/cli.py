@@ -356,8 +356,15 @@ def cmd_bench(args) -> int:
         print(f"tpch {name}: reference {entry['reference_s']:.3f}s, "
               f"batched {entry['batched_s']:.3f}s ({entry['speedup']:.2f}x)")
     serve = results["serve"]
-    print(f"serve: {serve['batched']['requests_per_s']:.1f} req/s batched "
-          f"({serve['speedup']:.2f}x vs reference)")
+    print(f"serve tpch: {serve['tpch']['batched']['requests_per_s']:.1f} "
+          f"req/s batched ({serve['tpch']['speedup']:.2f}x vs reference)")
+    print(f"serve engine: {serve['engine']['batched']['requests_per_s']:.1f} "
+          f"req/s batched ({serve['engine']['speedup']:.2f}x vs reference)")
+    scale = results["serve_scale"]
+    print(f"serve scale: {scale['completed']} requests over "
+          f"{scale['tenants']} tenants in {scale['wall_s']:.1f}s "
+          f"({scale['requests_per_s']:.0f} req/s, "
+          f"{scale['quanta_per_s']:.0f} quanta/s)")
     if baseline is not None:
         failures = check_regression(results, baseline, args.max_regression)
         for failure in failures:
@@ -421,13 +428,18 @@ def _emit_report(report: dict, out) -> None:
 
 
 def cmd_serve(args) -> int:
+    import time
+
     from repro.serve import render_serve_summary, run_serve
 
+    start = time.perf_counter()
     report = run_serve(_serve_config(args))
+    elapsed_s = time.perf_counter() - start
     _emit_report(report, args.out)
     # The one-screen text summary goes to stderr so piping the JSON
-    # report from stdout stays clean.
-    print(render_serve_summary(report), file=sys.stderr)
+    # report from stdout stays clean.  Host wall time feeds the
+    # throughput line only; it never enters the JSON report.
+    print(render_serve_summary(report, elapsed_s=elapsed_s), file=sys.stderr)
     if args.timeline_out:
         print(f"wrote {args.timeline_out}", file=sys.stderr)
     return 0

@@ -131,16 +131,11 @@ class ExecContext:
         region = self.cold_region
         if region is None or n <= 0:
             return
-        base = region.base
-        lines = region.n_lines
-        cursor = self._cold_cursor
-        addrs = []
-        append = addrs.append
-        for _ in range(n):
-            cursor = (cursor + 97) % lines  # coprime stride: spread probes
-            append(base + cursor * LINE_SIZE)
-        self._cold_cursor = cursor
-        self.machine.exec.load_list(addrs)
+        # Coprime stride spreads the probes; load_ring folds all-hit
+        # rotations of the ring into bulk accounting in batched mode.
+        self._cold_cursor = self.machine.exec.load_ring(
+            region.base, self._cold_cursor, 97, n, region.n_lines,
+        )
 
     def _hot_state(self, loads: int, stores: int) -> None:
         machine = self.machine

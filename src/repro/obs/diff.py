@@ -239,10 +239,22 @@ def _load_bench(path: str, doc: dict) -> Snapshot:
             "mops": None, "wall_s": entry.get("batched_s"),
         }
     serve = doc.get("serve", {})
-    if serve:
+    if "batched" in serve:  # pre-v4 layout: one flat cross-mode entry
         snap.sections["serve"] = {
             "mops": None,
             "wall_s": serve.get("batched", {}).get("wall_s"),
+        }
+    else:  # v4+: named sub-benches (tpch, engine), each cross-mode
+        for key, entry in serve.items():
+            snap.sections[f"serve.{key}"] = {
+                "mops": None,
+                "wall_s": entry.get("batched", {}).get("wall_s"),
+            }
+    scale = doc.get("serve_scale", {})
+    if scale:
+        snap.sections["serve_scale"] = {
+            "mops": None,
+            "wall_s": scale.get("wall_s"),
         }
     for section, wall in walls.items():
         entry = snap.sections.setdefault(

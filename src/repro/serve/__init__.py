@@ -126,7 +126,8 @@ def run_serve(config: ServeConfig) -> dict:
     apply_dvfs(machine, config.dvfs, injector=injector)
     db = Database(machine, engine_profile(config.engine, config.setting),
                   name=config.engine)
-    if config.workload != "kv":
+    if config.workload not in ("kv", "points"):
+        # kv runs against its own LSM store; points is pure micro-ops.
         load_into(db, TpchData(
             config.tier,
             seed=derive_seed(seed, "serve", "tpch-datagen"),

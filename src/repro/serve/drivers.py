@@ -21,6 +21,7 @@ per-tenant energy accounting meaningful downstream.
 
 from __future__ import annotations
 
+from itertools import accumulate, repeat
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -82,6 +83,19 @@ class Driver:
         """``(arrival_s, client_index, job)`` triples known up front."""
         raise NotImplementedError
 
+    def initial_arrival_entries(self) -> list[tuple]:
+        """The initial arrivals as ready-made event-heap entries
+        ``(arrival_s, seq, client_index, job)``, generated in bulk.
+
+        The list is sorted by ``(arrival_s, seq)`` with ``seq`` numbered
+        in arrival order, so it is already a valid heap and the server
+        can adopt it wholesale instead of pushing one entry at a time.
+        """
+        return [
+            (t, seq, client, job)
+            for seq, (t, client, job) in enumerate(self.initial_arrivals())
+        ]
+
     def on_terminal(self, client_index: int,
                     now: float) -> Optional[tuple[float, JobTemplate]]:
         """Called when a client's request reaches a terminal state.
@@ -110,10 +124,18 @@ class OpenLoopDriver(Driver):
                             f"c{client.index}", "arrivals"),
                 "open-loop arrivals",
             )
-            t = 0.0
-            for _ in range(client.budget):
-                t += rng.expovariate(per_client_rate)
-                arrivals.append((t, client.index, client.next_job()))
+            # Draw the whole interarrival array at once, prefix-sum it,
+            # then zip with the client's job cycle — bulk generation
+            # instead of one append per draw.
+            expovariate = rng.expovariate
+            gaps = [expovariate(per_client_rate)
+                    for _ in range(client.budget)]
+            index = client.index
+            arrivals.extend(zip(
+                accumulate(gaps),
+                repeat(index, client.budget),
+                (client.next_job() for _ in range(client.budget)),
+            ))
         arrivals.sort(key=lambda a: (a[0], a[1]))
         return arrivals
 

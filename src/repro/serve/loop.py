@@ -5,12 +5,24 @@ one :class:`~repro.db.engine.Database` and one
 :class:`~repro.sim.cores.CoreSet`:
 
 * Arrivals live in a heap keyed on ``(time, sequence)``; the sequence
-  number makes ties deterministic.
+  number makes ties deterministic.  The driver seeds the heap in bulk
+  (:meth:`~repro.serve.drivers.Driver.initial_arrival_entries`).
+* Busy cores live in a second heap keyed on ``(clock, core index)``
+  with lazy deletion: entries are pushed when a core turns busy and
+  after every quantum, and an entry is valid only while its core is
+  still busy at exactly that clock.  Selecting the next busy core is
+  O(log cores) instead of an O(cores) ``min`` scan, and the
+  force-dispatch clock is a monotone high-water mark instead of a
+  ``max`` recomputation.
 * The loop alternates between the two event kinds: if the next arrival
   is no later than the earliest busy core's clock, the arrival is
   processed (admission, then dispatch); otherwise that core runs one
-  *quantum* — up to ``quantum_rows`` pulls on the request's work
-  iterator, preceded by a context switch charged on the machine.
+  *quantum* — up to ``quantum_rows`` units of the request's work,
+  preceded by a context switch charged on the machine.  Work iterators
+  that expose ``run_rows(n)`` execute the whole quantum as one batched
+  call (micro-ops flow through ``machine.exec`` in bulk); plain
+  iterators are pulled row by row.  Both paths charge identical
+  micro-ops, so reports stay bit-identical across engines and modes.
 * Multiprogramming: each core round-robins a run list of up to ``mpl``
   requests, each bound to a distinct execution slot (its own temp
   arena), so interleaved plans never trample each other's state.
@@ -266,6 +278,15 @@ class QueryServer:
         self._free_slots = {
             core.index: list(range(mpl)) for core in core_set.cores
         }
+        #: Busy-core heap of ``(clock_s, core_index)`` with lazy
+        #: deletion: an entry is valid only while the core has a run
+        #: list and its clock still equals the entry's.
+        self._core_heap: list = []
+        #: Monotone high-water mark over all core clocks (force-dispatch
+        #: time); core clocks never move backwards.
+        self._clock_hwm = 0.0
+        #: Total quanta executed (reported as ``clock.quanta``).
+        self.quanta = 0
 
     def _degraded(self, now: float) -> bool:
         return self.breaker is not None and self.breaker.degraded(now)
@@ -305,6 +326,8 @@ class QueryServer:
             core.run_list for core in self.core_set.cores
         ):
             self.core_set.quiesce_until(t)
+            if t > self._clock_hwm:
+                self._clock_hwm = t
         if isinstance(payload, Request):
             # A failed request re-arriving after its retry backoff.
             request = payload
@@ -395,8 +418,12 @@ class QueryServer:
             request.slot = core.index * self.mpl + offset
             if not core.run_list:
                 # The core sat idle until this dispatch; its next quantum
-                # cannot begin before the request exists.
+                # cannot begin before the request exists.  Turning busy,
+                # it (re)enters the busy-core heap.
                 core.clock_s = max(core.clock_s, now)
+                if core.clock_s > self._clock_hwm:
+                    self._clock_hwm = core.clock_s
+                heapq.heappush(self._core_heap, (core.clock_s, core.index))
             core.run_list.append(request)
             self.hot_tables = frozenset(request.job.tables)
 
@@ -447,6 +474,19 @@ class QueryServer:
                     f"attempt {request.failures + 1})"
                 )
             it = request.work_iter(request.slot)
+            run_rows = getattr(it, "run_rows", None)
+            if run_rows is not None:
+                # Batched-quantum protocol: the iterator executes the
+                # whole quantum in one call and reports how many units
+                # it completed (fewer than asked = exhausted).  It must
+                # charge exactly the micro-ops `quantum_rows` pulls
+                # would; both engines use this path whenever the
+                # iterator provides it, so cross-engine reports agree
+                # by construction.
+                done = run_rows(self.quantum_rows)
+                request.rows += done
+                finished = done < self.quantum_rows
+                return
             for _ in range(self.quantum_rows):
                 try:
                     next(it)
@@ -467,9 +507,11 @@ class QueryServer:
                 self.core_set.run_on(core, work)
         except FaultError:
             request.quanta += 1
+            self.quanta += 1
             self._attempt_failed(request, core)
             return
         request.quanta += 1
+        self.quanta += 1
         if finished:
             request.state = COMPLETED
             request.finish_s = core.clock_s
@@ -492,24 +534,45 @@ class QueryServer:
 
     # ------------------------------------------------------------ main loop
 
+    def _next_busy(self) -> Optional[Core]:
+        """Earliest busy core by ``(clock, index)`` via the lazy-deletion
+        heap; stale entries (core went idle, or its clock moved on) are
+        discarded as they surface."""
+        heap = self._core_heap
+        cores = self.core_set.cores
+        while heap:
+            t, index = heap[0]
+            core = cores[index]
+            if core.run_list and core.clock_s == t:
+                return core
+            heapq.heappop(heap)
+        return None
+
     def run(self) -> list[Request]:
-        for t, client, job in self.driver.initial_arrivals():
-            self._push_arrival(t, client, job)
+        # The driver's entry list is sorted by (time, seq), which is
+        # already a valid heap — adopt it wholesale.
+        entries = self.driver.initial_arrival_entries()
+        heapq.heapify(entries)
+        self._heap = entries
+        self._seq = len(entries)
+        self._clock_hwm = max(core.clock_s for core in self.core_set.cores)
+        heap = self._heap
         while True:
-            busy = [core for core in self.core_set.cores if core.run_list]
-            next_busy = (min(busy, key=lambda c: (c.clock_s, c.index))
-                         if busy else None)
-            if self._heap and (
-                next_busy is None or self._heap[0][0] <= next_busy.clock_s
-            ):
+            core = self._next_busy()
+            if heap and (core is None or heap[0][0] <= core.clock_s):
                 self._process_arrival()
-            elif next_busy is not None:
-                self._run_quantum(next_busy)
-                self._assign(next_busy.clock_s)
+            elif core is not None:
+                self._run_quantum(core)
+                if core.clock_s > self._clock_hwm:
+                    self._clock_hwm = core.clock_s
+                if core.run_list:
+                    heapq.heappush(self._core_heap,
+                                   (core.clock_s, core.index))
+                self._assign(core.clock_s)
             elif self.admission.queue:
                 # Cores drained while requests still waited (e.g. the
                 # policy declined); force-dispatch at the latest clock.
-                self._assign(max(c.clock_s for c in self.core_set.cores))
+                self._assign(self._clock_hwm)
                 if not any(c.run_list for c in self.core_set.cores):
                     break
             else:

@@ -23,7 +23,7 @@ governor.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import ConfigError
 from repro.serve.request import Request
@@ -43,8 +43,10 @@ class SchedulingPolicy:
 
     name = "base"
 
-    def select(self, queue: Sequence[Request],
+    def select(self, queue: "Iterable[Request]",
                hot_tables: frozenset[str]) -> Optional[Request]:
+        """``queue`` is the admission deque: indexable at ``[0]`` and
+        iterable in arrival order."""
         raise NotImplementedError
 
 

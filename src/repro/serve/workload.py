@@ -14,10 +14,17 @@ cycle).  Four mixes ship:
   query; batching same-table queries (the locality policy) keeps them
   warm.  This is the benchmark mix for the policy comparison;
 * ``kv`` — YCSB-style operation batches against one shared LSM store
-  (the §7 NoSQL follow-up), read-heavy to write-heavy per client.
+  (the §7 NoSQL follow-up), read-heavy to write-heavy per client;
+* ``points`` — light point-lookup-shaped requests built directly from
+  micro-ops (strided probes over a small per-client ring plus hot
+  state and ALU work, no SQL layer).  Its work iterator implements the
+  batched-quantum protocol (``run_rows``), so the serve engine's own
+  overhead — not plan interpretation — dominates.  This is the mix the
+  serve-scale benchmark scenario uses for million-request closed-loop
+  runs.
 
 All randomness (YCSB key choices) derives from the root seed via
-:mod:`repro.seeding`; SQL mixes draw nothing at all.
+:mod:`repro.seeding`; SQL and points mixes draw nothing at all.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.workloads.basic_ops import BASIC_OPERATIONS, basic_operation_plan
 from repro.workloads.kvstore import LsmStore, build_store
 from repro.workloads.tpch.queries import QUERIES
 
-MIXES = ("basic", "tpch", "thrash", "kv")
+MIXES = ("basic", "tpch", "thrash", "kv", "points")
 
 #: Plan-backed TPC-H subset used by the ``tpch`` mix (scan-, join-,
 #: and index-heavy shapes, all light enough to serve many times).
@@ -53,6 +60,17 @@ THRASH_TABLES = (
 
 #: Operations per key-value job (one ``next()`` each).
 KV_OPS_PER_JOB = 64
+
+#: Shape of one ``points`` job: rows per request (below the default
+#: quantum so a request completes in one quantum) and the per-row
+#: micro-op bundle.  The ring is sized to sit inside L1D at the default
+#: cache scale (24 lines over 8 sets = 3 ways of 4), so after the
+#: context switch's kernel walk evicts part of it the first rotation
+#: re-fills it and the remaining rotations fold to bulk L1 hits.
+POINT_ROWS_PER_JOB = 48
+POINT_PROBES_PER_ROW = 128
+POINT_RING_LINES = 24
+POINT_RING_STRIDE = 7
 
 
 class QueryMix:
@@ -159,6 +177,75 @@ def _kv_mix(machine: Machine, seed: int, n_clients: int) -> QueryMix:
     return QueryMix("kv", cycles)
 
 
+class _PointRun:
+    """Work iterator of one ``points`` request.
+
+    Implements the batched-quantum protocol: :meth:`run_rows` executes
+    up to ``n`` rows as a handful of bulk executor calls and returns
+    how many it did (fewer than asked = exhausted); ``__next__`` runs
+    exactly one row's bundle.  Both paths charge identical micro-ops —
+    the bulk ring walk touches the same lines in the same order, and
+    the counter ops are pure adds — so a report is bit-identical
+    whichever path the serve loop takes.
+    """
+
+    def __init__(self, machine: Machine, ring, state):
+        self.machine = machine
+        self.ring = ring
+        self.state = state
+        self.remaining = POINT_ROWS_PER_JOB
+        self._cursor = 0
+
+    def __iter__(self) -> "_PointRun":
+        return self
+
+    def _run(self, rows: int) -> None:
+        machine = self.machine
+        self._cursor = machine.exec.load_ring(
+            self.ring.base, self._cursor, POINT_RING_STRIDE,
+            rows * POINT_PROBES_PER_ROW, self.ring.n_lines,
+        )
+        machine.hot_loads(self.state.base, 4 * rows)
+        machine.hot_stores(self.state.base, 2 * rows)
+        machine.add(6 * rows)
+        machine.cmp(2 * rows)
+        machine.branch(2 * rows)
+        machine.other(4 * rows)
+
+    def run_rows(self, n: int) -> int:
+        rows = min(n, self.remaining)
+        if rows > 0:
+            self._run(rows)
+            self.remaining -= rows
+        return rows
+
+    def __next__(self) -> int:
+        if self.remaining <= 0:
+            raise StopIteration
+        self._run(1)
+        self.remaining -= 1
+        return self.remaining
+
+
+def _points_mix(machine: Machine, n_clients: int) -> QueryMix:
+    cycles = []
+    for i in range(max(1, n_clients)):
+        ring = machine.address_space.alloc_lines(
+            POINT_RING_LINES, f"points/ring{i}")
+        state = machine.address_space.alloc(256, label=f"points/state{i}")
+
+        def make(slot, ring=ring, state=state):
+            return _PointRun(machine, ring, state)
+
+        cycles.append([JobTemplate(
+            name="points",
+            tables=("points",),
+            cost=float(POINT_ROWS_PER_JOB),
+            make=make,
+        )])
+    return QueryMix("points", cycles)
+
+
 def build_mix(name: str, db: Database, n_clients: int, seed: int) -> QueryMix:
     """Build one named mix bound to a loaded database."""
     if name == "basic":
@@ -169,4 +256,6 @@ def build_mix(name: str, db: Database, n_clients: int, seed: int) -> QueryMix:
         return _thrash_mix(db, n_clients)
     if name == "kv":
         return _kv_mix(db.machine, seed, n_clients)
+    if name == "points":
+        return _points_mix(db.machine, n_clients)
     raise ConfigError(f"unknown workload mix {name!r}; known: {MIXES}")

@@ -43,6 +43,7 @@ branch on the mode.
 
 from __future__ import annotations
 
+from math import gcd
 from typing import Iterable, Sequence
 
 from repro.sim.address_space import LINE_SHIFT, LINE_SIZE
@@ -94,6 +95,21 @@ class ReferenceExecutor:
         load = self.cpu.load
         for addr in addrs:
             load(addr, dependent)
+
+    def load_ring(self, base: int, cursor: int, stride: int, count: int,
+                  n_lines: int, dependent: bool = False) -> int:
+        """``count`` strided loads over a ring of ``n_lines`` cache lines.
+
+        Each load first advances ``cursor`` by ``stride`` modulo
+        ``n_lines``, then touches ``base + cursor * LINE_SIZE``; the
+        final cursor is returned so callers can persist the walk
+        position across calls.  ``dependent`` applies to every load
+        (the load_list convention)."""
+        load = self.cpu.load
+        for _ in range(count):
+            cursor = (cursor + stride) % n_lines
+            load(base + cursor * LINE_SIZE, dependent)
+        return cursor
 
     def store_repeat(self, addr: int, n: int) -> None:
         """``n`` stores to the same address."""
@@ -360,6 +376,98 @@ class BatchExecutor:
                 c.cycles += hits * cpu.timing.load_issue
         if rest is not None:
             self._load_addrs(rest, dependent)
+
+    def load_ring(self, base: int, cursor: int, stride: int, count: int,
+                  n_lines: int, dependent: bool = False) -> int:
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        if count <= 0:
+            return cursor
+        tcm = hier.tcm_region
+        if (tcm is not None and base < tcm.end
+                and base + n_lines * LINE_SIZE > tcm.base):
+            # Ring overlaps the TCM window: materialise the address walk
+            # and reuse load_list's exact TCM handling.
+            addrs = []
+            for _ in range(count):
+                cursor = (cursor + stride) % n_lines
+                addrs.append(base + cursor * LINE_SIZE)
+            self.load_list(addrs, dependent)
+            return cursor
+        hier.mut_epoch += 1
+        l1 = hier.l1d
+        s1 = l1._sets
+        m1 = l1._set_mask
+        c = cpu.counters
+        if dependent:
+            lat_l1 = cpu._latency[LEVEL_L1D]
+            hit_cycles = lat_l1
+            hit_stall = lat_l1 - 1.0
+        else:
+            hit_cycles = cpu.timing.load_issue
+            hit_stall = 0.0
+        # The walk revisits the same line after `period` steps, where
+        # `period = n_lines / gcd(stride, n_lines)`; the cursor values
+        # within one rotation are pairwise distinct, so so are the lines
+        # they touch.  Process the walk one rotation at a time with the
+        # optimistic L1D-hit pass from load_list: hits are applied
+        # inline (move_to_end + bulk-priced), the first miss hands the
+        # rest of the rotation to the generic walk.
+        step = stride % n_lines
+        period = n_lines // gcd(step, n_lines) if step else 1
+        done = 0
+        while done < count:
+            chunk = min(period, count - done)
+            hits = 0
+            rest = None
+            for _ in range(chunk):
+                cursor = (cursor + stride) % n_lines
+                a = base + cursor * LINE_SIZE
+                if rest is not None:
+                    rest.append(a)
+                    continue
+                line = a >> LINE_SHIFT
+                set1 = s1[line & m1]
+                if line in set1:
+                    set1.move_to_end(line)
+                    hits += 1
+                else:
+                    rest = [a]
+            if hits:
+                l1.hits += hits
+                c.n_l1d += hits
+                c.l1d_hits += hits
+                c.n_load_inst += hits
+                c.cycles += hits * hit_cycles
+                if hit_stall:
+                    c.stall_cycles += hits * hit_stall
+            if rest is not None:
+                self._load_addrs(rest, dependent)
+            done += chunk
+            if rest is None and chunk == period:
+                # A full rotation just hit L1D on every one of its
+                # `period` distinct lines.  Replaying it touches exactly
+                # those lines in the same order: every access hits
+                # (hits never insert or evict), and per L1D set the
+                # rotation's lines are re-appended behind the others in
+                # the same relative order they already hold — a no-op on
+                # cache state.  All remaining full rotations therefore
+                # fold into one bulk hit update (hit cycles are dyadic,
+                # so the bulk add is bit-identical to per-op adds), and
+                # the cursor is unchanged: `period * stride` is a
+                # multiple of `n_lines`.
+                folds = (count - done) // period
+                if folds:
+                    n = folds * period
+                    l1.hits += n
+                    c.n_l1d += n
+                    c.l1d_hits += n
+                    c.n_load_inst += n
+                    c.cycles += n * hit_cycles
+                    if hit_stall:
+                        c.stall_cycles += n * hit_stall
+                    done += n
+        return cursor
 
     def store_repeat(self, addr: int, n: int) -> None:
         if n <= 0:

@@ -99,12 +99,12 @@ class CoreSet:
         machine = self.machine
         machine.hot_loads(self._state.base, cost.state_loads)
         machine.hot_stores(self._state.base, cost.state_stores)
-        lines = self._cold.n_lines
-        cursor = self._cold_cursor
-        for _ in range(cost.cold_lines):
-            cursor = (cursor + 7) % lines  # coprime stride over the set
-            machine.load(self._cold.base + cursor * LINE_SIZE)
-        self._cold_cursor = cursor
+        # Coprime stride over the cold set; load_ring lets the batched
+        # executor fold all-hit rotations into bulk accounting.
+        self._cold_cursor = machine.exec.load_ring(
+            self._cold.base, self._cold_cursor, 7,
+            cost.cold_lines, self._cold.n_lines,
+        )
         machine.other(cost.other_ops)
         machine.branch(cost.branches)
         core.resident = incoming

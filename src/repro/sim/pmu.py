@@ -110,33 +110,44 @@ class PmuCounters:
         }
         return 100.0 * sum(per_class[c] for c in classes) / total
 
+    # The snapshot/delta operations below run four times per serve
+    # quantum (settle + span credit, enter and exit); they work on the
+    # instance __dict__ with a precomputed field-name tuple instead of
+    # calling dataclasses.fields() per invocation.
+
     def minus(self, other: "PmuCounters") -> "PmuCounters":
         """Counter delta ``self - other`` (for windowed measurements)."""
         delta = PmuCounters()
-        for f in fields(PmuCounters):
-            setattr(delta, f.name, getattr(self, f.name) - getattr(other, f.name))
+        dd = delta.__dict__
+        sd = self.__dict__
+        od = other.__dict__
+        for name in _FIELD_NAMES:
+            dd[name] = sd[name] - od[name]
         return delta
 
     def accumulate(self, delta: "PmuCounters") -> None:
         """In-place ``self += delta`` (spans/metrics aggregate windows)."""
-        for f in fields(PmuCounters):
-            setattr(self, f.name, getattr(self, f.name) + getattr(delta, f.name))
+        sd = self.__dict__
+        dd = delta.__dict__
+        for name in _FIELD_NAMES:
+            sd[name] = sd[name] + dd[name]
 
     def copy(self) -> "PmuCounters":
         snap = PmuCounters()
-        for f in fields(PmuCounters):
-            setattr(snap, f.name, getattr(self, f.name))
+        snap.__dict__.update(self.__dict__)
         return snap
 
     def as_dict(self, skip_zero: bool = False) -> dict:
         """Plain-dict rendering (for JSON trace export)."""
-        out = {}
-        for f in fields(PmuCounters):
-            value = getattr(self, f.name)
-            if skip_zero and not value:
-                continue
-            out[f.name] = value
-        return out
+        sd = self.__dict__
+        if skip_zero:
+            return {name: sd[name] for name in _FIELD_NAMES if sd[name]}
+        return {name: sd[name] for name in _FIELD_NAMES}
+
+
+#: Field names of :class:`PmuCounters`, resolved once (hot-path ops
+#: above iterate this instead of calling ``dataclasses.fields``).
+_FIELD_NAMES = tuple(f.name for f in fields(PmuCounters))
 
 
 @dataclass

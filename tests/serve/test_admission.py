@@ -101,7 +101,7 @@ class TestTimeoutShedding:
         ac.offer(stale, 0.0)
         ac.offer(fresh, 1.5)  # touching the queue sheds the stale waiter
         survivors = ac.candidates(2.0)
-        assert survivors == [fresh]
+        assert list(survivors) == [fresh]
         assert stale.state == SHED_TIMEOUT and stale.finish_s == 1.5
         assert ac.shed == [stale]
         assert metrics.snapshot()["serve.shed"] == 1
@@ -118,7 +118,7 @@ class TestTimeoutShedding:
         ac = AdmissionController(metrics, max_queue=10)
         r = request(0, arrival=0.0)
         ac.offer(r, 0.0)
-        assert ac.candidates(1e9) == [r]
+        assert list(ac.candidates(1e9)) == [r]
 
 
 class TestEdgeCases:
@@ -140,9 +140,9 @@ class TestEdgeCases:
         ac = AdmissionController(metrics, max_queue=10, queue_timeout_s=1.0)
         boundary = request(0, arrival=0.0)
         ac.offer(boundary, 0.0)
-        assert ac.candidates(1.0) == [boundary]  # waited exactly 1.0
+        assert list(ac.candidates(1.0)) == [boundary]  # waited exactly 1.0
         survivors = ac.candidates(1.0 + 1e-9)
-        assert survivors == []
+        assert list(survivors) == []
         assert boundary.state == SHED_TIMEOUT
         assert boundary.finish_s == 1.0 + 1e-9
 

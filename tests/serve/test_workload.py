@@ -57,4 +57,4 @@ class TestBuildMix:
         assert len(ops) == 64
 
     def test_mix_names(self):
-        assert set(MIXES) == {"basic", "tpch", "thrash", "kv"}
+        assert set(MIXES) == {"basic", "tpch", "thrash", "kv", "points"}

@@ -62,8 +62,16 @@ def _random_program(rng: random.Random, tcm_base, tcm_size) -> list:
             ops.append(("load_list", "big", tuple(addrs),
                         rng.random() < 0.5))
         elif kind == 9:
-            ops.append(("store_repeat", rng.choice(("small", "big")),
-                        rng.randrange(256) & ~7, rng.randrange(1, 40)))
+            if rng.random() < 0.5:
+                ops.append(("store_repeat", rng.choice(("small", "big")),
+                            rng.randrange(256) & ~7, rng.randrange(1, 40)))
+            else:
+                region = rng.choice(("small", "big"))
+                n_lines = 16 if region == "small" else rng.randrange(8, 512)
+                ops.append(("load_ring", region, rng.randrange(n_lines),
+                            rng.randrange(0, 2 * n_lines),
+                            rng.randrange(1, 200), n_lines,
+                            rng.random() < 0.5))
         elif kind == 10:
             ops.append(("hot", rng.randrange(256), rng.randrange(1, 50)))
         elif kind == 11:
@@ -110,6 +118,9 @@ def _execute(preset: str, mode: str, program: list, eist: bool):
             ex.load_list([base[op[1]] + a for a in op[2]], op[3])
         elif kind == "store_repeat":
             ex.store_repeat(base[op[1]] + op[2], op[3])
+        elif kind == "load_ring":
+            _, region, cursor, stride, count, n_lines, dep = op
+            ex.load_ring(base[region], cursor, stride, count, n_lines, dep)
         elif kind == "hot":
             machine.hot_loads(small.base + op[1], op[2])
             machine.hot_stores(small.base + op[1], op[2])
@@ -293,6 +304,82 @@ def test_flush_mid_run_invalidates_fast_path_state():
         assert machine.hierarchy.l1d.misses - misses_before == l1_lines
         machine.scan_lines(big.base, n_big)
     _assert_modes_agree(body)
+
+
+def test_load_ring_fold_after_warm_rotation():
+    """An L1-resident ring walked for many rotations: the batched
+    executor folds everything after the first all-hit rotation into
+    bulk accounting, which must stay bit-identical — including the
+    returned cursor used to chain further walks."""
+    def body(machine):
+        ring = machine.address_space.alloc_lines(24, "ring")
+        cursor = 0
+        for count in (24, 240, 7, 2401):
+            cursor = machine.exec.load_ring(ring.base, cursor, 7, count, 24)
+    _assert_modes_agree(body)
+
+
+def test_load_ring_miss_recovery_and_gcd_strides():
+    """Rings bigger than L1 (every rotation misses), strides sharing a
+    factor with the ring (short sub-cycles), stride 0, and stride
+    multiples of the ring size must all match per-op execution."""
+    def body(machine):
+        big = machine.address_space.alloc_lines(512, "big-ring")
+        ex = machine.exec
+        cursor = 0
+        for stride in (97, 8, 64, 512, 0, 1):
+            cursor = ex.load_ring(big.base, cursor, stride, 300, 512)
+    _assert_modes_agree(body)
+
+
+def test_load_ring_interrupted_by_evictions():
+    """Evicting the ring's lines between (and is followed by) walks
+    forces the batched path off the fold and through the generic walk
+    mid-rotation."""
+    def body(machine):
+        ring = machine.address_space.alloc_lines(24, "ring")
+        thrash = machine.address_space.alloc_lines(
+            machine.hierarchy.l3.size // 64, "thrash")
+        cursor = 0
+        cursor = machine.exec.load_ring(ring.base, cursor, 7, 120, 24)
+        machine.scan_lines(thrash.base, thrash.n_lines)  # evict the ring
+        cursor = machine.exec.load_ring(ring.base, cursor, 7, 120, 24)
+        for i in range(0, 24, 5):
+            machine.store(ring.base + i * 64)  # dirty a few ring lines
+        machine.exec.load_ring(ring.base, cursor, 7, 120, 24)
+    _assert_modes_agree(body)
+
+
+def test_load_ring_dependent_and_tcm_overlap():
+    """Dependent pricing applies to every ring load; a ring overlapping
+    the TCM window must take the exact per-address fallback."""
+    def body(machine):
+        ring = machine.address_space.alloc_lines(32, "ring")
+        machine.exec.load_ring(ring.base, 0, 7, 100, 32, dependent=True)
+        tcm = machine.hierarchy.tcm_region
+        if tcm is None:
+            machine.hierarchy.tcm_region = Region(
+                base=ring.base + 8 * 64, size=4 * 64, label="tcm")
+        else:
+            machine.hierarchy.tcm_region = Region(
+                base=ring.base + 8 * 64, size=4 * 64, label=tcm.label)
+        machine.exec.load_ring(ring.base, 0, 7, 100, 32)
+        machine.exec.load_ring(ring.base, 3, 5, 64, 32, dependent=True)
+    _assert_modes_agree(body)
+
+
+def test_load_ring_cursor_matches_reference():
+    """Both executors must report the same final cursor for the same
+    walk (the fold must not desynchronise the cursor)."""
+    for stride, count, n_lines in ((7, 2401, 24), (97, 300, 512),
+                                   (6, 100, 24), (0, 10, 16)):
+        cursors = {}
+        for mode in ("reference", "batched"):
+            machine = Machine(tiny_intel(), exec_mode=mode)
+            ring = machine.address_space.alloc_lines(n_lines, "ring")
+            cursors[mode] = machine.exec.load_ring(
+                ring.base, 1, stride, count, n_lines)
+        assert cursors["reference"] == cursors["batched"]
 
 
 def test_exec_mode_knob():

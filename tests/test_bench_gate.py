@@ -65,10 +65,58 @@ def _cli_report(**kw):
         "Q6": {"reference_s": 0.06, "batched_s": 0.04, "speedup": 1.5},
     }
     report["serve"] = {
-        "batched": {"requests_per_s": 50.0},
-        "speedup": 1.2,
+        "tpch": {"batched": {"requests_per_s": 50.0}, "speedup": 1.2},
+        "engine": {
+            "reference": {"requests_per_s": 250.0},
+            "batched": {"requests_per_s": 5000.0},
+            "speedup": 20.0,
+            "reports_identical": True,
+        },
+    }
+    report["serve_scale"] = {
+        "completed": 50_000,
+        "tenants": 200,
+        "wall_s": 13.0,
+        "requests_per_s": 3800.0,
+        "quanta_per_s": 3800.0,
     }
     return report
+
+
+class TestServeGates:
+    def test_identical_reports_pass(self):
+        base = _cli_report()
+        assert check_regression(copy.deepcopy(base), base) == []
+
+    def test_engine_speedup_rot_fails(self):
+        current = _cli_report()
+        current["serve"]["engine"]["speedup"] = 8.0
+        failures = check_regression(current, _cli_report())
+        assert any("serve.engine" in f and "speedup" in f for f in failures)
+
+    def test_engine_report_drift_fails(self):
+        current = _cli_report()
+        current["serve"]["engine"]["reports_identical"] = False
+        failures = check_regression(current, _cli_report())
+        assert any("reports_identical" in f for f in failures)
+
+    def test_tpch_mode_ratio_rot_fails(self):
+        current = _cli_report()
+        current["tpch"]["Q6"]["speedup"] = 0.9
+        failures = check_regression(current, _cli_report())
+        assert any("tpch.Q6" in f for f in failures)
+
+    def test_serve_scale_throughput_drop_fails(self):
+        current = _cli_report()
+        current["serve_scale"]["requests_per_s"] = 1000.0
+        failures = check_regression(current, _cli_report())
+        assert any("serve_scale" in f for f in failures)
+
+    def test_missing_serve_scale_fails(self):
+        current = _cli_report()
+        del current["serve_scale"]
+        failures = check_regression(current, _cli_report())
+        assert any("serve_scale" in f and "missing" in f for f in failures)
 
 
 class TestBenchCli:
