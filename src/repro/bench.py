@@ -37,8 +37,11 @@ from repro.sim.machine import Machine
 #: section (measured optimizer-vs-hand-built energy gate).  v4 split
 #: ``serve`` into ``tpch`` (plan-backed mix) and ``engine`` (the
 #: ``points`` mix, where the serve core itself is the bottleneck) and
-#: added the closed-loop ``serve_scale`` section.
-SCHEMA_VERSION = 4
+#: added the closed-loop ``serve_scale`` section.  v5 added the
+#: ``cluster`` section (J/query and p99 across node counts and fault
+#: rates, with the cluster-wide energy-conservation and cross-mode
+#: identity gates).
+SCHEMA_VERSION = 5
 
 #: Default output file, at the repository root by convention.
 DEFAULT_OUT = "BENCH_simperf.json"
@@ -280,6 +283,76 @@ def _serve_scale(quick: bool) -> dict:
     }
 
 
+#: Cluster bench cells: node counts x injected fault rates.  The
+#: metrics are *simulated* joules and seconds — deterministic and
+#: host-independent — so quick and full runs produce identical cells
+#: and the committed baseline gates both exactly.
+CLUSTER_NODE_COUNTS = (2, 4)
+CLUSTER_FAULT_RATES = (0.0, 0.05)
+
+
+def _cluster_section(quick: bool) -> dict:
+    """Sharded scatter-gather cluster: J/query and p99 latency across
+    node counts and fault rates, plus the conservation and cross-mode
+    identity gates.
+
+    Every cell asserts the cluster-wide energy-conservation identity
+    (useful + wasted == active, exactly); the faulty 2-node cell is
+    additionally run in both exec modes and the reports compared byte
+    for byte (``exec_mode`` dropped) — the bit-identity contract
+    extended to the whole cluster.
+    """
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.faults import FaultPlan
+
+    del quick  # same cells either way: the metrics are simulated time
+
+    def config(nodes: int, rate: float, mode: str = "batched"):
+        return ClusterConfig(
+            nodes=nodes, replication=2, clients=4, queries=24,
+            tier="10MB", seed=7, exec_mode=mode,
+            faults=(FaultPlan(node_crash_p=rate, net_drop_p=rate)
+                    if rate > 0.0 else None),
+        )
+
+    cells: dict = {}
+    for nodes in CLUSTER_NODE_COUNTS:
+        for rate in CLUSTER_FAULT_RATES:
+            t0 = time.perf_counter()
+            report = run_cluster(config(nodes, rate))
+            elapsed = time.perf_counter() - t0
+            energy = report["energy"]
+            counts = report["counts"]
+            active = energy["active_energy_j"]
+            conserved = (energy["useful_energy_j"]
+                         + energy["wasted_energy_j"] == active)
+            cells[f"n{nodes}_f{rate:g}"] = {
+                "nodes": nodes,
+                "fault_rate": rate,
+                "completed": counts["completed"],
+                "degraded_partial": counts["degraded_partial"],
+                "failed": counts["failed"],
+                "energy_per_query_j": energy["energy_per_query_j"],
+                "p99_s": report["latency_s"]["p99_s"],
+                "wasted_share": (energy["wasted_energy_j"] / active
+                                 if active else 0.0),
+                "failovers": report["subrequests"]["failovers"],
+                "hedges": report["subrequests"]["hedges"],
+                "conservation_ok": conserved,
+                "wall_s": round(elapsed, 3),
+            }
+
+    reports = {}
+    for mode in ("reference", "batched"):
+        report = run_cluster(config(2, CLUSTER_FAULT_RATES[-1], mode))
+        del report["config"]["exec_mode"]
+        reports[mode] = report
+    return {
+        "cells": cells,
+        "reports_identical": reports["reference"] == reports["batched"],
+    }
+
+
 def _optimizer_section(quick: bool) -> dict:
     """Measured optimizer-vs-hand-built energy over TPC-H plans.
 
@@ -349,6 +422,7 @@ def run_bench(quick: bool = False) -> dict:
                 lambda: _points_engine_rps(200 if quick else 2000)),
         },
         "serve_scale": timed("serve_scale", lambda: _serve_scale(quick)),
+        "cluster": timed("cluster", lambda: _cluster_section(quick)),
         "optimizer": timed("optimizer", lambda: _optimizer_section(quick)),
     }
     results["sections_wall_s"] = walls
@@ -448,6 +522,38 @@ def check_regression(current: dict, baseline: dict,
             )
     elif baseline.get("serve_scale") is not None and new_scale is None:
         failures.append("serve_scale: section missing from current report")
+    # Cluster: the cell metrics are simulated joules/seconds, which are
+    # deterministic — but hosts differ in float-identical ways only for
+    # the same code, so gate with the same fractional tolerance as the
+    # throughput metrics.  Conservation and cross-mode identity are
+    # absolute: they must hold on any host.
+    new_cluster = current.get("cluster")
+    old_cluster = baseline.get("cluster", {})
+    if new_cluster is not None:
+        if not new_cluster.get("reports_identical", False):
+            failures.append("cluster: reports_identical is not true")
+        for name, old_cell in old_cluster.get("cells", {}).items():
+            new_cell = new_cluster.get("cells", {}).get(name)
+            if new_cell is None:
+                failures.append(f"cluster.{name}: cell missing from "
+                                "current report")
+                continue
+            if not new_cell.get("conservation_ok", False):
+                failures.append(
+                    f"cluster.{name}: energy conservation identity broke")
+            for metric in ("energy_per_query_j", "p99_s"):
+                new_value = new_cell.get(metric)
+                old_value = old_cell.get(metric)
+                if not new_value or not old_value:
+                    continue
+                if new_value > old_value * (1.0 + max_regression):
+                    failures.append(
+                        f"cluster.{name}: {metric} {new_value:.4g} is "
+                        f"more than {max_regression:.0%} above baseline "
+                        f"{old_value:.4g}"
+                    )
+    elif baseline.get("cluster") is not None:
+        failures.append("cluster: section missing from current report")
     # The optimizer section self-gates: its invariants (never a measured
     # energy regression, always identical results) hold on any host, so
     # they are checked absolutely rather than against the baseline.

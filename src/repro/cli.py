@@ -10,10 +10,14 @@ Commands:
 * ``experiment``— regenerate one paper table/figure by id;
 * ``poc``       — run the §4 DTCM proof-of-concept (Figure 13);
 * ``serve``     — run the concurrent query-serving simulation and
-  emit its JSON report (policies, admission control, tenants);
+  emit its JSON report (policies, admission control, tenants); with
+  ``--cluster``, a sharded scatter-gather cluster of N nodes behind a
+  simulated network;
 * ``chaos``     — a serve run under deterministic fault injection,
   with retries/deadlines/circuit-breaker resilience and a report that
-  splits Active energy into useful vs wasted joules;
+  splits Active energy into useful vs wasted joules; the ``node`` and
+  ``partition`` scenarios run cluster-mode chaos (crashes, stragglers,
+  partitions, drops) with failover and hedging;
 * ``diff``      — load two run artifacts (bench/serve reports, trace
   JSONL) and print ranked Δ-energy attributions per operator,
   micro-op class, and cache level.
@@ -365,6 +369,14 @@ def cmd_bench(args) -> int:
           f"{scale['tenants']} tenants in {scale['wall_s']:.1f}s "
           f"({scale['requests_per_s']:.0f} req/s, "
           f"{scale['quanta_per_s']:.0f} quanta/s)")
+    cluster = results["cluster"]
+    for name, cell in sorted(cluster["cells"].items()):
+        print(f"cluster {name}: {cell['energy_per_query_j']:.3e} J/query, "
+              f"p99 {cell['p99_s']:.4f}s, "
+              f"{100.0 * cell.get('wasted_share', 0.0):.1f}% wasted "
+              f"(conservation {'ok' if cell['conservation_ok'] else 'BROKE'})")
+    print("cluster cross-mode identity: "
+          + ("ok" if cluster["reports_identical"] else "BROKE"))
     if baseline is not None:
         failures = check_regression(results, baseline, args.max_regression)
         for failure in failures:
@@ -416,6 +428,40 @@ def _serve_config(args, **extra):
     )
 
 
+def _cluster_config(args, faults=None):
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        nodes=args.nodes,
+        replication=args.replication,
+        mode=args.mode,
+        clients=args.clients,
+        queries=args.queries,
+        tenants=args.tenants,
+        rate_qps=args.rate,
+        think_s=args.think,
+        seed=args.seed,
+        engine=args.engine,
+        setting=args.setting,
+        tier=args.tier,
+        scale=args.scale,
+        exec_mode=getattr(args, "exec_mode", "batched"),
+        net_latency_s=args.net_latency,
+        net_bytes_per_s=args.net_bandwidth,
+        faults=faults,
+        subreq_timeout_s=args.subreq_timeout,
+        failover_attempts=args.failover_attempts,
+        failover_backoff_s=args.failover_backoff,
+        hedge_quantile=args.hedge_quantile,
+        hedge_min_samples=args.hedge_min_samples,
+        allow_partial=not args.no_partial,
+        breaker_threshold=getattr(args, "breaker_threshold", None),
+        breaker_window=getattr(args, "breaker_window", 16),
+        breaker_cooloff_s=getattr(args, "breaker_cooloff", 0.1),
+        degrade_keep_tenants=getattr(args, "keep_tenants", 1),
+    )
+
+
 def _emit_report(report: dict, out) -> None:
     text = json.dumps(report, indent=2, sort_keys=True)
     if out:
@@ -432,6 +478,16 @@ def cmd_serve(args) -> int:
 
     from repro.serve import render_serve_summary, run_serve
 
+    if args.cluster:
+        from repro.cluster import render_cluster_summary, run_cluster
+
+        start = time.perf_counter()
+        report = run_cluster(_cluster_config(args))
+        elapsed_s = time.perf_counter() - start
+        _emit_report(report, args.out)
+        print(render_cluster_summary(report, elapsed_s=elapsed_s),
+              file=sys.stderr)
+        return 0
     start = time.perf_counter()
     report = run_serve(_serve_config(args))
     elapsed_s = time.perf_counter() - start
@@ -461,7 +517,14 @@ CHAOS_SCENARIOS = {
         "dvfs_stuck_p": 0.01,
         "request_error_p": 0.02,
     },
+    # Cluster-shaped scenarios: these force --cluster mode (the sites
+    # only exist there).
+    "node": {"node_crash_p": 0.05, "node_slow_p": 0.1},
+    "partition": {"net_partition_p": 0.05, "net_drop_p": 0.05},
 }
+
+#: Scenarios that imply a cluster run even without ``--cluster``.
+_CLUSTER_SCENARIOS = ("node", "partition")
 
 #: (CLI dest, FaultPlan field) pairs for the explicit fault flags.
 _CHAOS_FLAG_FIELDS = (
@@ -475,6 +538,13 @@ _CHAOS_FLAG_FIELDS = (
     ("dvfs_stuck_p", "dvfs_stuck_p"),
     ("dvfs_stuck_epochs", "dvfs_stuck_epochs"),
     ("request_error_p", "request_error_p"),
+    ("node_crash_p", "node_crash_p"),
+    ("node_crash_restart", "node_crash_restart_s"),
+    ("node_slow_p", "node_slow_p"),
+    ("node_slow_factor", "node_slow_factor"),
+    ("net_partition_p", "net_partition_p"),
+    ("net_partition_s", "net_partition_s"),
+    ("net_drop_p", "net_drop_p"),
 )
 
 
@@ -487,6 +557,20 @@ def cmd_chaos(args) -> int:
         value = getattr(args, dest)
         if value is not None:
             plan_kwargs[field] = value
+    if args.cluster or args.scenario in _CLUSTER_SCENARIOS:
+        import time
+
+        from repro.cluster import render_cluster_summary, run_cluster
+
+        config = _cluster_config(args, faults=FaultPlan(**plan_kwargs))
+        start = time.perf_counter()
+        report = run_cluster(config)
+        elapsed_s = time.perf_counter() - start
+        if args.json or args.out:
+            _emit_report(report, args.out)
+        if not args.json:
+            print(render_cluster_summary(report, elapsed_s=elapsed_s))
+        return 0
     config = _serve_config(
         args,
         faults=FaultPlan(**plan_kwargs),
@@ -668,6 +752,40 @@ def _add_serve_options(p: argparse.ArgumentParser) -> None:
                         "time (.csv = CSV, else JSONL)")
     p.add_argument("--timeline-window", type=float, default=0.01,
                    help="timeline window length (sim s)")
+    _add_cluster_options(p)
+
+
+def _add_cluster_options(p: argparse.ArgumentParser) -> None:
+    """Sharded-cluster mode, shared by ``serve`` and ``chaos``."""
+    g = p.add_argument_group("cluster mode")
+    g.add_argument("--cluster", action="store_true",
+                   help="run the sharded scatter-gather cluster instead "
+                        "of the single-machine serve loop")
+    g.add_argument("--nodes", type=int, default=4,
+                   help="data nodes (= shards per table)")
+    g.add_argument("--replication", type=int, default=2,
+                   help="replicas per shard (1 = no failover possible)")
+    g.add_argument("--net-latency", type=float, default=2e-4,
+                   help="base per-link network latency (sim s)")
+    g.add_argument("--net-bandwidth", type=float, default=1.25e8,
+                   help="link bandwidth (bytes per sim s)")
+    g.add_argument("--subreq-timeout", type=float, default=0.05,
+                   help="coordinator timeout per sub-request attempt")
+    g.add_argument("--failover-attempts", type=int, default=3,
+                   help="max attempts per sub-request, first included")
+    g.add_argument("--failover-backoff", type=float, default=0.002,
+                   help="delay before a failover re-dispatch (sim s)")
+    g.add_argument("--hedge-quantile", type=float, default=0.95,
+                   help="hedge once a sub-request outlives this latency "
+                        "quantile (use --no-hedge to disable)")
+    g.add_argument("--no-hedge", dest="hedge_quantile",
+                   action="store_const", const=None,
+                   help="disable hedged requests")
+    g.add_argument("--hedge-min-samples", type=int, default=16,
+                   help="completed sub-requests before hedging arms")
+    g.add_argument("--no-partial", action="store_true",
+                   help="fail requests with unreachable shards instead "
+                        "of degrading to partial results")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -787,6 +905,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="epochs a stuck episode lasts")
     p.add_argument("--request-error-p", type=float, default=None,
                    help="injected request failure probability per quantum")
+    p.add_argument("--node-crash-p", type=float, default=None,
+                   help="cluster: node crash probability per sub-request")
+    p.add_argument("--node-crash-restart", type=float, default=None,
+                   help="cluster: reboot time after a crash (sim s)")
+    p.add_argument("--node-slow-p", type=float, default=None,
+                   help="cluster: straggler probability per sub-request")
+    p.add_argument("--node-slow-factor", type=float, default=None,
+                   help="cluster: straggler service-time multiplier")
+    p.add_argument("--net-partition-p", type=float, default=None,
+                   help="cluster: link partition probability per message")
+    p.add_argument("--net-partition-s", type=float, default=None,
+                   help="cluster: partition episode length (sim s)")
+    p.add_argument("--net-drop-p", type=float, default=None,
+                   help="cluster: single-message drop probability")
     p.add_argument("--retries", type=int, default=2,
                    help="max retries per failed request (0 = fail fast)")
     p.add_argument("--retry-backoff", type=float, default=0.005,

@@ -1,0 +1,463 @@
+"""The cluster coordinator: a scatter-gather discrete-event engine.
+
+One global event heap keyed ``(time, seq)`` drives the whole cluster
+(the same two-heap discipline as :mod:`repro.serve.loop`, collapsed to
+one heap whose events carry their kind).  Five event kinds:
+
+``arrival``    a client issues a query (driver-generated, closed- or
+               open-loop); the coordinator scatters one sub-request per
+               shard.
+``node_recv``  a sub-request message reaches a data node; the node runs
+               the per-shard plan run-to-completion on its own machine
+               (queueing emerges from the node's machine clock) and
+               sends the partial back.
+``coord_recv`` a partial lands at the coordinator; first one per shard
+               wins, later ones are losers (hedge/failover waste).
+``timeout``    a sub-request attempt outlived ``subreq_timeout_s``; the
+               coordinator fails it over to the next replica (bounded
+               by ``failover_attempts``) or gives the shard up.
+``hedge``/``dispatch``  delayed dispatches: a hedge fires after the
+               observed latency quantile, a failover after its backoff.
+
+Determinism: every decision is a pure function of simulated time and
+seeded draws — event ties break on sequence numbers, network latencies
+and fault draws are seeded, and the hedge delay is a percentile of
+observed (simulated) latencies.  Two runs with the same config are
+byte-identical, across ``exec_mode`` reference/batched too.
+
+Energy: every charged micro-op on any machine runs inside a tracer
+span tagged ``(request, attempt)``, so the cluster report partitions
+each node's Active energy exactly.  The coordinator records a waste
+reason per losing attempt in :attr:`ClusterCoordinator.attempt_outcomes`
+(``hedge_loser``, ``failover_reexec``, ``node_crash``, ``net_drop``,
+``net_partition``, ``timeout``); the winning attempt of a delivered
+request carries no reason and classifies useful.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.db.planner import Aggregate, Limit
+from repro.db.sharding import merge_partials, shard_scan
+from repro.errors import ClusterError
+from repro.seeding import derive_seed, seeded_rng
+from repro.serve.report import percentile
+from repro.serve.request import COMPLETED, FAILED, SHED_DEGRADED
+from repro.sim.network import DELIVERED
+
+#: Terminal state of a request answered from a strict subset of its
+#: shards (a shard was unreachable and ``allow_partial`` let the
+#: coordinator degrade instead of failing).
+DEGRADED_PARTIAL = "degraded_partial"
+
+CATEGORY_EXEC = "cluster.exec"
+CATEGORY_NET = "cluster.net"
+CATEGORY_MERGE = "cluster.merge"
+CATEGORY_FAULT = "cluster.fault"
+
+#: Fixed sub-request message size (plan id + shard + bookkeeping).
+REQUEST_BYTES = 192
+#: Response framing plus one 8-byte slot per aggregate value.
+RESPONSE_HEADER_BYTES = 64
+VALUE_BYTES = 8
+
+
+class SubAttempt:
+    """One dispatch of one sub-request to one replica."""
+
+    __slots__ = ("attempt_id", "subreq", "node", "hedge", "sent_s", "fate")
+
+    def __init__(self, attempt_id, subreq, node, hedge, sent_s):
+        self.attempt_id = attempt_id
+        self.subreq = subreq
+        self.node = node
+        self.hedge = hedge
+        self.sent_s = sent_s
+        #: Known loss cause ("net_drop" / "net_partition" / "node_crash")
+        #: or None while the attempt might still deliver.
+        self.fate: Optional[str] = None
+
+
+class SubRequest:
+    """One shard's slice of a scatter-gather request."""
+
+    __slots__ = ("request", "shard", "replicas", "attempts", "next_replica",
+                 "satisfied", "failed", "winner", "dispatched_s", "hedged",
+                 "timed_out", "pending_dispatch")
+
+    def __init__(self, request, shard, replicas):
+        self.request = request
+        self.shard = shard
+        self.replicas = replicas
+        self.attempts: list[SubAttempt] = []
+        self.next_replica = 0
+        self.satisfied = False
+        self.failed = False
+        self.winner: Optional[SubAttempt] = None
+        self.dispatched_s: Optional[float] = None
+        self.hedged = False
+        self.timed_out = 0
+        self.pending_dispatch = False
+
+
+class ClusterRequest:
+    """One client query, scattered over every shard."""
+
+    __slots__ = ("request_id", "tenant", "client", "job", "arrival_s",
+                 "state", "finish_s", "subreqs", "partials", "pending",
+                 "result")
+
+    def __init__(self, request_id, tenant, client, job, arrival_s):
+        self.request_id = request_id
+        self.tenant = tenant
+        self.client = client
+        self.job = job
+        self.arrival_s = arrival_s
+        self.state: Optional[str] = None
+        self.finish_s: Optional[float] = None
+        self.subreqs: list[SubRequest] = []
+        self.partials: dict[int, tuple] = {}
+        self.pending = 0
+        self.result: Optional[tuple] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+class ClusterCoordinator:
+    """Scatter-gather engine over N nodes (see module docstring)."""
+
+    def __init__(self, config, machine, nodes, network, shard_map, specs,
+                 driver, seed, injector=None, breaker=None):
+        self.config = config
+        self.machine = machine
+        self.nodes = nodes
+        self.network = network
+        self.shard_map = shard_map
+        self.specs = specs
+        self.driver = driver
+        self.seed = seed
+        self.injector = injector
+        self.breaker = breaker
+        self._merge_base = machine.address_space.alloc(
+            4096, label="cluster/merge").base
+        self.requests: list[ClusterRequest] = []
+        #: Waste reason per losing attempt id; winners are absent.
+        self.attempt_outcomes: dict[str, str] = {}
+        #: Completed sub-request latencies (hedge-delay quantile input).
+        self._samples: list[float] = []
+        self._heap: list = []
+        self._seq = 0
+        self.subreqs_sent = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.failovers = 0
+        self.timeouts = 0
+        self.shed_degraded = 0
+        self.events = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _push(self, t: float, kind: str, payload) -> None:
+        heapq.heappush(self._heap, (t, self._seq, kind, payload))
+        self._seq += 1
+
+    def _advance(self, machine, t: float) -> None:
+        """Advance a machine's clock to ``t``, charging the gap as idle
+        (background energy; outside any request span, so it classifies
+        as useful system cost, never as fault waste)."""
+        if t > machine.time_s:
+            machine.idle(t - machine.time_s)
+
+    def _degraded(self, now: float) -> bool:
+        return self.breaker is not None and self.breaker.degraded(now)
+
+    def _terminal(self, request: ClusterRequest, now: float) -> None:
+        nxt = self.driver.on_terminal(request.client, now)
+        if nxt is not None:
+            self._push(nxt[0], "arrival", (request.client, nxt[1]))
+
+    # ------------------------------------------------------------ dispatch
+
+    def _dispatch(self, sub: SubRequest, t: float, hedge: bool) -> None:
+        request = sub.request
+        node = self.nodes[sub.replicas[sub.next_replica % len(sub.replicas)]]
+        sub.next_replica += 1
+        attempt_id = (f"r{request.request_id}.s{sub.shard}"
+                      f".a{len(sub.attempts)}")
+        attempt = SubAttempt(attempt_id, sub, node, hedge, t)
+        sub.attempts.append(attempt)
+        self.subreqs_sent += 1
+        if sub.dispatched_s is None:
+            sub.dispatched_s = t
+        if hedge:
+            sub.hedged = True
+            self.hedges += 1
+        with self.machine.tracer.span(
+            f"{attempt_id}.tx", category=CATEGORY_NET,
+            tenant=request.tenant, request=request.request_id,
+            attempt=attempt_id,
+        ):
+            self.network.charge_tx("coord", REQUEST_BYTES)
+        status, arrival = self.network.send(
+            "coord", node.name, REQUEST_BYTES, t)
+        if status == DELIVERED:
+            self._push(arrival, "node_recv", attempt)
+        else:
+            attempt.fate = status
+        self._push(t + self.config.subreq_timeout_s, "timeout", attempt)
+        if (not hedge and len(sub.attempts) == 1
+                and self.config.hedge_quantile is not None
+                and len(sub.replicas) > 1
+                and len(self._samples) >= self.config.hedge_min_samples):
+            delay = percentile(self._samples,
+                               self.config.hedge_quantile * 100.0)
+            self._push(t + delay, "hedge", sub)
+
+    def _handle_arrival(self, t: float, payload) -> None:
+        client, job = payload
+        request = ClusterRequest(
+            request_id=len(self.requests),
+            tenant=self.driver.tenant_of(client),
+            client=client,
+            job=job,
+            arrival_s=t,
+        )
+        self.requests.append(request)
+        if self._degraded(t) and (
+            client % self.driver.tenants >= self.config.degrade_keep_tenants
+        ):
+            request.state = SHED_DEGRADED
+            request.finish_s = t
+            self.shed_degraded += 1
+            self._terminal(request, t)
+            return
+        for shard in range(self.shard_map.n_shards):
+            request.subreqs.append(SubRequest(
+                request, shard, self.shard_map.replicas(shard)))
+        request.pending = len(request.subreqs)
+        for sub in request.subreqs:
+            self._dispatch(sub, t, hedge=False)
+
+    # ------------------------------------------------------------ node side
+
+    def _handle_node_recv(self, t: float, attempt: SubAttempt) -> None:
+        node = attempt.node
+        sub = attempt.subreq
+        request = sub.request
+        machine = node.machine
+        spec = self.specs[request.job.name]
+        plan = self.injector.plan if self.injector is not None else None
+        # FIFO queueing on the node's own clock; a rebooting node works
+        # the backlog off once it is up again.
+        self._advance(machine, max(t, node.crashed_until))
+        crashed = False
+        slowed = False
+        row = None
+        with machine.tracer.span(
+            attempt.attempt_id, category=CATEGORY_EXEC,
+            tenant=request.tenant, request=request.request_id,
+            attempt=attempt.attempt_id, node=node.name,
+        ):
+            self.network.charge_rx(node.name, REQUEST_BYTES)
+            if self.injector is not None:
+                crashed = self.injector.node_crash()
+                if not crashed:
+                    slowed = self.injector.node_slow()
+            started_s = machine.time_s
+            if crashed:
+                # The node dies a seeded fraction of the way through the
+                # shard scan: that partial work is charged, then lost.
+                nrows = self.shard_map.rows[spec.table][sub.shard]
+                frac = seeded_rng(
+                    derive_seed(self.seed, "cluster", "crash-frac",
+                                attempt.attempt_id),
+                    "crash fraction",
+                ).random()
+                k = max(1, int(nrows * (0.1 + 0.8 * frac)))
+                partial_plan = Aggregate(
+                    Limit(shard_scan(spec.table, sub.shard), k),
+                    (), spec.aggs)
+                for _ in node.db.execute_iter(partial_plan, slot=0):
+                    pass
+            else:
+                rows = list(node.db.execute_iter(
+                    spec.shard_plans[sub.shard], slot=0))
+                row = rows[0]
+                if slowed:
+                    # Straggler: the node holds the finished result for
+                    # (factor - 1) x the execution time.  Stall, not
+                    # compute: it wastes tail latency, near-zero joules.
+                    node.slowdowns += 1
+                    stall = ((plan.node_slow_factor - 1.0)
+                             * (machine.time_s - started_s))
+                    with machine.tracer.span(
+                        f"{attempt.attempt_id}.straggle",
+                        category=CATEGORY_FAULT, wasted="node_slow",
+                    ):
+                        machine.idle(stall)
+        if crashed:
+            attempt.fate = "node_crash"
+            node.crashes += 1
+            node.crashed_until = (machine.time_s
+                                  + plan.node_crash_restart_s)
+            # Reboot cold: buffer pool, pagers, and CPU caches all gone.
+            node.db.clear_caches()
+            machine.hierarchy.flush()
+            return
+        node.subreqs_served += 1
+        resp_bytes = RESPONSE_HEADER_BYTES + VALUE_BYTES * len(spec.aggs)
+        with machine.tracer.span(
+            f"{attempt.attempt_id}.tx", category=CATEGORY_NET,
+            tenant=request.tenant, request=request.request_id,
+            attempt=attempt.attempt_id,
+        ):
+            self.network.charge_tx(node.name, resp_bytes)
+        status, arrival = self.network.send(
+            node.name, "coord", resp_bytes, machine.time_s)
+        if status == DELIVERED:
+            self._push(arrival, "coord_recv", (attempt, row))
+        else:
+            attempt.fate = status
+
+    # ------------------------------------------------------------ gather
+
+    def _loser_reason(self, attempt: SubAttempt, sub: SubRequest) -> str:
+        if attempt.fate is not None:
+            return attempt.fate
+        if sub.failed:
+            return "timeout"
+        if attempt.hedge:
+            return "hedge_loser"
+        if sub.winner is not None and sub.winner.hedge:
+            return "hedge_loser"
+        return "failover_reexec"
+
+    def _handle_coord_recv(self, t: float, payload) -> None:
+        attempt, row = payload
+        sub = attempt.subreq
+        request = sub.request
+        spec = self.specs[request.job.name]
+        resp_bytes = RESPONSE_HEADER_BYTES + VALUE_BYTES * len(spec.aggs)
+        self._advance(self.machine, t)
+        with self.machine.tracer.span(
+            f"{attempt.attempt_id}.rx", category=CATEGORY_NET,
+            tenant=request.tenant, request=request.request_id,
+            attempt=attempt.attempt_id,
+        ):
+            self.network.charge_rx("coord", resp_bytes)
+        if sub.satisfied or sub.failed:
+            # A loser landed: hedge/failover duplicate, or a shard the
+            # coordinator already gave up on.
+            self.attempt_outcomes.setdefault(
+                attempt.attempt_id, self._loser_reason(attempt, sub))
+            return
+        sub.satisfied = True
+        sub.winner = attempt
+        # The timeout handler may have provisionally judged this attempt
+        # before its (late) response won the shard after all.
+        self.attempt_outcomes.pop(attempt.attempt_id, None)
+        if attempt.hedge:
+            self.hedge_wins += 1
+        self._samples.append(t - sub.dispatched_s)
+        if self.breaker is not None:
+            self.breaker.record(True, t)
+        request.partials[sub.shard] = row
+        request.pending -= 1
+        if request.pending == 0:
+            self._finalize(request, t)
+
+    def _finalize(self, request: ClusterRequest, t: float) -> None:
+        spec = self.specs[request.job.name]
+        missing = len(request.subreqs) - len(request.partials)
+        if missing == 0 or (request.partials and self.config.allow_partial):
+            self._advance(self.machine, t)
+            with self.machine.tracer.span(
+                f"r{request.request_id}.merge", category=CATEGORY_MERGE,
+                tenant=request.tenant, request=request.request_id,
+            ):
+                partial_rows = [request.partials[shard]
+                                for shard in sorted(request.partials)]
+                ops = len(partial_rows) * len(spec.aggs)
+                self.machine.hot_loads(self._merge_base, ops)
+                self.machine.add(ops)
+                request.result = merge_partials(spec.aggs, partial_rows)
+            request.state = COMPLETED if missing == 0 else DEGRADED_PARTIAL
+        else:
+            request.state = FAILED
+        request.finish_s = t
+        self._terminal(request, t)
+
+    # ------------------------------------------------------------ timeouts
+
+    def _handle_timeout(self, t: float, attempt: SubAttempt) -> None:
+        sub = attempt.subreq
+        request = sub.request
+        if sub.satisfied or sub.failed:
+            # Shard already resolved; this attempt lost unless it won.
+            if attempt is not sub.winner:
+                self.attempt_outcomes.setdefault(
+                    attempt.attempt_id, self._loser_reason(attempt, sub))
+            return
+        sub.timed_out += 1
+        self.timeouts += 1
+        if self.breaker is not None:
+            self.breaker.record(False, t)
+        # Provisional judgement; coord_recv retracts it if a late
+        # response from this very attempt ends up winning the shard.
+        self.attempt_outcomes.setdefault(
+            attempt.attempt_id, attempt.fate or "timeout")
+        if len(sub.attempts) < self.config.failover_attempts:
+            self.failovers += 1
+            sub.pending_dispatch = True
+            self._push(t + self.config.failover_backoff_s, "dispatch", sub)
+            return
+        if sub.timed_out >= len(sub.attempts) and not sub.pending_dispatch:
+            # Every launched attempt timed out and no more are allowed:
+            # the shard is unreachable.
+            sub.failed = True
+            request.pending -= 1
+            if request.pending == 0:
+                self._finalize(request, t)
+
+    def _handle_dispatch(self, t: float, sub: SubRequest) -> None:
+        sub.pending_dispatch = False
+        if sub.satisfied or sub.failed:
+            return
+        self._dispatch(sub, t, hedge=False)
+
+    def _handle_hedge(self, t: float, sub: SubRequest) -> None:
+        if sub.satisfied or sub.failed or len(sub.attempts) > 1:
+            return
+        self._dispatch(sub, t, hedge=True)
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self) -> list[ClusterRequest]:
+        entries = self.driver.initial_arrival_entries()
+        self._heap = [(t, seq, "arrival", (client, job))
+                      for t, seq, client, job in entries]
+        heapq.heapify(self._heap)
+        self._seq = len(entries)
+        handlers = {
+            "arrival": self._handle_arrival,
+            "node_recv": self._handle_node_recv,
+            "coord_recv": self._handle_coord_recv,
+            "timeout": self._handle_timeout,
+            "dispatch": self._handle_dispatch,
+            "hedge": self._handle_hedge,
+        }
+        while self._heap:
+            t, _seq, kind, payload = heapq.heappop(self._heap)
+            handler = handlers.get(kind)
+            if handler is None:
+                raise ClusterError(f"unknown cluster event kind {kind!r}")
+            handler(t, payload)
+            self.events += 1
+        self.machine.settle()
+        for node in self.nodes:
+            node.machine.settle()
+        return self.requests

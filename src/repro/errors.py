@@ -65,6 +65,19 @@ class FaultError(ReproError):
     run can never see one."""
 
 
+class FaultConfigError(ConfigError, FaultError):
+    """A fault plan or injection site was misconfigured: an unknown
+    site name, or a probability outside ``[0, 1]``.  Subclasses both
+    :class:`ConfigError` (it is a configuration problem, caught at
+    construction) and :class:`FaultError` (it belongs to the fault
+    layer), so either family of handler sees it."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster was misused at runtime (an event for an
+    unknown node, a response for a request that never dispatched, ...)."""
+
+
 class TransientDiskError(FaultError):
     """A simulated disk read failed transiently.  The failed attempt
     still cost real device time, carried in :attr:`elapsed_s` so the

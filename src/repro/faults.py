@@ -26,6 +26,15 @@ Sites and the components that consult them:
                           governor refuses to change P-state for N epochs
 ``request.error``         :class:`~repro.serve.loop.QueryServer` — a query
                           attempt aborts mid-quantum
+``node.crash``            :class:`~repro.cluster.coordinator.ClusterCoordinator`
+                          — a node dies mid-sub-query; partial work is lost
+                          and the node restarts cold after a fixed outage
+``node.slow``             coordinator — a node executes one sub-query at a
+                          fraction of its speed (straggler)
+``net.partition``         :class:`~repro.cluster.network.NetworkModel` — a
+                          link goes down for a fixed episode; messages sent
+                          while it is down are lost
+``net.drop``              network — one message is silently dropped
 ========================  ====================================================
 
 Everything is pay-as-you-go: a site whose probability is zero draws
@@ -39,7 +48,7 @@ import random
 from dataclasses import dataclass, fields
 from typing import Optional
 
-from repro.errors import ConfigError
+from repro.errors import FaultConfigError
 from repro.obs.metrics import MetricsRegistry
 from repro.seeding import derive_seed
 
@@ -51,7 +60,13 @@ FAULT_SITES = (
     "core.stall",
     "dvfs.stuck",
     "request.error",
+    "node.crash",
+    "node.slow",
+    "net.partition",
+    "net.drop",
 )
+
+_FAULT_SITE_SET = frozenset(FAULT_SITES)
 
 
 @dataclass(frozen=True)
@@ -85,27 +100,54 @@ class FaultPlan:
     dvfs_stuck_epochs: int = 50
     #: Request-level execution faults (one draw per quantum).
     request_error_p: float = 0.0
+    #: Node crashes (cluster runs): a node dies mid-sub-query, loses its
+    #: partial work, and comes back cold after ``node_crash_restart_s``.
+    node_crash_p: float = 0.0
+    node_crash_restart_s: float = 0.05
+    #: Node stragglers: one sub-query runs ``node_slow_factor`` times
+    #: slower (the extra time is stall, charged as idle).
+    node_slow_p: float = 0.0
+    node_slow_factor: float = 8.0
+    #: Network partitions: the link carrying the message goes down for
+    #: ``net_partition_s`` of simulated time; messages in that window
+    #: are lost without further draws (one episode, one draw).
+    net_partition_p: float = 0.0
+    net_partition_s: float = 0.02
+    #: Silent single-message drops.
+    net_drop_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Reject garbage at construction: a plan that exists is valid.
+        self.validate()
 
     def validate(self) -> "FaultPlan":
         for field in fields(self):
             value = getattr(self, field.name)
             if field.name.endswith("_p") and not 0.0 <= value <= 1.0:
-                raise ConfigError(
+                raise FaultConfigError(
                     f"{field.name} must be a probability in [0, 1], "
                     f"got {value}"
                 )
         if self.disk_error_max_retries < 0:
-            raise ConfigError("disk_error_max_retries must be >= 0")
+            raise FaultConfigError("disk_error_max_retries must be >= 0")
         if self.disk_slow_factor < 1.0:
-            raise ConfigError(
+            raise FaultConfigError(
                 f"disk_slow_factor must be >= 1, got {self.disk_slow_factor}"
             )
         if self.page_repair_max < 1:
-            raise ConfigError("page_repair_max must be >= 1")
+            raise FaultConfigError("page_repair_max must be >= 1")
         if self.core_stall_s < 0:
-            raise ConfigError("core_stall_s must be >= 0")
+            raise FaultConfigError("core_stall_s must be >= 0")
         if self.dvfs_stuck_epochs < 1:
-            raise ConfigError("dvfs_stuck_epochs must be >= 1")
+            raise FaultConfigError("dvfs_stuck_epochs must be >= 1")
+        if self.node_crash_restart_s < 0:
+            raise FaultConfigError("node_crash_restart_s must be >= 0")
+        if self.node_slow_factor < 1.0:
+            raise FaultConfigError(
+                f"node_slow_factor must be >= 1, got {self.node_slow_factor}"
+            )
+        if self.net_partition_s < 0:
+            raise FaultConfigError("net_partition_s must be >= 0")
         return self
 
     @property
@@ -156,6 +198,11 @@ class FaultInjector:
         Zero-probability sites return False without drawing, so an
         all-zero plan consumes no randomness at all.
         """
+        if site not in _FAULT_SITE_SET:
+            raise FaultConfigError(
+                f"unknown fault site {site!r}; known sites: "
+                + ", ".join(FAULT_SITES)
+            )
         if probability <= 0.0:
             return False
         if self._rng(site).random() >= probability:
@@ -186,6 +233,18 @@ class FaultInjector:
 
     def request_error(self) -> bool:
         return self.fire("request.error", self.plan.request_error_p)
+
+    def node_crash(self) -> bool:
+        return self.fire("node.crash", self.plan.node_crash_p)
+
+    def node_slow(self) -> bool:
+        return self.fire("node.slow", self.plan.node_slow_p)
+
+    def net_partition(self) -> bool:
+        return self.fire("net.partition", self.plan.net_partition_p)
+
+    def net_drop(self) -> bool:
+        return self.fire("net.drop", self.plan.net_drop_p)
 
     # ------------------------------------------------------------ reporting
 

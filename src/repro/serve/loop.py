@@ -447,6 +447,15 @@ class QueryServer:
         request.failures += 1
         now = core.clock_s
         self.machine.metrics.counter("serve.attempt_failures").inc()
+        try:
+            request.check_deadline(now)
+        except DeadlineExceeded:
+            # The attempt failed *and* the deadline has already passed:
+            # that is a deadline miss, not a retry candidate.  Admitting
+            # it would burn global retry budget (and double-count the
+            # breaker failure) on work the client has abandoned.
+            self._mark_deadline_exceeded(request, now)
+            return
         if self.breaker is not None:
             self.breaker.record(False, now)
         if self.retry is not None and self.retry.admit_retry(request):

@@ -113,11 +113,16 @@ class CircuitBreaker:
 
         Tripping requires a *full* window (a single early failure is not
         a trend) and clears it, so the breaker re-opens only on fresh
-        evidence gathered after the cooloff.
+        evidence gathered after the cooloff.  Outcomes observed *while*
+        the breaker is open are dropped entirely — recording them would
+        let cooloff-era failures linger in the window and re-trip the
+        breaker on the first post-cooloff success.
         """
+        if self.open_until is not None:
+            if now < self.open_until:
+                return
+            self.open_until = None
         self.outcomes.append(ok)
-        if self.open_until is not None and now < self.open_until:
-            return
         if len(self.outcomes) < self.window:
             return
         failures = sum(1 for outcome in self.outcomes if not outcome)

@@ -1,0 +1,149 @@
+"""Simulated cluster interconnect: latency, bandwidth, NIC energy.
+
+One :class:`NetworkModel` connects every machine in a simulated
+cluster.  Three concerns, all deterministic:
+
+* **Latency** — each link gets a static propagation latency drawn once
+  at construction from a seeded RNG (base latency jittered ±20%), so
+  the same root seed always builds the same network.  A message's wire
+  delay is that latency plus a serialisation term ``bytes / bandwidth``.
+* **NIC energy** — a message is a DMA copy: the sender charges
+  ``load_bytes`` of the payload out of a dedicated per-machine tx
+  buffer and the receiver charges ``store_bytes`` into its rx buffer,
+  so per-byte NIC joules are priced by the same calibrated dE tables
+  as every other micro-op (§2.6 of the paper, applied to the wire).
+  ``payload_factor`` scales the charged bytes; 0 models a free NIC
+  (used by the single-node-equivalence tests).
+* **Faults** — two seeded sites from :mod:`repro.faults`:
+  ``net.partition`` takes the message's link down for a fixed episode
+  (messages sent while it is down are lost *without* further draws, so
+  one partition is one draw), and ``net.drop`` silently loses single
+  messages.  Lost messages still burn sender-side NIC energy — that is
+  the point: the joules are spent whether or not the bytes arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.seeding import derive_seed, seeded_rng
+
+#: Per-machine DMA staging buffer (bytes); charged transfers are capped
+#: at this size so the walk never leaves the buffer region.
+NIC_BUFFER_BYTES = 4096
+
+#: ``send`` outcome markers (also the wasted-energy reason labels).
+DELIVERED = "delivered"
+LOST_DROP = "net_drop"
+LOST_PARTITION = "net_partition"
+
+
+class NetworkModel:
+    """Deterministic point-to-point network over named machines."""
+
+    def __init__(self, machines: dict, seed: int, *,
+                 base_latency_s: float = 2e-4,
+                 bytes_per_s: float = 1.25e8,
+                 payload_factor: float = 1.0,
+                 injector=None):
+        self.machines = dict(machines)
+        self.bytes_per_s = bytes_per_s
+        self.payload_factor = payload_factor
+        self.injector = injector
+        # Static per-link latencies, drawn once in sorted-name order so
+        # construction consumes the same randomness in every process.
+        rng = seeded_rng(derive_seed(seed, "cluster", "net", "latency"),
+                        "network latency")
+        names = sorted(self.machines)
+        self._latency: dict[tuple, float] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self._latency[(a, b)] = (
+                    base_latency_s * (0.8 + 0.4 * rng.random())
+                )
+        self._bufs: dict[tuple, int] = {}
+        #: Links currently partitioned: link -> episode end (sim time).
+        self._down_until: dict[tuple, float] = {}
+        self.messages = 0
+        self.bytes_sent = 0
+        self.dropped = 0
+        self.partitioned = 0
+        self.partition_episodes = 0
+
+    # ------------------------------------------------------------ topology
+
+    @staticmethod
+    def _link(src: str, dst: str) -> tuple:
+        return (src, dst) if src <= dst else (dst, src)
+
+    def latency_s(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        return self._latency[self._link(src, dst)]
+
+    def delay_s(self, src: str, dst: str, nbytes: int) -> float:
+        return self.latency_s(src, dst) + nbytes / self.bytes_per_s
+
+    def link_latencies(self) -> dict:
+        """JSON-ready per-link latency map (report material)."""
+        return {f"{a}-{b}": s for (a, b), s in sorted(self._latency.items())}
+
+    # ------------------------------------------------------------ NIC energy
+
+    def _buf(self, name: str, direction: str) -> int:
+        addr = self._bufs.get((name, direction))
+        if addr is None:
+            region = self.machines[name].address_space.alloc(
+                NIC_BUFFER_BYTES, label=f"net/{name}/{direction}")
+            addr = region.base
+            self._bufs[(name, direction)] = addr
+        return addr
+
+    def _charged(self, nbytes: int) -> int:
+        return min(int(nbytes * self.payload_factor), NIC_BUFFER_BYTES)
+
+    def charge_tx(self, name: str, nbytes: int) -> None:
+        """Sender-side DMA read of the payload (charged micro-ops)."""
+        charged = self._charged(nbytes)
+        if charged > 0:
+            self.machines[name].load_bytes(self._buf(name, "tx"), charged)
+
+    def charge_rx(self, name: str, nbytes: int) -> None:
+        """Receiver-side DMA write of the payload (charged micro-ops)."""
+        charged = self._charged(nbytes)
+        if charged > 0:
+            self.machines[name].store_bytes(self._buf(name, "rx"), charged)
+
+    # ------------------------------------------------------------ transport
+
+    def send(self, src: str, dst: str, nbytes: int,
+             now: float) -> tuple[str, Optional[float]]:
+        """Route one message; returns ``(status, arrival_s)``.
+
+        ``status`` is :data:`DELIVERED` (arrival time set),
+        :data:`LOST_PARTITION` or :data:`LOST_DROP` (arrival None).
+        The caller charges tx/rx energy itself so the joules land
+        inside the right tracer span.
+        """
+        self.messages += 1
+        self.bytes_sent += nbytes
+        link = self._link(src, dst)
+        down_until = self._down_until.get(link)
+        if down_until is not None:
+            if now < down_until:
+                # Ongoing episode: lost, no draw consumed.
+                self.partitioned += 1
+                return LOST_PARTITION, None
+            del self._down_until[link]
+        if self.injector is not None:
+            if self.injector.net_partition():
+                self._down_until[link] = (
+                    now + self.injector.plan.net_partition_s
+                )
+                self.partition_episodes += 1
+                self.partitioned += 1
+                return LOST_PARTITION, None
+            if self.injector.net_drop():
+                self.dropped += 1
+                return LOST_DROP, None
+        return DELIVERED, now + self.delay_s(src, dst, nbytes)

@@ -1,0 +1,114 @@
+"""NetworkModel unit tests: latency determinism, NIC energy, faults."""
+
+import pytest
+
+from repro import Machine, intel_i7_4790
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.network import (
+    DELIVERED,
+    LOST_DROP,
+    LOST_PARTITION,
+    NIC_BUFFER_BYTES,
+    NetworkModel,
+)
+
+
+def machines(n=2):
+    return {f"m{i}": Machine(intel_i7_4790(scale=4), seed=7 + i)
+            for i in range(n)}
+
+
+class TestLatency:
+    def test_link_latencies_deterministic_across_builds(self):
+        a = NetworkModel(machines(3), seed=42)
+        b = NetworkModel(machines(3), seed=42)
+        assert a.link_latencies() == b.link_latencies()
+
+    def test_seed_changes_latencies(self):
+        a = NetworkModel(machines(3), seed=42)
+        b = NetworkModel(machines(3), seed=43)
+        assert a.link_latencies() != b.link_latencies()
+
+    def test_latency_symmetric_and_jittered(self):
+        net = NetworkModel(machines(3), seed=1, base_latency_s=1e-3)
+        assert net.latency_s("m0", "m1") == net.latency_s("m1", "m0")
+        for latency in net.link_latencies().values():
+            assert 0.8e-3 <= latency <= 1.2e-3
+
+    def test_delay_adds_serialisation_term(self):
+        net = NetworkModel(machines(), seed=1, bytes_per_s=1e6)
+        base = net.latency_s("m0", "m1")
+        assert net.delay_s("m0", "m1", 1000) == base + 1e-3
+
+    def test_self_latency_is_zero(self):
+        net = NetworkModel(machines(), seed=1)
+        assert net.latency_s("m0", "m0") == 0.0
+
+
+class TestNicEnergy:
+    def test_tx_rx_charge_busy_time(self):
+        ms = machines()
+        net = NetworkModel(ms, seed=1)
+        net.charge_tx("m0", 1024)
+        net.charge_rx("m1", 1024)
+        for m in ms.values():
+            m.settle()
+        assert ms["m0"].busy_s > 0
+        assert ms["m1"].busy_s > 0
+
+    def test_charge_capped_at_buffer(self):
+        ms = machines()
+        net = NetworkModel(ms, seed=1)
+        # A 1 GB "message" must not walk past the staging buffer.
+        net.charge_tx("m0", 10**9)
+        assert net._charged(10**9) == NIC_BUFFER_BYTES
+
+    def test_zero_payload_factor_charges_nothing(self):
+        ms = machines()
+        net = NetworkModel(ms, seed=1, payload_factor=0.0)
+        net.charge_tx("m0", 4096)
+        net.charge_rx("m1", 4096)
+        assert ms["m0"].busy_s == 0.0
+        assert ms["m1"].busy_s == 0.0
+
+
+class TestTransport:
+    def test_fault_free_send_delivers(self):
+        net = NetworkModel(machines(), seed=1)
+        status, arrival = net.send("m0", "m1", 100, now=1.0)
+        assert status == DELIVERED
+        assert arrival == pytest.approx(1.0 + net.delay_s("m0", "m1", 100))
+        assert net.messages == 1
+        assert net.bytes_sent == 100
+
+    def test_drop_loses_single_messages(self):
+        injector = FaultInjector(FaultPlan(net_drop_p=1.0), seed=5)
+        net = NetworkModel(machines(), seed=1, injector=injector)
+        status, arrival = net.send("m0", "m1", 100, now=0.0)
+        assert status == LOST_DROP
+        assert arrival is None
+        assert net.dropped == 1
+
+    def test_partition_is_an_episode_not_a_redraw(self):
+        plan = FaultPlan(net_partition_p=1.0, net_partition_s=0.5)
+        injector = FaultInjector(plan, seed=5)
+        net = NetworkModel(machines(), seed=1, injector=injector)
+        status, _ = net.send("m0", "m1", 10, now=0.0)
+        assert status == LOST_PARTITION
+        assert net.partition_episodes == 1
+        # While the link is down, messages die without new draws.
+        status, _ = net.send("m1", "m0", 10, now=0.25)
+        assert status == LOST_PARTITION
+        assert net.partition_episodes == 1
+        assert injector.counts()["net.partition"] == 1
+        assert net.partitioned == 2
+
+    def test_partition_heals_after_episode(self):
+        plan = FaultPlan(net_partition_p=1.0, net_partition_s=0.1)
+        injector = FaultInjector(plan, seed=5)
+        net = NetworkModel(machines(), seed=1, injector=injector)
+        net.send("m0", "m1", 10, now=0.0)
+        # Past the episode end the link redraws (p=1.0: a new episode).
+        status, _ = net.send("m0", "m1", 10, now=0.2)
+        assert status == LOST_PARTITION
+        assert net.partition_episodes == 2

@@ -113,6 +113,32 @@ class TestCircuitBreaker:
         with pytest.raises(ConfigError):
             CircuitBreaker(0.5, cooloff_s=0.0)
 
+    def test_half_open_recovery_after_window_clears(self):
+        """Regression: outcomes observed while the breaker is open must
+        be dropped, not windowed.  Before the fix, failures recorded
+        during the cooloff lingered in the sliding window and re-tripped
+        the breaker on the very first post-cooloff *success*, so the
+        server never actually left degraded mode under sustained load.
+        """
+        breaker = CircuitBreaker(0.5, window=2, cooloff_s=0.1)
+        breaker.record(False, 0.0)
+        breaker.record(False, 0.0)
+        assert breaker.trips == 1
+        assert breaker.degraded(0.05)
+        # In-flight attempts keep failing during the cooloff...
+        breaker.record(False, 0.05)
+        breaker.record(False, 0.06)
+        # ...but the first post-cooloff outcome is a success: the breaker
+        # must close and judge only fresh evidence.
+        breaker.record(True, 0.2)
+        assert breaker.trips == 1
+        assert not breaker.degraded(0.2)
+        assert list(breaker.outcomes) == [True]
+        # A healthy full window keeps it closed for good.
+        breaker.record(True, 0.21)
+        assert breaker.trips == 1
+        assert not breaker.degraded(0.3)
+
 
 class TestPlainRunUnchanged:
     """A config with no resilience switched on must not change shape."""
@@ -270,3 +296,58 @@ class TestChaosServing:
             report["counts"]["issued"]
         assert counters.get("serve.retries", 0) == \
             report["resilience"]["retries_spent"]
+
+
+class TestDeadlineRetryInterplay:
+    """Satellite: retry-budget exhaustion under ``request.error`` with a
+    deadline in play.  An attempt that fails *past* the deadline is a
+    deadline miss — it must classify as DEADLINE_EXCEEDED, never burn
+    retry budget, and never be re-queued."""
+
+    def config(self, **overrides):
+        base = dict(workload="basic", clients=2, queries=6, tenants=2,
+                    cores=2, mpl=2, quantum_rows=8, seed=42, tier="10MB",
+                    mode="closed", retry_jitter=0.0,
+                    faults=FaultPlan(request_error_p=1.0))
+        base.update(overrides)
+        return ServeConfig(**base)
+
+    def test_failed_attempt_past_deadline_is_deadline_exceeded(self):
+        # Every attempt fails, and by the time the first failure lands
+        # the (tiny) deadline has always passed: no request may classify
+        # as FAILED, and the generous retry budget must stay untouched.
+        report = run_serve(self.config(
+            retries=4, retry_budget=64, deadline_s=1e-9))
+        counts = report["counts"]
+        assert counts["deadline_exceeded"] == counts["issued"]
+        assert counts["failed"] == 0
+        assert counts["completed"] == 0
+        assert report["resilience"]["retries_spent"] == 0
+
+    def test_budget_exhausted_at_deadline_boundary(self):
+        # Budget already exhausted (0) when the deadline passes: the
+        # deadline classification must win over budget-exhaustion
+        # (DEADLINE_EXCEEDED, not FAILED).
+        report = run_serve(self.config(
+            retries=4, retry_budget=0, deadline_s=1e-9))
+        counts = report["counts"]
+        assert counts["deadline_exceeded"] == counts["issued"]
+        assert counts["failed"] == 0
+
+    def test_budget_exhaustion_without_deadline_is_failed(self):
+        # Contrast: same failing load, no deadline — budget exhaustion
+        # classifies as FAILED and spends exactly the budget.
+        report = run_serve(self.config(retries=4, retry_budget=3))
+        counts = report["counts"]
+        assert counts["failed"] == counts["issued"]
+        assert counts["deadline_exceeded"] == 0
+        assert report["resilience"]["retries_spent"] == 3
+
+    def test_wasted_energy_reason_is_deadline(self):
+        report = run_serve(self.config(
+            retries=4, retry_budget=64, deadline_s=1e-9))
+        energy = report["energy"]
+        assert energy["useful_energy_j"] + energy["wasted_energy_j"] \
+            == energy["active_energy_j"]
+        assert "deadline_exceeded" in energy["wasted_by_reason_j"]
+        assert "failed" not in energy["wasted_by_reason_j"]

@@ -80,6 +80,15 @@ def _cli_report(**kw):
         "requests_per_s": 3800.0,
         "quanta_per_s": 3800.0,
     }
+    report["cluster"] = {
+        "cells": {
+            "n2_f0": {"energy_per_query_j": 5e-4, "p99_s": 0.01,
+                      "conservation_ok": True},
+            "n2_f0.05": {"energy_per_query_j": 6e-4, "p99_s": 0.05,
+                         "conservation_ok": True},
+        },
+        "reports_identical": True,
+    }
     return report
 
 
@@ -117,6 +126,54 @@ class TestServeGates:
         del current["serve_scale"]
         failures = check_regression(current, _cli_report())
         assert any("serve_scale" in f and "missing" in f for f in failures)
+
+
+class TestClusterGate:
+    def test_identical_reports_pass(self):
+        base = _cli_report()
+        assert check_regression(copy.deepcopy(base), base) == []
+
+    def test_energy_per_query_regression_fails(self):
+        current = _cli_report()
+        current["cluster"]["cells"]["n2_f0.05"]["energy_per_query_j"] = 9e-4
+        failures = check_regression(current, _cli_report())
+        assert any("cluster.n2_f0.05" in f and "energy_per_query_j" in f
+                   for f in failures)
+
+    def test_p99_regression_fails(self):
+        current = _cli_report()
+        current["cluster"]["cells"]["n2_f0"]["p99_s"] = 0.1
+        failures = check_regression(current, _cli_report())
+        assert any("cluster.n2_f0" in f and "p99_s" in f for f in failures)
+
+    def test_broken_conservation_fails(self):
+        current = _cli_report()
+        current["cluster"]["cells"]["n2_f0"]["conservation_ok"] = False
+        failures = check_regression(current, _cli_report())
+        assert any("conservation" in f for f in failures)
+
+    def test_cross_mode_drift_fails(self):
+        current = _cli_report()
+        current["cluster"]["reports_identical"] = False
+        failures = check_regression(current, _cli_report())
+        assert any("cluster: reports_identical" in f for f in failures)
+
+    def test_missing_cell_fails(self):
+        current = _cli_report()
+        del current["cluster"]["cells"]["n2_f0.05"]
+        failures = check_regression(current, _cli_report())
+        assert any("missing" in f and "n2_f0.05" in f for f in failures)
+
+    def test_missing_section_fails(self):
+        current = _cli_report()
+        del current["cluster"]
+        failures = check_regression(current, _cli_report())
+        assert any("cluster: section missing" in f for f in failures)
+
+    def test_improvement_passes(self):
+        current = _cli_report()
+        current["cluster"]["cells"]["n2_f0"]["energy_per_query_j"] = 1e-4
+        assert check_regression(current, _cli_report()) == []
 
 
 class TestBenchCli:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultConfigError, FaultError
 from repro.faults import FAULT_SITES, FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry
 
@@ -37,7 +37,31 @@ class TestFaultPlan:
         d = FaultPlan().as_dict()
         assert d["disk_error_p"] == 0.0
         assert d["disk_slow_factor"] == 20.0
-        assert len(d) == 11
+        assert d["node_crash_p"] == 0.0
+        assert d["net_partition_s"] == 0.02
+        assert len(d) == 18
+
+    def test_bad_probability_rejected_at_construction(self):
+        """Satellite: garbage is rejected when the plan is *built*, with
+        a FaultError (not a silent draw later)."""
+        with pytest.raises(FaultError):
+            FaultPlan(disk_error_p=1.5)
+        with pytest.raises(FaultError):
+            FaultPlan(net_drop_p=-0.01)
+        with pytest.raises(FaultError):
+            FaultPlan(node_crash_p=2.0)
+        # The same error is also a ConfigError, so existing handlers
+        # at the config boundary still catch it.
+        with pytest.raises(ConfigError):
+            FaultPlan(node_slow_factor=0.1)
+
+    def test_cluster_shape_fields_validated(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan(node_crash_restart_s=-1.0)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(node_slow_factor=0.9)
+        with pytest.raises(FaultConfigError):
+            FaultPlan(net_partition_s=-0.5)
 
 
 class TestFaultInjector:
@@ -101,7 +125,29 @@ class TestFaultInjector:
             "core.stall": injector.core_stall,
             "dvfs.stuck": injector.dvfs_stuck,
             "request.error": injector.request_error,
+            "node.crash": injector.node_crash,
+            "node.slow": injector.node_slow,
+            "net.partition": injector.net_partition,
+            "net.drop": injector.net_drop,
         }
         assert set(methods) == set(FAULT_SITES)
         for method in methods.values():
             assert method() is False  # all-zero plan
+
+    def test_unknown_site_rejected(self):
+        """Satellite: a typo'd site name is a loud FaultError, never a
+        silent draw from a fresh stream."""
+        injector = FaultInjector(FaultPlan(), seed=0)
+        with pytest.raises(FaultError):
+            injector.fire("disk.eror", 0.5)
+        with pytest.raises(FaultConfigError):
+            injector.fire("node.crashh", 0.0)
+        assert injector._rngs == {}
+
+    def test_cluster_sites_draw_and_count(self):
+        injector = FaultInjector(FaultPlan(node_crash_p=1.0,
+                                           net_drop_p=1.0), seed=9)
+        assert injector.node_crash()
+        assert injector.net_drop()
+        assert not injector.net_partition()  # zero-prob site
+        assert injector.counts() == {"net.drop": 1, "node.crash": 1}
