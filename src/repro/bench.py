@@ -40,8 +40,15 @@ from repro.sim.machine import Machine
 #: added the closed-loop ``serve_scale`` section.  v5 added the
 #: ``cluster`` section (J/query and p99 across node counts and fault
 #: rates, with the cluster-wide energy-conservation and cross-mode
-#: identity gates).
-SCHEMA_VERSION = 5
+#: identity gates).  v6 extended ``serve.tpch`` with the cross-mode and
+#: run_rows-vs-next report-identity flags and gated the section (ratio
+#: vs baseline plus the absolute :data:`SERVE_TPCH_MIN_SPEEDUP` floor).
+SCHEMA_VERSION = 6
+
+#: Absolute floor for the ``serve.tpch`` batched/reference speedup: the
+#: batched-session path must never regress below the seed revision's
+#: measured 1.22x, whatever the baseline file says.
+SERVE_TPCH_MIN_SPEEDUP = 1.22
 
 #: Default output file, at the repository root by convention.
 DEFAULT_OUT = "BENCH_simperf.json"
@@ -172,26 +179,50 @@ def _tpch_seconds(tier: str, queries: tuple) -> dict:
 
 
 def _serve_rps(queries: int) -> dict:
+    from repro.db.engine import SessionRows
     from repro.serve import ServeConfig, run_serve
 
-    out: dict = {}
-    for mode in ("reference", "batched"):
+    def run(mode: str) -> tuple[dict, float]:
         config = ServeConfig(
             tier="10MB", queries=queries, clients=4, seed=7,
             exec_mode=mode,
         )
         t0 = time.perf_counter()
         report = run_serve(config)
-        elapsed = time.perf_counter() - t0
+        return report, time.perf_counter() - t0
+
+    out: dict = {}
+    canonical: dict = {}
+    for mode in ("reference", "batched"):
+        report, elapsed = run(mode)
         completed = report["counts"]["completed"]
         out[mode] = {
             "completed": completed,
             "wall_s": round(elapsed, 3),
             "requests_per_s": round(completed / elapsed, 2),
         }
+        report.pop("config", None)
+        canonical[mode] = json.dumps(report, sort_keys=True)
     out["speedup"] = round(
         out["batched"]["requests_per_s"] / out["reference"]["requests_per_s"],
         2,
+    )
+    # The speedup only counts if nothing observable moved: the whole
+    # report (per-tenant joules, latencies, counters) must match across
+    # engines byte for byte once the exec_mode config field is dropped.
+    out["reports_identical"] = canonical["reference"] == canonical["batched"]
+    # ...and across quantum protocols: hiding SessionRows.run_rows
+    # forces the serve loop onto the legacy per-row __next__ quantum,
+    # which must charge the exact same micro-ops.
+    saved = SessionRows.run_rows
+    try:
+        del SessionRows.run_rows
+        report, _ = run("batched")
+    finally:
+        SessionRows.run_rows = saved
+    report.pop("config", None)
+    out["run_rows_vs_next_identical"] = (
+        json.dumps(report, sort_keys=True) == canonical["batched"]
     )
     return out
 
@@ -501,6 +532,29 @@ def check_regression(current: dict, baseline: dict,
                    old_engine.get("speedup"))
     elif baseline.get("serve", {}).get("engine") is not None:
         failures.append("serve.engine: section missing from current report")
+    # serve.tpch: plan-backed SQL serving through batched run_rows
+    # sessions.  Same conventions as serve.engine (ratio vs baseline,
+    # identity absolute), plus an absolute speedup floor: the batched
+    # path must never fall below the seed revision's measured ratio.
+    new_tpch = current.get("serve", {}).get("tpch")
+    old_tpch = baseline.get("serve", {}).get("tpch", {})
+    if new_tpch is not None:
+        if not new_tpch.get("reports_identical", False):
+            failures.append("serve.tpch: reports_identical is not true")
+        if not new_tpch.get("run_rows_vs_next_identical", False):
+            failures.append(
+                "serve.tpch: run_rows_vs_next_identical is not true")
+        gate_ratio("serve.tpch", new_tpch.get("speedup"),
+                   old_tpch.get("speedup"))
+        speedup = new_tpch.get("speedup")
+        if speedup and speedup < SERVE_TPCH_MIN_SPEEDUP:
+            failures.append(
+                f"serve.tpch: speedup {speedup:.2f}x is below the "
+                f"absolute {SERVE_TPCH_MIN_SPEEDUP:.2f}x floor "
+                "(batched-session serving regressed past the seed)"
+            )
+    elif baseline.get("serve", {}).get("tpch") is not None:
+        failures.append("serve.tpch: section missing from current report")
     # TPC-H query wall-clock tracks the host; the mode ratio tracks the
     # code (history: Q1 once dipped to 0.94x when the batched cold-load
     # path built a Python address list per row).

@@ -281,11 +281,10 @@ class ClusterCoordinator:
                 partial_plan = Aggregate(
                     Limit(shard_scan(spec.table, sub.shard), k),
                     (), spec.aggs)
-                for _ in node.db.execute_iter(partial_plan, slot=0):
-                    pass
+                node.db.execute_iter(partial_plan, slot=0).drain()
             else:
-                rows = list(node.db.execute_iter(
-                    spec.shard_plans[sub.shard], slot=0))
+                rows = node.db.execute_iter(
+                    spec.shard_plans[sub.shard], slot=0).fetch_all()
                 row = rows[0]
                 if slowed:
                     # Straggler: the node holds the finished result for

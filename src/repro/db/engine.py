@@ -98,6 +98,72 @@ class ExecSession:
         return self.db._pool.stats_since(self._pool_base)
 
 
+class SessionRows:
+    """A session's row stream speaking the batched-quantum protocol.
+
+    :meth:`Database.execute_iter` returns one of these instead of a
+    bare generator, so every plan-backed consumer — the serve loop's
+    quanta, the cluster coordinator's shard drains — can execute whole
+    batches with one call while per-row ``next()`` keeps working
+    unchanged.
+
+    :meth:`run_rows` advances the plan ``n`` rows inside a single
+    call: the operator tree is *re-entered once* (the plan's operators
+    live as suspended generator frames — scan/filter/project resume
+    mid-loop, aggregate/sort/top-N resume mid-build or mid-drain — so
+    a quantum boundary spills exactly the iterator state those frames
+    hold), and each row crosses only the generator chain, never the
+    caller's per-row dispatch.  The exactness contract is structural:
+    ``run_rows(n)`` *is* ``n`` pulls of the same generator, so it
+    charges precisely the micro-ops ``n`` single-row ``next()`` calls
+    would — byte-identical counters, energy, and cache state by
+    construction, whichever protocol the consumer picks
+    (``tests/serve/test_engine_equivalence.py`` holds it to that).
+    """
+
+    __slots__ = ("session", "_rows")
+
+    def __init__(self, session: ExecSession):
+        self.session = session
+        self._rows = session.rows()
+
+    def __iter__(self) -> "SessionRows":
+        return self
+
+    def __next__(self) -> Row:
+        return next(self._rows)
+
+    def run_rows(self, n: int) -> int:
+        """Produce up to ``n`` rows in one re-entry of the plan;
+        returns how many were produced (fewer than asked = plan
+        exhausted — the serve loop's end-of-stream signal)."""
+        rows = self._rows
+        done = 0
+        try:
+            for _ in range(n):
+                next(rows)
+                done += 1
+        except StopIteration:
+            pass
+        return done
+
+    def fetch_all(self) -> list[Row]:
+        """Materialise every remaining row (bulk consumers: the
+        cluster coordinator's per-shard result collection)."""
+        return list(self._rows)
+
+    def drain(self) -> int:
+        """Run the plan to exhaustion, discarding rows; returns the
+        row count (crashed-attempt accounting wants the charges, not
+        the tuples)."""
+        done = 0
+        while True:
+            got = self.run_rows(1024)
+            done += got
+            if got < 1024:
+                return done
+
+
 class Database:
     """One engine instance over one simulated machine."""
 
@@ -352,9 +418,15 @@ class Database:
         return ExecSession(self, physical, resources[0], resources[1], slot)
 
     def execute_iter(self, query: Union[Logical, PhysicalOp],
-                     slot: int = 0) -> Iterator[Row]:
-        """Stream a query's rows (re-entrant form of :meth:`execute`)."""
-        return self.session(query, slot=slot).rows()
+                     slot: int = 0) -> SessionRows:
+        """Stream a query's rows (re-entrant form of :meth:`execute`).
+
+        The returned :class:`SessionRows` is a plain row iterator that
+        additionally speaks the batched-quantum protocol
+        (``run_rows``), so the serve loop and the cluster coordinator
+        execute plan-backed work in bulk while ad-hoc callers keep
+        iterating row by row."""
+        return SessionRows(self.session(query, slot=slot))
 
     # ------------------------------------------------------------ DML
     #
@@ -373,10 +445,15 @@ class Database:
         machine.branch(profile.state_branch_per_row // 2)
         machine.add(profile.state_add_per_row // 2)
         record = row_bytes + 24  # LSN + table id + checksum
-        if self._wal_cursor + record > self._wal_region.size:
+        # Wrap on the *padded* size: the cursor advances by the aligned
+        # footprint, so checking the raw record length let a record start
+        # at a cursor whose aligned end fell past the region, pushing the
+        # next append (and its store traffic) beyond the WAL arena.
+        padded = (record + 7) // 8 * 8
+        if self._wal_cursor + padded > self._wal_region.size:
             self._wal_cursor = 0
         machine.store_bytes(self._wal_region.base + self._wal_cursor, record)
-        self._wal_cursor += (record + 7) // 8 * 8
+        self._wal_cursor += padded
 
     def insert(self, table_name: str, rows: Sequence[Row]) -> int:
         """Insert rows, maintaining every index; returns the count."""

@@ -116,11 +116,31 @@ class AggOp(PhysicalOp):
         add = machine.add
         cmp_op = machine.cmp
 
+        # Group keys repeat heavily (a handful of groups over thousands
+        # of rows), so the simulated slot address — a recursive
+        # ``stable_hash`` fold — is memoised per distinct key; the
+        # addresses, and therefore every charged micro-op, are
+        # identical to recomputing it each row.  The per-agg ALU
+        # charge is bulked into one ``add`` per row (same totals).
+        slot_addrs: dict = {}
+        kind_fn_pairs = list(zip(kinds, agg_fns))
+        key0 = key_fns[0] if key_fns else None
+        key1 = key_fns[1] if len(key_fns) == 2 else None
+        n_key_fns = len(key_fns)
+
         for row in self.child.traced_rows(ctx):
-            key = tuple(fn(row) for fn in key_fns)
+            if n_key_fns == 1:
+                key = (key0(row),)
+            elif n_key_fns == 2:
+                key = (key0(row), key1(row))
+            else:
+                key = tuple(fn(row) for fn in key_fns)
             mul(1)
             add(1)
-            slot_addr = base + (stable_hash(key) % n_lines) * 64
+            slot_addr = slot_addrs.get(key)
+            if slot_addr is None:
+                slot_addr = base + (stable_hash(key) % n_lines) * 64
+                slot_addrs[key] = slot_addr
             load(slot_addr, dependent=True)
             cmp_op(1)
             state = states.get(key)
@@ -129,10 +149,9 @@ class AggOp(PhysicalOp):
                 states[key] = state
                 machine.store_bytes(slot_addr, _STATE_BYTES)
             state.n_rows += 1
-            for i in range(n_aggs):
-                kind = kinds[i]
-                fn = agg_fns[i]
-                add(1)
+            if n_aggs:
+                add(n_aggs)
+            for i, (kind, fn) in enumerate(kind_fn_pairs):
                 store(slot_addr + 8 * (i % 8))
                 if kind == COUNT:
                     if fn is None:

@@ -48,12 +48,22 @@ class _ModeledHashTable:
         self._cursor = 0
         self._map: dict = {}
         self.n_entries = 0
+        #: key -> bucket byte offset.  ``stable_hash`` is a recursive
+        #: Python fold, far more expensive than the dict probe, and
+        #: join keys repeat heavily (foreign keys), so the offset is
+        #: computed once per distinct key — the addresses (and thus
+        #: every charged micro-op) are identical either way.
+        self._bucket_offs: dict = {}
 
     def _bucket_addr(self, key) -> int:
         machine = self.ctx.machine
         machine.mul(1)
         machine.add(1)
-        return self.buckets_region.base + (stable_hash(key) % self.n_buckets) * 8
+        off = self._bucket_offs.get(key)
+        if off is None:
+            off = (stable_hash(key) % self.n_buckets) * 8
+            self._bucket_offs[key] = off
+        return self.buckets_region.base + off
 
     def insert(self, key, value) -> None:
         machine = self.ctx.machine

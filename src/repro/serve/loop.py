@@ -472,6 +472,7 @@ class QueryServer:
         request = core.run_list.pop(0)
         finished = False
         injector = self.injector
+        rows_before = request.rows
 
         def work() -> None:
             nonlocal finished
@@ -515,6 +516,14 @@ class QueryServer:
             ):
                 self.core_set.run_on(core, work)
         except FaultError:
+            # The killed attempt delivered nothing to the client: roll
+            # back any rows it accrued mid-quantum (faults can surface
+            # from inside the work iterator, between row pulls) so
+            # ``request.rows`` always equals rows actually delivered.
+            # Retries reset the count anyway; this covers attempts that
+            # fail for good or expire, which used to keep the partial
+            # progress of their final, undelivered quantum.
+            request.rows = rows_before
             request.quanta += 1
             self.quanta += 1
             self._attempt_failed(request, core)

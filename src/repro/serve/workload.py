@@ -148,6 +148,39 @@ def _kv_ops(store: LsmStore, flavor: str, rng, n_keys: int) -> Iterator[int]:
         yield op_index
 
 
+class _KvRun:
+    """Batched-quantum adapter over one ``kv`` job's operation stream.
+
+    ``run_rows(n)`` executes up to ``n`` operations inside one call —
+    literally ``n`` pulls of the same :func:`_kv_ops` generator, so it
+    charges exactly what per-row ``next()`` would (the store's key
+    choices come from the job's own seeded rng either way) — and
+    returns how many ran; fewer than asked means the batch is done.
+    """
+
+    __slots__ = ("_ops",)
+
+    def __init__(self, ops: Iterator[int]):
+        self._ops = ops
+
+    def __iter__(self) -> "_KvRun":
+        return self
+
+    def __next__(self) -> int:
+        return next(self._ops)
+
+    def run_rows(self, n: int) -> int:
+        ops = self._ops
+        done = 0
+        try:
+            for _ in range(n):
+                next(ops)
+                done += 1
+        except StopIteration:
+            pass
+        return done
+
+
 def _kv_mix(machine: Machine, seed: int, n_clients: int) -> QueryMix:
     n_keys = 1024
     store = build_store(machine, n_keys=n_keys,
@@ -165,7 +198,7 @@ def _kv_mix(machine: Machine, seed: int, n_clients: int) -> QueryMix:
                 derive_seed(seed, "serve", "kv", f"c{client}", str(issue)),
                 "kv job",
             )
-            return _kv_ops(store, flavor, rng, n_keys)
+            return _KvRun(_kv_ops(store, flavor, rng, n_keys))
 
         weight = {"c": 1.0, "b": 1.2, "a": 1.5}[flavor]
         cycles.append([JobTemplate(

@@ -137,6 +137,14 @@ class BatchExecutor:
         #: ``(base, n_lines, mut_epoch)`` of the last ``scan_lines`` call
         #: that hit L1D on every line, or None.  See :meth:`scan_lines`.
         self._scan_memo = None
+        #: Memoised ring visit cycles, keyed by
+        #: ``(base, n_lines, stride, cursor_class)`` — pure modular
+        #: arithmetic over an immutable ring geometry, so entries never
+        #: invalidate.  See :meth:`_ring_fast`.
+        self._ring_memo: dict = {}
+        #: (offsets tuple, base mod line) -> (line-first offsets,
+        #: word count, line count).  See :meth:`load_run`.
+        self._run_memo: dict = {}
 
     # ------------------------------------------------------------ public API
 
@@ -269,32 +277,45 @@ class BatchExecutor:
         # one by one, so the bulk update mirrors a probe: it counts
         # CacheLevel hits as well as the PMU counters.
         #
+        # Which words are line-first depends only on the offsets tuple
+        # and the base's offset within its line — and scans reuse one
+        # memoised offsets tuple for every row — so the split is
+        # computed once per ``(offsets, base mod line)`` and the walk
+        # probes 2–3 line-first words instead of looping every word.
+        #
         # Optimistic pass: probe line-first words in order while they
         # hit L1D (the warm-database common case), bailing to the full
         # inlined walk at the first miss.  The probes before the miss
         # happen in reference order; everything from the miss on is
         # handed to _load_addrs, which also runs in order.
+        tup = offsets if type(offsets) is tuple else tuple(offsets)
+        key = (tup, base & (LINE_SIZE - 1))
+        ent = self._run_memo.get(key)
+        if ent is None:
+            rel = base & (LINE_SIZE - 1)
+            firsts = []
+            prev_line = -1
+            for off in tup:
+                line_rel = (rel + off) >> LINE_SHIFT
+                if line_rel != prev_line:
+                    prev_line = line_rel
+                    firsts.append(off)
+            ent = (tuple(firsts), len(tup), len(firsts))
+            self._run_memo[key] = ent
+        firsts, n, n_first = ent
         l1 = cpu.hierarchy.l1d
         s1 = l1._sets
         m1 = l1._set_mask
         c = cpu.counters
         issue = cpu.timing.load_issue
-        n = 0
-        n_first = 0
         hits = 0
-        prev_line = -1
         rest = None
-        for off in offsets:
+        for off in firsts:
             a = base + off
-            line = a >> LINE_SHIFT
-            n += 1
-            if line == prev_line:
-                continue
-            prev_line = line
-            n_first += 1
             if rest is not None:
                 rest.append(a)
                 continue
+            line = a >> LINE_SHIFT
             set1 = s1[line & m1]
             if line in set1:
                 set1.move_to_end(line)
@@ -318,7 +339,13 @@ class BatchExecutor:
             else:
                 c.cycles += hits * issue
         if rest is not None:
-            self._load_addrs(rest, dependent, first_only=True)
+            if len(rest) == 1:
+                # One straggler line (the common warm-run shape: every
+                # line hit but the last).  The flattened single-load
+                # path charges it exactly; skip _load_addrs' prologue.
+                self.load_one(rest[0], dependent)
+            else:
+                self._load_addrs(rest, dependent, first_only=True)
         bulk = n - n_first
         if bulk > 0:
             l1.hits += bulk
@@ -377,6 +404,141 @@ class BatchExecutor:
         if rest is not None:
             self._load_addrs(rest, dependent)
 
+    def load_one(self, addr: int, dependent: bool = False) -> int:
+        """One load instruction, flattened to a single frame.
+
+        ``Machine.load`` routes here in batched mode (B-tree descents,
+        buffer-pool headers, KV probes — the per-op stragglers that
+        never form a run).  The L1D-hit common case is applied inline
+        with exactly the reference path's counter and cycle updates;
+        TCM addresses and misses hand the address to the generic walk,
+        which is the proven-equivalent cascade.  Bumps the mutation
+        epoch like the ``Machine.load`` wrapper it replaces.
+        """
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        hier.mut_epoch += 1
+        tcm = hier.tcm_region
+        if tcm is None or addr < tcm.base or addr >= tcm.base + tcm.size:
+            line = addr >> LINE_SHIFT
+            l1 = hier.l1d
+            set1 = l1._sets[line & l1._set_mask]
+            if line in set1:
+                set1.move_to_end(line)
+                l1.hits += 1
+                c = cpu.counters
+                c.n_l1d += 1
+                c.l1d_hits += 1
+                c.n_load_inst += 1
+                if dependent:
+                    lat_l1 = cpu._latency[LEVEL_L1D]
+                    c.cycles += lat_l1
+                    c.stall_cycles += lat_l1 - 1.0
+                else:
+                    c.cycles += cpu.timing.load_issue
+                return LEVEL_L1D
+            # L1D miss, L2 hit: the dominant miss shape for the per-op
+            # stragglers (B-tree nodes and page headers bounce between
+            # L1D and L2).  Flattened with exactly the reference
+            # cascade's state and counter updates — the lookup's LRU
+            # touch and miss count, the L1 fill with its dirty-victim
+            # write-back through ``_fill_l2``, the prefetcher pass, and
+            # the L2-latency cycle charge.  Deeper misses fall through
+            # to the reference cascade itself.
+            l2 = hier.l2
+            if l2 is not None:
+                set2 = l2._sets[line & l2._set_mask]
+                if line in set2:
+                    set2.move_to_end(line)
+                    l2.hits += 1
+                    l1.misses += 1
+                    c = cpu.counters
+                    c.n_l1d += 1
+                    c.n_l2 += 1
+                    c.l2_hits += 1
+                    if len(set1) >= l1.assoc:
+                        v, vd = set1.popitem(last=False)
+                        l1.evictions += 1
+                        if vd:
+                            l1.dirty_evictions += 1
+                            c.n_writeback += 1
+                            hier._fill_l2(v, True)
+                    else:
+                        l1._occupancy += 1
+                    set1[line] = False
+                    l1.fills += 1
+                    hier._run_prefetcher(line)
+                    c.n_load_inst += 1
+                    lat = cpu._latency[LEVEL_L2]
+                    if dependent:
+                        c.cycles += lat
+                        c.stall_cycles += lat - 1.0
+                    else:
+                        issue = cpu.timing.load_issue
+                        c.cycles += issue
+                        exposed = lat / cpu.timing.mlp - issue
+                        if exposed > 0.0:
+                            c.cycles += exposed
+                            c.stall_cycles += exposed
+                    return LEVEL_L2
+        # TCM window or deep miss: the per-op model path (those misses
+        # do the heavy cascade anyway, so the extra frames are noise).
+        return cpu.load(addr, dependent)
+
+    def store_one(self, addr: int) -> None:
+        """One store instruction, flattened like :meth:`load_one` (the
+        ``Machine.store`` batched route).  A hit refreshes LRU order,
+        dirties the line, and pays the 1-cycle store-buffer issue —
+        identical to ``Cpu.store`` on an L1D hit; everything else
+        (TCM, write-allocate misses) takes the generic store walk."""
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        hier.mut_epoch += 1
+        tcm = hier.tcm_region
+        if tcm is None or addr < tcm.base or addr >= tcm.base + tcm.size:
+            line = addr >> LINE_SHIFT
+            l1 = hier.l1d
+            set1 = l1._sets[line & l1._set_mask]
+            if line in set1:
+                set1.move_to_end(line)
+                set1[line] = True
+                l1.hits += 1
+                c = cpu.counters
+                c.n_store += 1
+                c.n_store_l1d_hit += 1
+                c.n_store_inst += 1
+                c.cycles += cpu.timing.store_issue
+                return
+            l2 = hier.l2
+            if l2 is not None:
+                set2 = l2._sets[line & l2._set_mask]
+                if line in set2:
+                    # Write-allocate serviced from L2: the miss fetches
+                    # the line into L1D dirty (an RFO); no prefetcher —
+                    # it trains on demand-load misses only.
+                    set2.move_to_end(line)
+                    l2.hits += 1
+                    l1.misses += 1
+                    c = cpu.counters
+                    c.n_store += 1
+                    c.n_l2 += 1
+                    c.l2_hits += 1
+                    l1.fills += 1
+                    if len(set1) >= l1.assoc:
+                        v, vd = set1.popitem(last=False)
+                        l1.evictions += 1
+                        if vd:
+                            l1.dirty_evictions += 1
+                            c.n_writeback += 1
+                            hier._fill_l2(v, True)
+                    else:
+                        l1._occupancy += 1
+                    set1[line] = True
+                    c.n_store_inst += 1
+                    c.cycles += cpu.timing.store_issue
+                    return
+        cpu.store(addr)
+
     def load_ring(self, base: int, cursor: int, stride: int, count: int,
                   n_lines: int, dependent: bool = False) -> int:
         cpu = self.cpu
@@ -415,6 +577,10 @@ class BatchExecutor:
         # rest of the rotation to the generic walk.
         step = stride % n_lines
         period = n_lines // gcd(step, n_lines) if step else 1
+        if (not dependent and step
+                and hier.l2 is not None and hier.l3 is not None):
+            return self._ring_fast(base, cursor, stride, count, n_lines,
+                                   period)
         done = 0
         while done < count:
             chunk = min(period, count - done)
@@ -468,6 +634,243 @@ class BatchExecutor:
                         c.stall_cycles += n * hit_stall
                     done += n
         return cursor
+
+    def _ring_fast(self, base: int, cursor: int, stride: int, count: int,
+                   n_lines: int, period: int) -> int:
+        """:meth:`load_ring` for independent probes on a full hierarchy.
+
+        The ring's visit order is pure modular arithmetic over an
+        immutable geometry: from any cursor the walk traverses the
+        ``period`` positions of the cursor's residue class (mod
+        ``gcd(stride, n_lines)``) in a fixed cyclic order.  That cycle
+        is computed once per ``(ring, class)`` and memoised as a tuple
+        of *line numbers* (regions are line-aligned), so each call is a
+        dict hit plus C-level tuple slices — no per-probe cursor
+        arithmetic.  The per-line work happens in :meth:`_ring_lines`;
+        the all-hit rotation folding is identical to the generic path
+        (a zero-miss full rotation leaves cache state untouched, so
+        remaining rotations fold into one bulk hit update).
+        """
+        cpu = self.cpu
+        c = cpu.counters
+        l1 = cpu.hierarchy.l1d
+        base_line = base >> LINE_SHIFT
+        key = (base, n_lines, stride, cursor % (n_lines // period))
+        memo = self._ring_memo.get(key)
+        if memo is None:
+            # One cycle entry per visit: the line number plus its three
+            # per-level cache sets.  The set OrderedDicts are created
+            # once per cache and only ever mutated in place (``flush``
+            # clears them, never replaces them), so the references stay
+            # valid for the life of the machine and the per-probe
+            # ``sets[line & mask]`` indexing happens once per ring, not
+            # once per access.
+            hier2 = cpu.hierarchy
+            s1, m1 = hier2.l1d._sets, hier2.l1d._set_mask
+            s2, m2 = hier2.l2._sets, hier2.l2._set_mask
+            s3, m3 = hier2.l3._sets, hier2.l3._set_mask
+            cycle = []
+            pos = cursor
+            for _ in range(period):
+                pos = (pos + stride) % n_lines
+                line = base_line + pos
+                cycle.append((line, s1[line & m1], s2[line & m2],
+                              s3[line & m3]))
+            inv = {entry[0] - base_line: j for j, entry in enumerate(cycle)}
+            memo = (tuple(cycle), inv)
+            self._ring_memo[key] = memo
+        cycle, inv = memo
+        idx = inv[cursor]
+        issue = cpu.timing.load_issue
+        # The steady-state verified walk (see _ring_steady) assumes the
+        # prefetcher's moving slot can never match `line - 1` between
+        # consecutive probes, which holds whenever the line-space step
+        # is not exactly one.
+        ext_safe = stride % n_lines != 1
+        done = 0
+        while done < count:
+            chunk = min(period, count - done)
+            first = idx + 1
+            if first >= period:
+                first -= period
+            end = first + chunk
+            if end <= period:
+                seg = cycle[first:end]
+            else:
+                seg = cycle[first:] + cycle[:end - period]
+            if ext_safe:
+                misses = self._ring_steady(seg, inv, base_line, first,
+                                           period)
+            else:
+                misses = 0
+            if misses < chunk:
+                misses += self._ring_lines(seg[misses:] if misses else seg)
+            done += chunk
+            idx = first + chunk - 1
+            if idx >= period:
+                idx -= period
+            if misses == 0 and chunk == period:
+                # A full rotation of pure L1D hits: replaying it is a
+                # no-op on cache state, so the remaining full rotations
+                # fold into one bulk hit update (see load_ring).
+                folds = (count - done) // period
+                if folds:
+                    n = folds * period
+                    l1.hits += n
+                    c.n_l1d += n
+                    c.l1d_hits += n
+                    c.n_load_inst += n
+                    c.cycles += n * issue
+                    done += n
+        return cycle[idx][0] - base_line
+
+    def _ring_steady(self, seg, inv, base_line: int, first: int,
+                     period: int) -> int:
+        """Verified steady-state prefix of one ring rotation segment.
+
+        A large ring in its steady state misses L1D and L2 and hits L3
+        on *every* probe, and the prefetcher's response to every probe
+        is the same fixed-slot tracker restart.  Both facts are cheap
+        to verify up front without mutating anything:
+
+        * the prefetcher outcome is a restart for the whole segment iff
+          no tracker's last-line sits at (or one below) a segment line —
+          checked against the memoised cycle index in O(streams) — and
+          the moving slot (rewritten each probe with the previous ring
+          line) can never match because consecutive probes differ by
+          the line-space step, which the caller guarantees is neither 0
+          nor 1;
+        * the miss/miss/hit shape is checked per probe with plain
+          ``in`` probes *before* that probe mutates anything.
+
+        Each verified probe then runs a pared-down body: the three LRU
+        updates and the two demand fills, with every derivable counter
+        (`fills == misses`, `occupancy == fills - evictions`, hit
+        totals) accumulated once at the end and the prefetcher's net
+        effect — one slot write with the last line — applied after the
+        loop.  Dirty victims still write back through the hierarchy's
+        own ``_fill_l2``/``_fill_l3``, so the cascade logic stays in
+        one place.  The first probe that fails verification ends the
+        prefix; the caller hands the rest of the segment to the exact
+        generic walk with all prior probes fully applied, so the split
+        is invisible.  Returns the number of probes processed (each one
+        an L1D miss).
+        """
+        cpu = self.cpu
+        hier = cpu.hierarchy
+        pf = hier.prefetcher
+        if (not pf.enabled or pf.n_streams <= 0
+                or pf.train_threshold != 2):
+            return 0
+        run = pf._run
+        if 0 in run:
+            return 0
+        chunk = len(seg)
+        last = pf._last
+        inv_get = inv.get
+        for v in last:
+            iv = inv_get(v - base_line)
+            if iv is not None and (iv - first) % period < chunk:
+                return 0
+            iv = inv_get(v + 1 - base_line)
+            if iv is not None and (iv - first) % period < chunk:
+                return 0
+        # The scan above proves no tracker can match any segment line,
+        # so every probe's prefetcher outcome is a restart of one fixed
+        # slot: the first slot with ``run == 1`` or, when every slot is
+        # already trained, the round-robin victim ``observe`` would
+        # evict (that branch writes no counters, so its net effect is
+        # the same slot write).  Nothing inside the loop reads tracker
+        # state, so the whole sequence nets to one flush-time write.
+        try:
+            s = run.index(1)
+            restart_victim = False
+        except ValueError:
+            restart_victim = True
+            s = -1
+        timing = cpu.timing
+        issue = timing.load_issue
+        exp3 = cpu._latency[LEVEL_L3] / timing.mlp - issue
+        if exp3 <= 0.0:
+            return 0
+        c = cpu.counters
+        cyc = c.cycles
+        stall = c.stall_cycles
+        if not ((issue * 256.0).is_integer() and (exp3 * 256.0).is_integer()
+                and (cyc * 256.0).is_integer() and (stall * 256.0).is_integer()
+                and cyc < 2.0 ** 43):
+            # Bulk cycle accounting below reassociates the per-probe
+            # adds; that is bit-exact only while every operand (and so
+            # every intermediate sum) is a multiple of 2**-8 small
+            # enough that no sum ever rounds: multiples of 2**-8 below
+            # 2**44 need at most 52 significand bits.
+            return 0
+        l1 = hier.l1d
+        l2 = hier.l2
+        l3 = hier.l3
+        a1 = l1.assoc
+        a2 = l2.assoc
+        fill_l2 = hier._fill_l2
+        fill_l3 = hier._fill_l3
+        u1 = dev1 = u2 = dev2 = 0
+        j = 0
+        for line, set1, set2, set3 in seg:
+            if line in set1 or line in set2 or line not in set3:
+                break
+            set3.move_to_end(line)
+            if len(set2) >= a2:
+                v, vd = set2.popitem(last=False)
+                if vd:
+                    dev2 += 1
+                    fill_l3(v, True)
+            else:
+                u2 += 1
+            set2[line] = False
+            if len(set1) >= a1:
+                v, vd = set1.popitem(last=False)
+                if vd:
+                    dev1 += 1
+                    fill_l2(v, True)
+            else:
+                u1 += 1
+            set1[line] = False
+            j += 1
+        if j == 0:
+            return 0
+        # In steady state both caches are full, so underfull inserts
+        # (u1/u2) are the rare case; evictions are derived at flush.
+        ev1 = j - u1
+        ev2 = j - u2
+        c.cycles = cyc + j * issue + j * exp3
+        c.stall_cycles = stall + j * exp3
+        c.n_load_inst += j
+        c.n_l1d += j
+        c.n_l2 += j
+        c.n_l3 += j
+        c.l3_hits += j
+        c.n_writeback += dev1 + dev2
+        l1.misses += j
+        l1.fills += j
+        l1.evictions += ev1
+        l1.dirty_evictions += dev1
+        l1._occupancy += j - ev1
+        l2.misses += j
+        l2.fills += j
+        l2.evictions += ev2
+        l2.dirty_evictions += dev2
+        l2._occupancy += j - ev2
+        l3.hits += j
+        # Every probe restarted the same tracker; the net prefetcher
+        # state is one write of the last line processed (plus the
+        # round-robin victim bump when no slot was still untrained).
+        if restart_victim:
+            s = pf._victim
+            pf._victim = (s + 1) % pf.n_streams
+            run[s] = 1
+        last[s] = seg[j - 1][0]
+        pf._l2up[s] = -1
+        pf._l3up[s] = -1
+        return j
 
     def store_repeat(self, addr: int, n: int) -> None:
         if n <= 0:
@@ -572,12 +975,11 @@ class BatchExecutor:
         degree = pf.degree
         dist3 = degree + pf.l3_extra
         # ---- locate the tracker observe() would use for this line.
-        match = None
+        match = -1
         end = line + max_lines
-        for s in pf._streams:
-            ll = s.last_line
+        for i, ll in enumerate(pf._last):
             if ll == line - 1:
-                match = s
+                match = i
                 break
             if ll == line:
                 return 0        # observe() would take the neutral path
@@ -585,9 +987,9 @@ class BatchExecutor:
                 # This earlier tracker fires first once demand reaches
                 # ll: clip the stride just before that.
                 end = min(end, ll)
-        if (match is None or match.run_length < pf.train_threshold
-                or match.l2_up_to != line - 1 + degree
-                or match.prefetched_up_to != line - 1 + dist3
+        if (match < 0 or pf._run[match] < pf.train_threshold
+                or pf._l2up[match] != line - 1 + degree
+                or pf._l3up[match] != line - 1 + dist3
                 or end <= line):
             return 0
         c = cpu.counters
@@ -893,13 +1295,225 @@ class BatchExecutor:
                         dirty_evictions=dev3, occupancy=occ3)
         # Bulk-advance the stream exactly as k observe() calls would.
         last = line + k - 1
-        match.last_line = last
-        match.run_length += k
-        match.l2_up_to = last + degree
-        match.prefetched_up_to = last + dist3
+        pf._last[match] = last
+        pf._run[match] += k
+        pf._l2up[match] = last + degree
+        pf._l3up[match] = last + dist3
         pf.n_pf_l2_issued += k
         pf.n_pf_l3_issued += k
         return k
+
+    def _ring_lines(self, lines) -> int:
+        """Demand loads for one ring rotation segment, by line number.
+
+        Semantically an exact copy of :meth:`_load_addrs` specialised
+        for its :meth:`_ring_fast` caller: the ring never overlaps the
+        TCM window (``load_ring`` already routed that case to
+        :meth:`load_list`), probes are independent loads, L2 and L3
+        both exist, and the region is line-aligned so the walk receives
+        line numbers directly.  Counters that are per-access invariants
+        (``n_load_inst``, ``n_l1d``) or derivable from the hit/miss
+        split (``fills == misses`` per level, minus prefetch fills
+        accounted separately) are computed once per call.  The
+        prefetcher's no-match tracker restart is inlined — a coprime
+        ring stride never extends a sequential stream, so the common
+        :meth:`~repro.sim.prefetcher.StreamPrefetcher.observe` outcome
+        is exactly that restart; any access that *could* match a
+        tracker (or a non-default train threshold with no idle slot) is
+        handed to the real ``observe`` unchanged.  Returns the number
+        of L1D misses (zero means a pure-hit rotation, which
+        :meth:`_ring_fast` may fold).
+        """
+        cpu = self.cpu
+        c = cpu.counters
+        hier = cpu.hierarchy
+        l1 = hier.l1d
+        l2 = hier.l2
+        l3 = hier.l3
+        a1 = l1.assoc
+        s2 = l2._sets
+        m2 = l2._set_mask
+        a2 = l2.assoc
+        fill_l2 = hier._fill_l2
+        s3 = l3._sets
+        m3 = l3._set_mask
+        a3 = l3.assoc
+        fill_l3 = hier._fill_l3
+        pf = hier.prefetcher
+        observe = pf.observe
+        pf_on = pf.enabled and pf.n_streams > 0
+        pf_last = pf._last
+        pf_run = pf._run
+        pf_l2up = pf._l2up
+        pf_l3up = pf._l3up
+        pf_thr2 = pf.train_threshold == 2
+        timing = cpu.timing
+        issue = timing.load_issue
+        mlp = timing.mlp
+        lat = cpu._latency
+        exp_l2 = lat[LEVEL_L2] / mlp - issue
+        exp_l3 = lat[LEVEL_L3] / mlp - issue
+        exp_mem = lat[LEVEL_MEM] / mlp - issue
+
+        n = len(lines)
+        h1 = 0
+        h2 = mis2 = f2 = ev2 = dev2 = occ2 = 0
+        h3 = mis3 = f3 = ev3 = dev3 = occ3 = 0
+        ev1 = dev1 = occ1 = 0
+        n_wb = 0
+        n_pf_l2 = 0
+        n_pf_l3 = 0
+        cyc = c.cycles
+        stall = c.stall_cycles
+
+        for line, set1, set2, set3 in lines:
+            if line in set1:
+                set1.move_to_end(line)
+                h1 += 1
+                cyc += issue
+                continue
+            # ---------------- L1D miss: walk down, fill on the way back
+            if line in set2:
+                set2.move_to_end(line)
+                h2 += 1
+                exp = exp_l2
+            else:
+                mis2 += 1
+                if line in set3:
+                    set3.move_to_end(line)
+                    h3 += 1
+                    exp = exp_l3
+                else:
+                    mis3 += 1
+                    exp = exp_mem
+                    # fill L3 (line known absent)
+                    f3 += 1
+                    if len(set3) >= a3:
+                        v, vd = set3.popitem(last=False)
+                        ev3 += 1
+                        if vd:
+                            dev3 += 1
+                            n_wb += 1
+                    else:
+                        occ3 += 1
+                    set3[line] = False
+                # fill L2 (line known absent)
+                f2 += 1
+                if len(set2) >= a2:
+                    v, vd = set2.popitem(last=False)
+                    ev2 += 1
+                    if vd:
+                        dev2 += 1
+                        n_wb += 1
+                        fill_l3(v, True)
+                else:
+                    occ2 += 1
+                set2[line] = False
+            # fill L1 (line known absent)
+            if len(set1) >= a1:
+                v, vd = set1.popitem(last=False)
+                ev1 += 1
+                if vd:
+                    dev1 += 1
+                    n_wb += 1
+                    fill_l2(v, True)
+            else:
+                occ1 += 1
+            set1[line] = False
+            # prefetcher (demand loads only, after the fills -- same
+            # order as MemoryHierarchy.load)
+            if pf_on:
+                if line - 1 in pf_last or line in pf_last:
+                    pf2, pf3 = observe(line)
+                    if pf2:
+                        for pline in pf2:
+                            if pline not in s2[pline & m2]:
+                                if pline in s3[pline & m3]:
+                                    n_pf_l2 += 1
+                                    pset = s2[pline & m2]
+                                    f2 += 1
+                                    if len(pset) >= a2:
+                                        v, vd = pset.popitem(last=False)
+                                        ev2 += 1
+                                        if vd:
+                                            dev2 += 1
+                                            n_wb += 1
+                                            fill_l3(v, True)
+                                    else:
+                                        occ2 += 1
+                                    pset[pline] = False
+                                else:
+                                    n_pf_l3 += 1
+                                    pset = s3[pline & m3]
+                                    f3 += 1
+                                    if len(pset) >= a3:
+                                        v, vd = pset.popitem(last=False)
+                                        ev3 += 1
+                                        if vd:
+                                            dev3 += 1
+                                            n_wb += 1
+                                    else:
+                                        occ3 += 1
+                                    pset[pline] = False
+                    if pf3:
+                        for pline in pf3:
+                            if pline not in s3[pline & m3]:
+                                n_pf_l3 += 1
+                                pset = s3[pline & m3]
+                                f3 += 1
+                                if len(pset) >= a3:
+                                    v, vd = pset.popitem(last=False)
+                                    ev3 += 1
+                                    if vd:
+                                        dev3 += 1
+                                        n_wb += 1
+                                else:
+                                    occ3 += 1
+                                pset[pline] = False
+                elif 0 in pf_run:
+                    slot = pf_run.index(0)
+                    pf_last[slot] = line
+                    pf_run[slot] = 1
+                    pf_l2up[slot] = -1
+                    pf_l3up[slot] = -1
+                elif pf_thr2 and 1 in pf_run:
+                    slot = pf_run.index(1)
+                    pf_last[slot] = line
+                    pf_run[slot] = 1
+                    pf_l2up[slot] = -1
+                    pf_l3up[slot] = -1
+                else:
+                    observe(line)
+            cyc += issue
+            if exp > 0.0:
+                cyc += exp
+                stall += exp
+
+        c.cycles = cyc
+        c.stall_cycles = stall
+        c.n_load_inst += n
+        c.n_l1d += n
+        c.l1d_hits += h1
+        l1.hits += h1
+        mis1 = n - h1
+        if mis1:
+            c.n_l2 += mis1
+            c.l2_hits += h2
+            c.n_l3 += mis2
+            c.l3_hits += h3
+            c.n_mem += mis3
+            c.n_writeback += n_wb
+            c.n_pf_l2 += n_pf_l2
+            c.n_pf_l3 += n_pf_l3
+            l1.bulk_account(misses=mis1, fills=mis1, evictions=ev1,
+                            dirty_evictions=dev1, occupancy=occ1)
+            l2.bulk_account(hits=h2, misses=mis2, fills=f2,
+                            evictions=ev2, dirty_evictions=dev2,
+                            occupancy=occ2)
+            l3.bulk_account(hits=h3, misses=mis3, fills=f3,
+                            evictions=ev3, dirty_evictions=dev3,
+                            occupancy=occ3)
+        return mis1
 
     def _load_addrs(self, addrs: Iterable[int], dependent: bool = False,
                     first_only: bool = False) -> int:

@@ -170,20 +170,11 @@ class Machine:
         # reference path stays raw — zero added overhead.
         self._executors["batched"]._scan_memo = None
         if mode == "batched":
-            hier = self.hierarchy
-            cpu_load = self.cpu.load
-            cpu_store = self.cpu.store
-
-            def load(addr: int, dependent: bool = False) -> int:
-                hier.mut_epoch += 1
-                return cpu_load(addr, dependent)
-
-            def store(addr: int) -> None:
-                hier.mut_epoch += 1
-                cpu_store(addr)
-
-            self.load = load
-            self.store = store
+            # Single-frame per-op paths: they bump the hierarchy's
+            # mutation epoch themselves (which invalidates the
+            # scan-replay memo) and inline the L1D-hit fast case.
+            self.load = ex.load_one
+            self.store = ex.store_one
         else:
             self.load = self.cpu.load
             self.store = self.cpu.store

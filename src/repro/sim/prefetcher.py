@@ -41,14 +41,63 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+_NO_LINES = range(0)
+
+
 class _Stream:
-    last_line: int = -2
-    run_length: int = 0
+    """Live view of one tracker slot.
+
+    The authoritative tracker state lives in the prefetcher's parallel
+    integer lists (so :meth:`StreamPrefetcher.observe` can scan them at
+    C speed with ``list.index``); this view keeps the historical
+    per-stream attribute API for tests, metrics, and the batched
+    executor's cold-stream fast path.
+    """
+
+    __slots__ = ("_pf", "_i")
+
+    def __init__(self, pf: "StreamPrefetcher", i: int) -> None:
+        object.__setattr__(self, "_pf", pf)
+        object.__setattr__(self, "_i", i)
+
+    @property
+    def last_line(self) -> int:
+        return self._pf._last[self._i]
+
+    @last_line.setter
+    def last_line(self, value: int) -> None:
+        self._pf._last[self._i] = value
+
+    @property
+    def run_length(self) -> int:
+        return self._pf._run[self._i]
+
+    @run_length.setter
+    def run_length(self, value: int) -> None:
+        self._pf._run[self._i] = value
+
     #: High-water mark of lines ever issued toward L2 (the near window).
-    l2_up_to: int = -1
+    @property
+    def l2_up_to(self) -> int:
+        return self._pf._l2up[self._i]
+
+    @l2_up_to.setter
+    def l2_up_to(self, value: int) -> None:
+        self._pf._l2up[self._i] = value
+
     #: High-water mark of lines ever issued toward L3 (the far window).
-    prefetched_up_to: int = -1
+    @property
+    def prefetched_up_to(self) -> int:
+        return self._pf._l3up[self._i]
+
+    @prefetched_up_to.setter
+    def prefetched_up_to(self, value: int) -> None:
+        self._pf._l3up[self._i] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"_Stream(last_line={self.last_line}, "
+                f"run_length={self.run_length}, l2_up_to={self.l2_up_to}, "
+                f"prefetched_up_to={self.prefetched_up_to})")
 
 
 @dataclass
@@ -80,14 +129,20 @@ class StreamPrefetcher:
     _victim: int = 0
 
     def __post_init__(self) -> None:
-        self._streams = [_Stream() for _ in range(self.n_streams)]
+        n = self.n_streams
+        #: Parallel tracker state, scanned with C-speed list ops.
+        self._last = [-2] * n
+        self._run = [0] * n
+        self._l2up = [-1] * n
+        self._l3up = [-1] * n
+        self._streams = [_Stream(self, i) for i in range(n)]
 
     def reset(self) -> None:
-        for stream in self._streams:
-            stream.last_line = -2
-            stream.run_length = 0
-            stream.l2_up_to = -1
-            stream.prefetched_up_to = -1
+        n = self.n_streams
+        self._last[:] = [-2] * n
+        self._run[:] = [0] * n
+        self._l2up[:] = [-1] * n
+        self._l3up[:] = [-1] * n
         self._victim = 0
 
     def reset_stats(self) -> None:
@@ -103,64 +158,80 @@ class StreamPrefetcher:
         prefetcher is disabled or the access does not extend a trained
         stream.
         """
-        if not self.enabled or not self._streams:
-            return range(0), range(0)
-        for stream in self._streams:
-            if line == stream.last_line + 1:
-                stream.last_line = line
-                stream.run_length += 1
-                if stream.run_length < self.train_threshold:
-                    return range(0), range(0)
-                if stream.run_length == self.train_threshold:
-                    self.n_trained += 1
-                # The two windows advance independently: the L2 window
-                # covers (line, line + degree], the L3 window the
-                # l3_extra lines beyond it.  Each emits only lines its
-                # own watermark has not issued yet, so a line staged
-                # into L3 when it was far ahead is re-issued toward L2
-                # once it falls inside the near window (an L3→L2
-                # promotion at the hierarchy).
-                l2_end = line + 1 + self.degree
-                l3_end = l2_end + self.l3_extra
-                l2_start = max(line + 1, stream.l2_up_to + 1)
-                l3_start = max(l2_end, stream.prefetched_up_to + 1)
-                l2_lines = range(l2_start, max(l2_start, l2_end))
-                l3_lines = range(l3_start, max(l3_start, l3_end))
-                if not l2_lines and not l3_lines:
-                    return l2_lines, l3_lines
-                if l2_lines:
-                    stream.l2_up_to = l2_end - 1
-                if l3_lines:
-                    stream.prefetched_up_to = l3_end - 1
-                self.n_pf_l2_issued += len(l2_lines)
-                self.n_pf_l3_issued += len(l3_lines)
+        if not self.enabled or not self.n_streams:
+            return _NO_LINES, _NO_LINES
+        # The historical semantics are a slot-order scan checking
+        # "extends a stream" (last_line + 1 == line) before "repeats the
+        # stream head" (last_line == line) per slot; the first slot
+        # matching either wins with its condition.  ``list.index`` finds
+        # each condition's first slot at C speed, and the smaller index
+        # is the winner the Python-level scan would have picked.
+        last = self._last
+        prev = line - 1
+        ext = last.index(prev) if prev in last else -1
+        rep = last.index(line) if line in last else -1
+        if ext >= 0 and (rep < 0 or ext < rep):
+            run = self._run
+            last[ext] = line
+            length = run[ext] + 1
+            run[ext] = length
+            threshold = self.train_threshold
+            if length < threshold:
+                return _NO_LINES, _NO_LINES
+            if length == threshold:
+                self.n_trained += 1
+            # The two windows advance independently: the L2 window
+            # covers (line, line + degree], the L3 window the
+            # l3_extra lines beyond it.  Each emits only lines its
+            # own watermark has not issued yet, so a line staged
+            # into L3 when it was far ahead is re-issued toward L2
+            # once it falls inside the near window (an L3→L2
+            # promotion at the hierarchy).
+            l2_end = line + 1 + self.degree
+            l3_end = l2_end + self.l3_extra
+            l2_start = max(line + 1, self._l2up[ext] + 1)
+            l3_start = max(l2_end, self._l3up[ext] + 1)
+            l2_lines = range(l2_start, max(l2_start, l2_end))
+            l3_lines = range(l3_start, max(l3_start, l3_end))
+            if not l2_lines and not l3_lines:
                 return l2_lines, l3_lines
-            if line == stream.last_line:
-                # Repeated miss on the same line (e.g. conflict churn):
-                # neither extends nor breaks the stream.
-                return range(0), range(0)
+            if l2_lines:
+                self._l2up[ext] = l2_end - 1
+            if l3_lines:
+                self._l3up[ext] = l3_end - 1
+            self.n_pf_l2_issued += len(l2_lines)
+            self.n_pf_l3_issued += len(l3_lines)
+            return l2_lines, l3_lines
+        if rep >= 0:
+            # Repeated miss on the same line (e.g. conflict churn):
+            # neither extends nor breaks the stream.
+            return _NO_LINES, _NO_LINES
         # No tracker matched: start (or restart) a stream.  Prefer an
         # idle slot, then a still-untrained one; only when every slot
         # holds a trained stream does the round-robin victim pointer
         # evict one — a single interleaved irregular miss stream must
         # not tear down trained sequential streams while free slots
         # exist.
-        stream = None
-        for cand in self._streams:
-            if cand.run_length == 0:
-                stream = cand
-                break
-        if stream is None:
+        run = self._run
+        if 0 in run:
+            slot = run.index(0)
+        else:
             threshold = self.train_threshold
-            for cand in self._streams:
-                if cand.run_length < threshold:
-                    stream = cand
-                    break
-        if stream is None:
-            stream = self._streams[self._victim]
-            self._victim = (self._victim + 1) % self.n_streams
-        stream.last_line = line
-        stream.run_length = 1
-        stream.l2_up_to = -1
-        stream.prefetched_up_to = -1
-        return range(0), range(0)
+            slot = -1
+            if threshold == 2:
+                # Only value below a threshold of 2 left is 1.
+                if 1 in run:
+                    slot = run.index(1)
+            else:
+                for i, length in enumerate(run):
+                    if length < threshold:
+                        slot = i
+                        break
+            if slot < 0:
+                slot = self._victim
+                self._victim = (slot + 1) % self.n_streams
+        last[slot] = line
+        run[slot] = 1
+        self._l2up[slot] = -1
+        self._l3up[slot] = -1
+        return _NO_LINES, _NO_LINES

@@ -143,3 +143,62 @@ class TestWriteEnergyShape:
         counters = machine.pmu.counters
         write_ratio = counters.n_store / max(1, counters.n_l1d)
         assert write_ratio > read_ratio
+
+
+class TestWalWraparound:
+    """Regression: the WAL ring must wrap on the *padded* record size.
+
+    The cursor advances by the 8-byte-aligned footprint, so a record
+    whose raw length still fit but whose aligned end crossed the region
+    boundary used to leave the cursor past ``size`` — and the next
+    append then stored beyond the WAL arena.
+    """
+
+    def _db(self):
+        machine = Machine(tiny_intel())
+        db = Database(machine, postgres_like(), name="wal")
+        db.create_table("t", SCHEMA, ROWS, primary_key="k")
+        return db
+
+    def test_boundary_record_wraps(self):
+        db = self._db()
+        size = db._wal_region.size
+        # row_bytes=1 -> record=25 (unaligned), padded=32.  Park the
+        # cursor so the raw record fits exactly but the padded one
+        # does not: old code kept the cursor, then walked off the end.
+        db._wal_cursor = size - 25
+        db._dml_row_overhead(1)
+        assert db._wal_cursor == 32  # wrapped to 0, then advanced
+        assert db._wal_cursor <= size
+
+    def test_appends_never_leave_region(self):
+        db = self._db()
+        region = db._wal_region
+        stored: list[tuple[int, int]] = []
+        real = db.machine.store_bytes
+
+        def spy(addr, nbytes):
+            stored.append((addr, nbytes))
+            real(addr, nbytes)
+
+        db.machine.store_bytes = spy
+        try:
+            db._wal_cursor = region.size - 25
+            for _ in range(4):
+                db._dml_row_overhead(1)
+                assert db._wal_cursor <= region.size
+        finally:
+            db.machine.store_bytes = real
+        wal_stores = [
+            (a, n) for a, n in stored
+            if region.base <= a < region.base + region.size
+            or region.base <= a + n <= region.base + region.size
+        ]
+        assert wal_stores, "expected WAL append traffic"
+        for addr, nbytes in stored:
+            if addr >= region.base + region.size:
+                # Stores past the region end are exactly the bug.
+                raise AssertionError(
+                    f"WAL append at +{addr - region.base} beyond "
+                    f"region size {region.size}"
+                )

@@ -137,3 +137,109 @@ class TestRunRowsProtocol:
         done = run.run_rows(1000)
         assert done < 1000  # fewer than asked == request exhausted
         assert run.run_rows(1) == 0
+
+
+class TestSqlMixRunRowsVsNext:
+    """The serve loop engages ``run_rows`` whenever the work iterator
+    provides it; hiding the method forces the legacy per-row ``next``
+    quantum.  Both paths must produce byte-identical whole reports on
+    the SQL mixes, across the policy x fault x deadline grid."""
+
+    GRID = [
+        dict(policy="fifo"),
+        dict(policy="sjf"),
+        dict(policy="locality"),
+        dict(policy="fifo",
+             faults=FaultPlan(request_error_p=0.15), retries=2),
+        dict(policy="sjf",
+             faults=FaultPlan(request_error_p=0.15), retries=2),
+        dict(policy="locality", deadline_s=0.0008),
+        dict(policy="fifo", deadline_s=0.0008,
+             faults=FaultPlan(request_error_p=0.1), retries=1),
+        dict(policy="sjf", deadline_s=0.0008,
+             faults=FaultPlan(request_error_p=0.1), retries=1),
+        dict(policy="locality",
+             faults=FaultPlan(request_error_p=0.15), retries=2,
+             deadline_s=0.0008),
+    ]
+
+    @staticmethod
+    def _next_only_report(monkeypatch, exec_mode, **overrides) -> str:
+        from repro.db.engine import SessionRows
+
+        with monkeypatch.context() as m:
+            m.delattr(SessionRows, "run_rows")
+            report = run_serve(_config(exec_mode, **overrides))
+        report.pop("config")
+        return json.dumps(report, sort_keys=True)
+
+    @staticmethod
+    def _run_rows_report(exec_mode, **overrides) -> str:
+        report = run_serve(_config(exec_mode, **overrides))
+        report.pop("config")
+        return json.dumps(report, sort_keys=True)
+
+    @pytest.mark.parametrize("cell", GRID,
+                             ids=lambda c: "-".join(
+                                 f"{k}" for k in sorted(c)))
+    def test_grid_cell_byte_identical(self, monkeypatch, cell):
+        kwargs = dict(clients=3, queries=8, **cell)
+        assert (self._run_rows_report("batched", **kwargs)
+                == self._next_only_report(monkeypatch, "batched", **kwargs))
+
+    def test_reference_engine_cell(self, monkeypatch):
+        kwargs = dict(policy="sjf",
+                      faults=FaultPlan(request_error_p=0.15), retries=2,
+                      clients=3, queries=8)
+        assert (self._run_rows_report("reference", **kwargs)
+                == self._next_only_report(monkeypatch, "reference",
+                                          **kwargs))
+
+
+class TestSuspendedSessionCounters:
+    """A plan-backed session suspended and resumed across quantum
+    boundaries (small ``run_rows`` quanta) must charge exactly the
+    micro-ops of a straight drain — in both engines, with identical
+    counters across engines — including suspension points that land
+    mid-aggregate and mid-sort output."""
+
+    AGG_SQL = ("SELECT l_orderkey, SUM(l_quantity), COUNT(*) "
+               "FROM lineitem GROUP BY l_orderkey")
+    SORT_SQL = ("SELECT l_orderkey, l_extendedprice FROM lineitem "
+                "WHERE l_quantity < 30 ORDER BY l_extendedprice")
+
+    @staticmethod
+    def _drive(exec_mode: str, sql_text: str, quantum: int | None):
+        from repro import tiny_intel
+        from repro.db import Database, postgres_like
+        from repro.workloads.tpch import TpchData, load_into
+
+        machine = Machine(tiny_intel(), exec_mode=exec_mode)
+        db = Database(machine, postgres_like(), name="chop")
+        load_into(db, TpchData("10MB"))
+        it = db.execute_iter(db.sql_plan(sql_text), slot=0)
+        boundaries = 0
+        if quantum is None:
+            it.fetch_all()
+        else:
+            while it.run_rows(quantum) == quantum:
+                boundaries += 1
+        machine.settle()
+        return machine.cpu.counters.as_dict(), boundaries
+
+    @pytest.mark.parametrize("sql_text", [AGG_SQL, SORT_SQL],
+                             ids=["mid-aggregate", "mid-sort"])
+    def test_chopped_counters_identical_across_engines(self, sql_text):
+        ref, ref_b = self._drive("reference", sql_text, quantum=5)
+        bat, bat_b = self._drive("batched", sql_text, quantum=5)
+        assert ref_b == bat_b
+        assert ref_b > 3  # >= 3 suspend/resume boundaries mid-stream
+        assert ref == bat
+
+    @pytest.mark.parametrize("sql_text", [AGG_SQL, SORT_SQL],
+                             ids=["mid-aggregate", "mid-sort"])
+    def test_chopped_matches_straight_drain(self, sql_text):
+        chopped, boundaries = self._drive("batched", sql_text, quantum=5)
+        straight, _ = self._drive("batched", sql_text, quantum=None)
+        assert boundaries > 3
+        assert chopped == straight

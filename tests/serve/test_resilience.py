@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultError
 from repro.faults import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import ServeConfig, run_serve
@@ -351,3 +351,75 @@ class TestDeadlineRetryInterplay:
             == energy["active_energy_j"]
         assert "deadline_exceeded" in energy["wasted_by_reason_j"]
         assert "failed" not in energy["wasted_by_reason_j"]
+
+
+class TestFailedAttemptRowAccounting:
+    """Regression: rows accrued by a fault-killed attempt must not stick
+    to the request — the client never received them.  Faults can surface
+    from *inside* the work iterator (disk faults between row pulls), so
+    the quantum may have already counted rows when the attempt dies."""
+
+    def _server_with_faulty_job(self):
+        from repro import Machine, tiny_intel
+        from repro.db import Database, postgres_like
+        from repro.serve.loop import QueryServer
+        from repro.serve.admission import AdmissionController
+        from repro.serve.policies import FifoPolicy
+        from repro.sim.cores import CoreSet
+
+        machine = Machine(tiny_intel())
+        db = Database(machine, postgres_like(), name="rows")
+
+        def faulty(slot):
+            def gen():
+                yield from range(3)
+                raise FaultError("injected mid-quantum")
+            return gen()
+
+        class _Driver:
+            tenants = 1
+
+            def on_terminal(self, client, now):
+                return None
+
+        core_set = CoreSet(machine, 1)
+        server = QueryServer(
+            db, core_set, AdmissionController(machine.metrics),
+            FifoPolicy(), _Driver(), mpl=1, quantum_rows=8,
+        )
+        job = JobTemplate(name="faulty", tables=("t",), cost=1.0,
+                          make=faulty)
+        return server, job
+
+    def test_mid_quantum_fault_rolls_back_rows(self):
+        from repro.serve.request import FAILED
+
+        server, job = self._server_with_faulty_job()
+        req = Request(request_id=0, tenant="tenant0", client=0, job=job,
+                      arrival_s=0.0)
+        server.requests.append(req)
+        server.admission.offer(req, 0.0)
+        server.admission.take(req, 0.0)
+        core = server.core_set.cores[0]
+        req.slot = server._free_slots[core.index].pop(0)
+        core.run_list.append(req)
+        server._run_quantum(core)
+        assert req.state == FAILED
+        # The attempt pulled 3 rows before dying; none were delivered.
+        assert req.rows == 0
+
+    def test_report_rows_equal_delivered_rows_under_faults(self):
+        plain = run_serve(small_config())
+        assert plain["counts"]["completed"] == plain["counts"]["issued"]
+        chaos = run_serve(small_config(
+            faults=FaultPlan(request_error_p=0.05), retries=8,
+            retry_jitter=0.0,
+        ))
+        assert chaos["resilience"]["faults_injected"].get(
+            "request.error", 0) > 0
+        # With every request eventually completing, the rows delivered
+        # must match the fault-free run exactly: failed attempts leave
+        # no trace in the row totals.
+        assert chaos["counts"]["completed"] == chaos["counts"]["issued"]
+        for tenant, stats in plain["tenants"].items():
+            assert chaos["tenants"][tenant]["rows"] == stats["rows"]

@@ -65,7 +65,13 @@ def _cli_report(**kw):
         "Q6": {"reference_s": 0.06, "batched_s": 0.04, "speedup": 1.5},
     }
     report["serve"] = {
-        "tpch": {"batched": {"requests_per_s": 50.0}, "speedup": 1.2},
+        "tpch": {
+            "reference": {"requests_per_s": 28.0},
+            "batched": {"requests_per_s": 50.0},
+            "speedup": 1.8,
+            "reports_identical": True,
+            "run_rows_vs_next_identical": True,
+        },
         "engine": {
             "reference": {"requests_per_s": 250.0},
             "batched": {"requests_per_s": 5000.0},
@@ -126,6 +132,40 @@ class TestServeGates:
         del current["serve_scale"]
         failures = check_regression(current, _cli_report())
         assert any("serve_scale" in f and "missing" in f for f in failures)
+
+    def test_serve_tpch_speedup_rot_fails(self):
+        current = _cli_report()
+        current["serve"]["tpch"]["speedup"] = 1.1
+        failures = check_regression(current, _cli_report())
+        assert any("serve.tpch" in f and "speedup" in f for f in failures)
+
+    def test_serve_tpch_absolute_floor(self):
+        # Even a baseline that itself regressed cannot excuse dropping
+        # below the seed revision's 1.22x.
+        current = _cli_report()
+        current["serve"]["tpch"]["speedup"] = 1.15
+        baseline = _cli_report()
+        baseline["serve"]["tpch"]["speedup"] = 1.15
+        failures = check_regression(current, baseline)
+        assert any("serve.tpch" in f and "floor" in f for f in failures)
+
+    def test_serve_tpch_report_drift_fails(self):
+        current = _cli_report()
+        current["serve"]["tpch"]["reports_identical"] = False
+        failures = check_regression(current, _cli_report())
+        assert any("serve.tpch: reports_identical" in f for f in failures)
+
+    def test_serve_tpch_protocol_drift_fails(self):
+        current = _cli_report()
+        current["serve"]["tpch"]["run_rows_vs_next_identical"] = False
+        failures = check_regression(current, _cli_report())
+        assert any("run_rows_vs_next" in f for f in failures)
+
+    def test_missing_serve_tpch_fails(self):
+        current = _cli_report()
+        del current["serve"]["tpch"]
+        failures = check_regression(current, _cli_report())
+        assert any("serve.tpch: section missing" in f for f in failures)
 
 
 class TestClusterGate:
